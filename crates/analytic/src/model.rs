@@ -1,0 +1,408 @@
+//! The model parameters and closed-form quantities.
+
+use serde::{Deserialize, Serialize};
+
+/// The performance parameters of Table 1, plus the clock allowance ε.
+///
+/// All times are in seconds, rates in events per second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Number of client caches `N`.
+    pub n: f64,
+    /// Per-client read rate `R`.
+    pub r: f64,
+    /// Per-client write rate `W`.
+    pub w: f64,
+    /// Sharing degree `S`: caches holding the file when it is written.
+    pub s: f64,
+    /// One-way propagation delay `m_prop`.
+    pub m_prop: f64,
+    /// Per-message processing time `m_proc`.
+    pub m_proc: f64,
+    /// Clock-error allowance `ε`.
+    pub epsilon: f64,
+}
+
+impl Params {
+    /// The V-system file-caching parameters (Table 2).
+    ///
+    /// The paper's table is partially illegible in surviving copies; only
+    /// `R = 0.864/s` is certain. The remaining values are reconstructed so
+    /// the model reproduces every §3.2 number (see EXPERIMENTS.md):
+    /// `W = 0.04/s`, `m_prop = m_proc = 0.5 ms` (3 ms request–response,
+    /// consistent with V IPC on MicroVAX II), `ε = 100 ms`, one client,
+    /// no write sharing in the trace (`S = 1`).
+    pub fn v_system() -> Params {
+        Params {
+            n: 1.0,
+            r: 0.864,
+            w: 0.04,
+            s: 1.0,
+            m_prop: 0.0005,
+            m_proc: 0.0005,
+            epsilon: 0.1,
+        }
+    }
+
+    /// The wide-area variant of Figure 3: a 100 ms round trip, other
+    /// parameters unchanged.
+    pub fn v_system_wan() -> Params {
+        Params {
+            m_prop: 0.048,
+            m_proc: 0.001,
+            ..Params::v_system()
+        }
+    }
+
+    /// Returns a copy with a different sharing degree.
+    pub fn with_sharing(self, s: f64) -> Params {
+        Params { s, ..self }
+    }
+
+    /// Returns a copy with client processors `k` times faster: compute
+    /// time between operations shrinks, so both rates scale by `k` (§3.3).
+    pub fn with_speedup(self, k: f64) -> Params {
+        Params {
+            r: self.r * k,
+            w: self.w * k,
+            ..self
+        }
+    }
+
+    /// The effective term at the cache:
+    /// `t_c = max(0, t_s − (m_prop + 2·m_proc) − ε)`.
+    pub fn t_c(&self, ts: f64) -> f64 {
+        if ts.is_infinite() {
+            return f64::INFINITY;
+        }
+        (ts - (self.m_prop + 2.0 * self.m_proc) - self.epsilon).max(0.0)
+    }
+
+    /// Unicast request–response time: `2·m_prop + 4·m_proc`.
+    pub fn round_trip(&self) -> f64 {
+        2.0 * self.m_prop + 4.0 * self.m_proc
+    }
+
+    /// Time to gain write approval, `t_w = 2·m_prop + (S+2)·m_proc` for
+    /// `S > 1` (multicast request, S−1 replies, implicit self-approval);
+    /// zero for an unshared file, whose approval rides on the write's own
+    /// request–response.
+    pub fn t_w(&self) -> f64 {
+        if self.s <= 1.0 {
+            0.0
+        } else {
+            2.0 * self.m_prop + (self.s + 2.0) * self.m_proc
+        }
+    }
+
+    /// Consistency-related messages handled by the server per second
+    /// (formula 1), as a function of the server-side term `t_s`.
+    pub fn consistency_load(&self, ts: f64) -> f64 {
+        if ts <= 0.0 {
+            // No leases: every read is a check; writes need no approvals.
+            return 2.0 * self.n * self.r;
+        }
+        let ext = 2.0 * self.n * self.r / (1.0 + self.r * self.t_c(ts));
+        let approvals = if self.s > 1.0 {
+            self.n * self.s * self.w
+        } else {
+            0.0
+        };
+        ext + approvals
+    }
+
+    /// Consistency load relative to a zero term.
+    pub fn relative_load(&self, ts: f64) -> f64 {
+        self.consistency_load(ts) / self.consistency_load(0.0)
+    }
+
+    /// Average delay added to each operation by consistency (formula 2),
+    /// in seconds.
+    pub fn added_delay(&self, ts: f64) -> f64 {
+        let read_delay = if ts <= 0.0 {
+            self.round_trip()
+        } else {
+            self.round_trip() / (1.0 + self.r * self.t_c(ts))
+        };
+        let write_delay = if ts <= 0.0 { 0.0 } else { self.t_w() };
+        (self.r * read_delay + self.w * write_delay) / (self.r + self.w)
+    }
+
+    /// The lease benefit factor `α = 2R/(SW)` (multicast approvals).
+    ///
+    /// Infinite when the file is never written.
+    pub fn alpha(&self) -> f64 {
+        if self.w <= 0.0 {
+            f64::INFINITY
+        } else {
+            2.0 * self.r / (self.s * self.w)
+        }
+    }
+
+    /// The benefit factor when approvals use unicast:
+    /// `α = R/((S−1)·W)` (footnote 7).
+    pub fn alpha_unicast(&self) -> f64 {
+        if self.w <= 0.0 || self.s <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.r / ((self.s - 1.0) * self.w)
+        }
+    }
+
+    /// The term beyond which a lease lowers server load compared to a zero
+    /// term: `1/(R(α−1))`, or `None` when `α ≤ 1` (write sharing too heavy
+    /// for any non-zero term to help).
+    pub fn break_even_term(&self) -> Option<f64> {
+        let a = self.alpha();
+        if a > 1.0 {
+            if a.is_infinite() {
+                Some(0.0)
+            } else {
+                Some(1.0 / (self.r * (a - 1.0)))
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Total relative server load, given the fraction of server traffic
+    /// that consistency accounts for at a zero term (30% in the V trace).
+    pub fn total_relative_load(&self, ts: f64, consistency_share: f64) -> f64 {
+        (1.0 - consistency_share) + consistency_share * self.relative_load(ts)
+    }
+
+    /// Response-time degradation of term `ts` relative to an infinite
+    /// term, given the baseline per-operation response time (seconds):
+    /// `(resp(ts) − resp(∞)) / resp(∞)`.
+    pub fn response_degradation(&self, ts: f64, baseline_response: f64) -> f64 {
+        let at = self.added_delay(ts);
+        let inf = self.added_delay(f64::INFINITY);
+        (at - inf) / (baseline_response + inf)
+    }
+
+    /// Combines per-file parameters for a cache that batches extensions
+    /// across all files it holds (§3.1: "R and W then correspond to the
+    /// total rates for all covered files, and so are higher; the higher
+    /// absolute rate of reads increases α, and so the benefit is
+    /// greater").
+    ///
+    /// Rates sum; the sharing degree is the write-weighted average (the
+    /// approval cost per write depends on the file actually written).
+    /// Message times are taken from the first entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `files` is empty.
+    pub fn batched(files: &[Params]) -> Params {
+        assert!(!files.is_empty(), "batched needs at least one file");
+        let r: f64 = files.iter().map(|p| p.r).sum();
+        let w: f64 = files.iter().map(|p| p.w).sum();
+        let s = if w > 0.0 {
+            files.iter().map(|p| p.s * p.w).sum::<f64>() / w
+        } else {
+            files.iter().map(|p| p.s).sum::<f64>() / files.len() as f64
+        };
+        Params {
+            r,
+            w,
+            s,
+            ..files[0]
+        }
+    }
+
+    /// The shortest term whose extension traffic is at most `theta` of the
+    /// zero-term level: `t` with `t_c(t) = (1/θ − 1)/R` (the knee rule a
+    /// server can apply per file, §4).
+    pub fn knee_term(&self, theta: f64) -> f64 {
+        (1.0 / theta - 1.0) / self.r + (self.m_prop + 2.0 * self.m_proc) + self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn t_c_shortens_and_floors() {
+        let p = Params::v_system();
+        // Overhead = 1.5 ms + 100 ms.
+        assert!(close(p.t_c(10.0), 10.0 - 0.1015, 1e-12));
+        assert_eq!(p.t_c(0.05), 0.0);
+        assert!(p.t_c(f64::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn zero_term_load_is_2nr() {
+        let p = Params::v_system().with_sharing(10.0);
+        assert!(close(p.consistency_load(0.0), 2.0 * 0.864, 1e-12));
+    }
+
+    #[test]
+    fn tiny_positive_term_is_worse_than_zero() {
+        // "A zero lease term is better than a very short lease term."
+        let p = Params::v_system().with_sharing(10.0);
+        assert!(p.consistency_load(0.01) > p.consistency_load(0.0));
+    }
+
+    #[test]
+    fn unshared_load_has_no_approval_floor() {
+        let p = Params::v_system();
+        // As ts grows the load tends to zero for S = 1.
+        assert!(p.consistency_load(1e6) < 1e-3);
+        // For S = 10 it tends to N*S*W.
+        let ps = p.with_sharing(10.0);
+        assert!(close(ps.consistency_load(1e6), 10.0 * 0.04, 1e-3));
+    }
+
+    #[test]
+    fn paper_claim_10s_term_gives_10_percent_traffic() {
+        // §3.2: "at S = 1, a term of 10 seconds reduces the consistency
+        // traffic to 10% of that for a zero term."
+        let p = Params::v_system();
+        let rel = p.relative_load(10.0);
+        assert!(close(rel, 0.10, 0.005), "got {rel}");
+    }
+
+    #[test]
+    fn paper_claim_total_traffic_reduction_27_percent() {
+        // §3.2: consistency is 30% of server traffic at zero term, so the
+        // 10 s term yields a 27% total reduction, 4.5% above infinite.
+        let p = Params::v_system();
+        let total = p.total_relative_load(10.0, 0.30);
+        assert!(close(1.0 - total, 0.27, 0.005), "reduction {}", 1.0 - total);
+        let inf = p.total_relative_load(f64::INFINITY, 0.30);
+        let over_inf = total / inf - 1.0;
+        assert!(close(over_inf, 0.045, 0.005), "over infinite {over_inf}");
+    }
+
+    #[test]
+    fn paper_claim_s10_20_percent_and_4_1_over_infinite() {
+        // §3.2: "At S = 10, total server traffic is 20% less than for a
+        // zero term and 4.1% over that for an infinite term."
+        let p = Params::v_system().with_sharing(10.0);
+        let total = p.total_relative_load(10.0, 0.30);
+        assert!(close(1.0 - total, 0.20, 0.01), "reduction {}", 1.0 - total);
+        let inf = p.total_relative_load(f64::INFINITY, 0.30);
+        let over = total / inf - 1.0;
+        assert!(close(over, 0.041, 0.01), "over infinite {over}");
+    }
+
+    #[test]
+    fn paper_claim_figure3_wan_degradation() {
+        // §3.3: on a 100 ms round-trip network, "a 10 second term degrades
+        // response by 10.1% over using an infinite term and a 30 second
+        // term degrades it by 3.6%", for a baseline response ≈ 100 ms.
+        let p = Params::v_system_wan();
+        let d10 = p.response_degradation(10.0, 0.0995);
+        assert!(close(d10, 0.101, 0.01), "10 s degradation {d10}");
+        let d30 = p.response_degradation(30.0, 0.0995);
+        assert!(close(d30, 0.036, 0.005), "30 s degradation {d30}");
+    }
+
+    #[test]
+    fn alpha_and_break_even() {
+        let p = Params::v_system().with_sharing(10.0);
+        // alpha = 2*0.864/(10*0.04) = 4.32.
+        assert!(close(p.alpha(), 4.32, 1e-9));
+        let be = p.break_even_term().unwrap();
+        assert!(close(be, 1.0 / (0.864 * 3.32), 1e-9));
+        // Load at a term above break-even beats zero term.
+        assert!(p.consistency_load(be * 3.0 + 1.0) < p.consistency_load(0.0));
+        // Heavy write sharing: alpha <= 1, no non-zero term helps.
+        let heavy = Params {
+            r: 0.1,
+            w: 0.1,
+            s: 4.0,
+            ..Params::v_system()
+        };
+        assert!(heavy.alpha() <= 1.0);
+        assert!(heavy.break_even_term().is_none());
+        assert!(heavy.consistency_load(100.0) > heavy.consistency_load(0.0));
+    }
+
+    #[test]
+    fn alpha_unicast_matches_footnote() {
+        let p = Params::v_system().with_sharing(3.0);
+        assert!(close(p.alpha_unicast(), 0.864 / (2.0 * 0.04), 1e-9));
+        assert!(Params::v_system().alpha_unicast().is_infinite());
+    }
+
+    #[test]
+    fn delay_decreases_with_term_for_unshared() {
+        let p = Params::v_system();
+        let d0 = p.added_delay(0.0);
+        let d10 = p.added_delay(10.0);
+        let dinf = p.added_delay(f64::INFINITY);
+        assert!(d0 > d10 && d10 > dinf);
+        // At zero term every read pays one round trip.
+        assert!(close(d0, 0.864 / 0.904 * 0.003, 1e-9));
+        assert!(close(dinf, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn shared_delay_floors_at_write_approval_cost() {
+        let p = Params::v_system().with_sharing(40.0);
+        let dinf = p.added_delay(f64::INFINITY);
+        let expected = 0.04 * p.t_w() / 0.904;
+        assert!(close(dinf, expected, 1e-12));
+        assert!(close(p.t_w(), 2.0 * 0.0005 + 42.0 * 0.0005, 1e-12));
+    }
+
+    #[test]
+    fn speedup_pushes_knee_lower() {
+        // §3.3: faster processors raise rates, so the same residual
+        // traffic is reached at a shorter term.
+        let p = Params::v_system();
+        let fast = p.with_speedup(10.0);
+        assert!(fast.knee_term(0.1) < p.knee_term(0.1));
+        // And at any fixed term, the fast system keeps less relative load.
+        assert!(fast.relative_load(5.0) < p.relative_load(5.0));
+    }
+
+    #[test]
+    fn batching_raises_alpha_and_lowers_load() {
+        // Ten identical files, each with a tenth of the V rates: per file,
+        // a 10 s term leaves far more residual extension traffic than the
+        // batched cache sees.
+        let per_file = Params {
+            r: 0.0864,
+            w: 0.004,
+            ..Params::v_system()
+        }
+        .with_sharing(4.0);
+        let files = vec![per_file; 10];
+        let combined = Params::batched(&files);
+        assert!(close(combined.r, 0.864, 1e-9));
+        assert!(close(combined.w, 0.04, 1e-9));
+        assert!(close(combined.s, 4.0, 1e-9));
+        // Alpha is a ratio, so it is unchanged by uniform scaling; the
+        // benefit shows up in the amortization: the break-even term and
+        // the residual extension traffic both shrink with the higher
+        // aggregate read rate.
+        assert!(close(combined.alpha(), per_file.alpha(), 1e-9));
+        assert!(combined.break_even_term().unwrap() < per_file.break_even_term().unwrap() / 9.9);
+        let residual = |p: &Params| 1.0 / (1.0 + p.r * p.t_c(10.0));
+        assert!(residual(&combined) < residual(&per_file) / 4.0);
+    }
+
+    #[test]
+    fn batched_of_single_file_is_identity_on_rates() {
+        let p = Params::v_system().with_sharing(3.0);
+        let b = Params::batched(&[p]);
+        assert!(close(b.r, p.r, 1e-12));
+        assert!(close(b.w, p.w, 1e-12));
+        assert!(close(b.s, p.s, 1e-12));
+    }
+
+    #[test]
+    fn knee_term_matches_ten_seconds() {
+        // theta = 0.1 at the V read rate lands near the paper's 10 s.
+        let p = Params::v_system();
+        let knee = p.knee_term(0.1);
+        assert!(close(knee, 10.4, 0.2), "knee {knee}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Term sweeps: the series behind Figures 1–3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::Params;
+
+/// One point of a swept curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Lease term `t_s`, seconds.
+    pub term: f64,
+    /// The swept quantity (relative load, delay, ...).
+    pub value: f64,
+}
+
+/// The relative-consistency-load curve of Figure 1 for one sharing degree.
+pub fn load_curve(p: &Params, terms: &[f64]) -> Vec<Point> {
+    terms
+        .iter()
+        .map(|&t| Point {
+            term: t,
+            value: p.relative_load(t),
+        })
+        .collect()
+}
+
+/// The added-delay curve of Figures 2 and 3, in milliseconds.
+pub fn delay_curve(p: &Params, terms: &[f64]) -> Vec<Point> {
+    terms
+        .iter()
+        .map(|&t| Point {
+            term: t,
+            value: p.added_delay(t) * 1e3,
+        })
+        .collect()
+}
+
+/// Total relative server load given the consistency share at zero term.
+pub fn total_load_curve(p: &Params, terms: &[f64], share: f64) -> Vec<Point> {
+    terms
+        .iter()
+        .map(|&t| Point {
+            term: t,
+            value: p.total_relative_load(t, share),
+        })
+        .collect()
+}
+
+/// Evenly spaced terms from 0 to `max` inclusive.
+pub fn term_grid(max: f64, steps: usize) -> Vec<f64> {
+    (0..=steps).map(|i| max * i as f64 / steps as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_are_monotone_decreasing_past_the_dip() {
+        let p = Params::v_system();
+        let terms = term_grid(30.0, 30);
+        let curve = load_curve(&p, &terms);
+        // Skip the t=0 -> tiny-term dip; from 1 s on the curve decreases.
+        for w in curve.windows(2).skip(1) {
+            assert!(w[1].value <= w[0].value + 1e-12);
+        }
+        assert_eq!(curve[0].value, 1.0);
+    }
+
+    #[test]
+    fn delay_curve_is_in_milliseconds() {
+        let p = Params::v_system();
+        let c = delay_curve(&p, &[0.0]);
+        // Zero term: about R/(R+W) * 3 ms = 2.87 ms.
+        assert!((c[0].value - 2.867).abs() < 0.01, "{}", c[0].value);
+    }
+
+    #[test]
+    fn term_grid_spacing() {
+        let g = term_grid(10.0, 5);
+        assert_eq!(g, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn total_load_interpolates_between_shares() {
+        let p = Params::v_system();
+        let c = total_load_curve(&p, &[0.0, 1e9], 0.3);
+        assert!((c[0].value - 1.0).abs() < 1e-12);
+        assert!((c[1].value - 0.7).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Running baselines on the shared harness.
+
+use lease_clock::{Dur, Time};
+use lease_core::MemStorage;
+use lease_net::{FaultPlanNet, SimNet};
+use lease_sim::{ActorId, World};
+use lease_vsys::{
+    add_clients, history, run_trace_with_history, NetMsg, RunReport, SharedHistory, SystemConfig,
+    TermSpec,
+};
+use lease_workload::Trace;
+
+use crate::andrew::AndrewServerActor;
+use crate::nfs::NfsServerActor;
+
+/// A consistency protocol to compare against leases (§6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Baseline {
+    /// The lease protocol at a chosen term (the paper's system).
+    Leases {
+        /// Lease term.
+        term: Dur,
+    },
+    /// Zero-term leases: a consistency check on every open (Sprite, RFS,
+    /// the Andrew prototype; Xerox DFS's breakable locks degenerate to
+    /// this, §6).
+    CheckOnEveryRead,
+    /// The revised Andrew file system: infinite-term callback promises,
+    /// invalidations that do not wait, an optional client poll bounding
+    /// staleness.
+    AndrewCallbacks {
+        /// Poll interval (Andrew used ten minutes); `None` disables it.
+        poll: Option<Dur>,
+    },
+    /// NFS-style fixed TTL, no invalidations, no guarantees.
+    NfsTtl {
+        /// Time-to-live for cached data.
+        ttl: Dur,
+    },
+}
+
+impl Baseline {
+    /// A short human-readable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Baseline::Leases { term } => format!("leases({term})"),
+            Baseline::CheckOnEveryRead => "check-on-read".into(),
+            Baseline::AndrewCallbacks { poll: Some(p) } => format!("andrew(poll {p})"),
+            Baseline::AndrewCallbacks { poll: None } => "andrew(no poll)".into(),
+            Baseline::NfsTtl { ttl } => format!("nfs(ttl {ttl})"),
+        }
+    }
+
+    /// Runs the baseline on the shared harness, returning the same report
+    /// the lease system produces plus the execution history for the
+    /// oracle.
+    pub fn run(&self, cfg: &SystemConfig, trace: &Trace) -> (RunReport, SharedHistory) {
+        match self {
+            Baseline::Leases { term } => {
+                let cfg = SystemConfig {
+                    term: TermSpec::Fixed(*term),
+                    ..cfg.clone()
+                };
+                let (report, handle) = run_trace_with_history(&cfg, trace);
+                (report, handle.history)
+            }
+            Baseline::CheckOnEveryRead => {
+                let cfg = SystemConfig {
+                    term: TermSpec::Fixed(Dur::ZERO),
+                    ..cfg.clone()
+                };
+                let (report, handle) = run_trace_with_history(&cfg, trace);
+                (report, handle.history)
+            }
+            Baseline::AndrewCallbacks { poll } => {
+                let mut cfg = cfg.clone();
+                cfg.anticipatory = *poll;
+                run_custom(&cfg, trace, ServerKind::Andrew)
+            }
+            Baseline::NfsTtl { ttl } => run_custom(cfg, trace, ServerKind::Nfs(*ttl)),
+        }
+    }
+}
+
+enum ServerKind {
+    Andrew,
+    Nfs(Dur),
+}
+
+fn run_custom(cfg: &SystemConfig, trace: &Trace, kind: ServerKind) -> (RunReport, SharedHistory) {
+    let n = trace.client_count().max(1);
+    let net = SimNet::new(cfg.net)
+        .with_faults(FaultPlanNet {
+            loss_prob: cfg.loss,
+            duplicate_prob: cfg.duplicate,
+            partitions: cfg.partitions.clone(),
+        })
+        .with_jitter(cfg.jitter);
+    let mut world: World<NetMsg> = World::new(cfg.seed, net);
+    let hist = history::shared();
+    let warmup = Time::ZERO + cfg.warmup;
+
+    let client_ids: Vec<ActorId> = (0..n).map(|i| ActorId(1 + i as usize)).collect();
+    let mut storage = MemStorage::new();
+    for f in &trace.files {
+        storage.insert(f.id, 0);
+    }
+    let server_id = match kind {
+        ServerKind::Andrew => world.add_actor(AndrewServerActor::new(
+            storage,
+            client_ids.clone(),
+            hist.clone(),
+            warmup,
+        )),
+        ServerKind::Nfs(ttl) => world.add_actor(NfsServerActor::new(
+            storage,
+            ttl,
+            client_ids.clone(),
+            hist.clone(),
+            warmup,
+        )),
+    };
+    debug_assert_eq!(server_id, ActorId(0));
+    let added = add_clients(&mut world, cfg, trace, server_id, &hist);
+    debug_assert_eq!(added, client_ids);
+
+    for crash in &cfg.crashes {
+        let victim = match crash.node {
+            lease_vsys::NodeSel::Server => server_id,
+            lease_vsys::NodeSel::Client(i) => client_ids[i as usize],
+        };
+        world.schedule_crash(crash.at, victim);
+        if let Some(r) = crash.recover_at {
+            world.schedule_recover(r, victim);
+        }
+    }
+
+    let end = Time::ZERO + trace.duration() + cfg.drain;
+    world.run_until(end);
+    let window = end.saturating_since(warmup).as_secs_f64();
+    (RunReport::from_world(&mut world, window), hist)
+}

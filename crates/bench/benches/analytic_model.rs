@@ -1,0 +1,29 @@
+//! Benchmarks of the analytic model: it must be cheap enough for a server
+//! to evaluate per grant when picking terms dynamically (§4).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lease_analytic::{load_curve, Params};
+
+fn formulas(c: &mut Criterion) {
+    let p = Params::v_system().with_sharing(10.0);
+    c.bench_function("analytic/consistency_load", |b| {
+        b.iter(|| black_box(p.consistency_load(black_box(10.0))));
+    });
+    c.bench_function("analytic/added_delay", |b| {
+        b.iter(|| black_box(p.added_delay(black_box(10.0))));
+    });
+    c.bench_function("analytic/knee_term", |b| {
+        b.iter(|| black_box(p.knee_term(black_box(0.1))));
+    });
+}
+
+fn curve(c: &mut Criterion) {
+    let p = Params::v_system();
+    let terms: Vec<f64> = (0..=300).map(|i| i as f64 / 10.0).collect();
+    c.bench_function("analytic/load_curve_301pts", |b| {
+        b.iter(|| black_box(load_curve(&p, black_box(&terms)).len()));
+    });
+}
+
+criterion_group!(benches, formulas, curve);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Micro-benchmarks of the client cache: the read fast path is what makes
+//! leases worth having — it must be nanoseconds, not milliseconds.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lease_clock::{Dur, Time};
+use lease_core::{
+    ClientConfig, ClientId, ClientInput, Grant, LeaseClient, Op, OpId, ReqId, ToClient,
+};
+
+type C = LeaseClient<u64, u64>;
+
+/// A cache pre-warmed with `n` resources under 1000 s leases.
+fn warmed(n: u64) -> C {
+    let mut c = C::new(ClientId(0), ClientConfig::default());
+    for r in 0..n {
+        let out = c.handle(
+            Time::from_millis(r),
+            ClientInput::Op {
+                op: OpId(r),
+                kind: Op::Read(r),
+            },
+        );
+        let req = out
+            .iter()
+            .find_map(|o| match o {
+                lease_core::ClientOutput::Send(lease_core::ToServer::Fetch { req, .. }) => {
+                    Some(*req)
+                }
+                _ => None,
+            })
+            .unwrap_or(ReqId(0));
+        c.handle(
+            Time::from_millis(r + 1),
+            ClientInput::Msg(ToClient::Grants {
+                req,
+                grants: vec![Grant {
+                    resource: r,
+                    version: lease_core::Version(1),
+                    data: Some(r),
+                    term: Dur::from_secs(1000),
+                }],
+            }),
+        );
+    }
+    c
+}
+
+fn read_hit(c: &mut Criterion) {
+    let mut cache = warmed(1024);
+    let mut op = 1_000_000u64;
+    c.bench_function("client_cache/read_hit", |b| {
+        b.iter(|| {
+            op += 1;
+            let out = cache.handle(
+                Time::from_secs(10),
+                ClientInput::Op {
+                    op: OpId(op),
+                    kind: Op::Read(black_box(op % 1024)),
+                },
+            );
+            black_box(out.len())
+        });
+    });
+}
+
+fn read_miss_builds_batched_fetch(c: &mut Criterion) {
+    // The expensive variant: an expired lease with 1024 held entries to
+    // piggyback — measures the cost of batching itself.
+    let mut group = c.benchmark_group("client_cache/miss_with_batch");
+    for &n in &[16u64, 256, 1024] {
+        group.bench_function(format!("{n}_held"), |b| {
+            let mut op = 2_000_000u64;
+            let mut cache = warmed(n);
+            b.iter(|| {
+                op += 1;
+                // Reads far in the future: every lease expired.
+                let out = cache.handle(
+                    Time::from_secs(5000),
+                    ClientInput::Op {
+                        op: OpId(op),
+                        kind: Op::Read(black_box(op % n)),
+                    },
+                );
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn approval_roundtrip(c: &mut Criterion) {
+    c.bench_function("client_cache/approval_invalidate", |b| {
+        let mut wid = 0u64;
+        let mut cache = warmed(64);
+        b.iter(|| {
+            wid += 1;
+            let out = cache.handle(
+                Time::from_secs(20),
+                ClientInput::Msg(ToClient::ApprovalRequest {
+                    write_id: lease_core::WriteId(wid),
+                    resource: black_box(wid % 64),
+                    replaces: lease_core::Version(1),
+                }),
+            );
+            black_box(out.len())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    read_hit,
+    read_miss_builds_batched_fetch,
+    approval_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end benchmark: simulated seconds per wall second for the full
+//! V-style system, the number that determines how long the figure
+//! regenerators take.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lease_clock::Dur;
+use lease_vsys::{run_trace, SystemConfig, TermSpec};
+use lease_workload::{PoissonWorkload, VTrace};
+
+fn compile_trace(c: &mut Criterion) {
+    let trace = VTrace::calibrated(1989).generate();
+    let mut group = c.benchmark_group("full_system/v_compile_trace_17min");
+    group.sample_size(10);
+    for term in [0u64, 10] {
+        group.bench_function(format!("term_{term}s"), |b| {
+            b.iter(|| {
+                let cfg = SystemConfig {
+                    term: TermSpec::Fixed(Dur::from_secs(term)),
+                    seed: 7,
+                    ..SystemConfig::default()
+                };
+                black_box(run_trace(&cfg, &trace).consistency_msgs)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn poisson_multi_client(c: &mut Criterion) {
+    let trace = PoissonWorkload::v_rates(20, 5, Dur::from_secs(120), 3).generate();
+    let mut group = c.benchmark_group("full_system/poisson_20_clients_2min");
+    group.sample_size(10);
+    group.bench_function("term_10s", |b| {
+        b.iter(|| {
+            let cfg = SystemConfig {
+                term: TermSpec::Fixed(Dur::from_secs(10)),
+                seed: 7,
+                ..SystemConfig::default()
+            };
+            black_box(run_trace(&cfg, &trace).consistency_msgs)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, compile_trace, poisson_multi_client);
+criterion_main!(benches);

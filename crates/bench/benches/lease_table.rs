@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the server's lease table — the soft state the
+//! paper sizes at "a couple of pointers" per lease (§2).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lease_clock::Time;
+use lease_core::{ClientId, LeaseTable};
+
+fn grant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lease_table/grant");
+    for &n in &[100u64, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                LeaseTable::<u64>::new,
+                |mut table| {
+                    for i in 0..n {
+                        table.grant(i % 256, ClientId((i % 64) as u32), Time(i + 1_000_000));
+                    }
+                    black_box(table.len())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn holders_query(c: &mut Criterion) {
+    let mut table = LeaseTable::<u64>::new();
+    for i in 0..10_000u64 {
+        table.grant(
+            i % 128,
+            ClientId((i % 100) as u32),
+            Time::from_secs(10 + i % 50),
+        );
+    }
+    c.bench_function("lease_table/holders_at", |b| {
+        b.iter(|| black_box(table.holders_at(black_box(64), Time::from_secs(30)).len()));
+    });
+    c.bench_function("lease_table/max_expiry", |b| {
+        b.iter(|| black_box(table.max_expiry(black_box(64), Time::from_secs(30))));
+    });
+}
+
+fn prune(c: &mut Criterion) {
+    c.bench_function("lease_table/prune_half", |b| {
+        b.iter_batched(
+            || {
+                let mut t = LeaseTable::<u64>::new();
+                for i in 0..10_000u64 {
+                    t.grant(
+                        i,
+                        ClientId(0),
+                        Time::from_secs(if i % 2 == 0 { 1 } else { 100 }),
+                    );
+                }
+                t
+            },
+            |mut t| black_box(t.prune(Time::from_secs(50))),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, grant, holders_query, prune);
+criterion_main!(benches);

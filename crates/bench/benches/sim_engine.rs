@@ -1,0 +1,60 @@
+//! Benchmarks of the discrete-event kernel: event throughput bounds how
+//! large an experiment the harness can run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lease_clock::Time;
+use lease_sim::{Actor, ActorId, Ctx, EventQueue, PerfectMedium, World};
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("sim/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(Time(i * 7919 % 65_536), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        });
+    });
+}
+
+struct Pinger {
+    peer: ActorId,
+    left: u32,
+}
+
+impl Actor<u32> for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        if self.left > 0 {
+            ctx.send(self.peer, self.left);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: ActorId, msg: u32) {
+        if msg > 1 {
+            ctx.send(from, msg - 1);
+        } else {
+            ctx.stop();
+        }
+    }
+}
+
+fn actor_messaging(c: &mut Criterion) {
+    c.bench_function("sim/ping_pong_20k_msgs", |b| {
+        b.iter(|| {
+            let mut w = World::new(1, PerfectMedium);
+            let a = w.add_actor(Pinger {
+                peer: ActorId(1),
+                left: 20_000,
+            });
+            let _b = w.add_actor(Pinger { peer: a, left: 0 });
+            w.run(1_000_000);
+            black_box(w.events_processed())
+        });
+    });
+}
+
+criterion_group!(benches, event_queue, actor_messaging);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Checks every numeric claim of §3.2 and §3.3 against the model and the
+//! simulated system, printing a PASS/FAIL scorecard.
+
+use lease_analytic::Params;
+use lease_bench::{save_json, table};
+use lease_clock::Dur;
+use lease_workload::VTrace;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Claim {
+    name: String,
+    paper: f64,
+    ours: f64,
+    tolerance: f64,
+    pass: bool,
+}
+
+fn claim(name: &str, paper: f64, ours: f64, tolerance: f64) -> Claim {
+    Claim {
+        name: name.into(),
+        paper,
+        ours,
+        tolerance,
+        pass: (ours - paper).abs() <= tolerance,
+    }
+}
+
+fn main() {
+    let p = Params::v_system();
+    let wan = Params::v_system_wan();
+    let mut claims = Vec::new();
+
+    // §3.2, model claims.
+    claims.push(claim(
+        "S=1: 10 s term -> consistency traffic fraction of zero-term",
+        0.10,
+        p.relative_load(10.0),
+        0.01,
+    ));
+    claims.push(claim(
+        "S=1: total server traffic reduction at 10 s (consistency = 30% at term 0)",
+        0.27,
+        1.0 - p.total_relative_load(10.0, 0.30),
+        0.01,
+    ));
+    claims.push(claim(
+        "S=1: total traffic at 10 s above infinite-term level",
+        0.045,
+        p.total_relative_load(10.0, 0.30) / p.total_relative_load(f64::INFINITY, 0.30) - 1.0,
+        0.005,
+    ));
+    let s10 = p.with_sharing(10.0);
+    claims.push(claim(
+        "S=10: total server traffic reduction at 10 s",
+        0.20,
+        1.0 - s10.total_relative_load(10.0, 0.30),
+        0.015,
+    ));
+    claims.push(claim(
+        "S=10: total traffic at 10 s above infinite-term level",
+        0.041,
+        s10.total_relative_load(10.0, 0.30) / s10.total_relative_load(f64::INFINITY, 0.30) - 1.0,
+        0.01,
+    ));
+
+    // §3.3, wide-area claims (baseline response 99.5 ms, EXPERIMENTS.md).
+    claims.push(claim(
+        "WAN: 10 s term response degradation vs infinite",
+        0.101,
+        wan.response_degradation(10.0, 0.0995),
+        0.01,
+    ));
+    claims.push(claim(
+        "WAN: 30 s term response degradation vs infinite",
+        0.036,
+        wan.response_degradation(30.0, 0.0995),
+        0.005,
+    ));
+
+    // Trace-driven simulation claims (shape, wider tolerances).
+    let trace = VTrace::calibrated(1989).generate();
+    let zero = lease_bench::run_at_term(&trace, Dur::ZERO, 7).consistency_msgs as f64;
+    let ten = lease_bench::run_at_term(&trace, Dur::from_secs(10), 7).consistency_msgs as f64;
+    let two = lease_bench::run_at_term(&trace, Dur::from_secs(2), 7).consistency_msgs as f64;
+    claims.push(claim(
+        "Trace: 10 s term consistency fraction (knee at/below the model's 10%)",
+        0.10,
+        ten / zero,
+        0.06,
+    ));
+    // The knee is sharper than Poisson: by 2 s the trace is already below
+    // the model's 2 s prediction.
+    let model_two = p.relative_load(2.0);
+    claims.push(claim(
+        "Trace: knee sharper than Poisson (trace(2s) below model(2s) by >0.1)",
+        1.0,
+        (model_two - two / zero > 0.1) as u8 as f64,
+        0.0,
+    ));
+    // Benefit factor arithmetic (§3.1).
+    claims.push(claim("alpha at S=10 (2R/SW)", 4.32, s10.alpha(), 1e-9));
+
+    let rows: Vec<Vec<String>> = claims
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                format!("{:.3}", c.paper),
+                format!("{:.3}", c.ours),
+                if c.pass { "PASS".into() } else { "FAIL".into() },
+            ]
+        })
+        .collect();
+    println!("Paper-claim scorecard (sections 3.2 and 3.3)\n");
+    println!("{}", table(&["claim", "paper", "ours", "verdict"], &rows));
+    let passed = claims.iter().filter(|c| c.pass).count();
+    println!("{passed}/{} claims within tolerance", claims.len());
+    save_json("claims", &claims);
+    if passed != claims.len() {
+        std::process::exit(1);
+    }
+}

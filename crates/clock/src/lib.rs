@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Time types and clock models for the leases reproduction.
+//!
+//! Leases (Gray & Cheriton, SOSP 1989) are a *time-based* mechanism: their
+//! correctness rests on every host being able to measure the passage of
+//! physical time with bounded error. This crate provides:
+//!
+//! * [`Time`] and [`Dur`] — nanosecond-precision instants and durations used
+//!   uniformly by the simulator, the protocol state machines, and the
+//!   real-time runtime.
+//! * [`ClockModel`] — a per-host mapping from *true* (simulated global) time
+//!   to that host's *local* clock reading, supporting fixed skew, bounded
+//!   drift, and the failure modes §5 of the paper analyses (fast server
+//!   clocks and slow client clocks, which can break consistency, and their
+//!   harmless duals).
+//! * [`Clock`] — the minimal clock-source abstraction used where protocol
+//!   code needs "now" without caring whether it is simulated or wall time.
+//!
+//! # Examples
+//!
+//! ```
+//! use lease_clock::{ClockModel, Dur, Time};
+//!
+//! // A client clock running 100 ppm fast, initially 2 ms ahead.
+//! let model = ClockModel::new(Dur::from_millis(2).as_signed(), 100.0);
+//! let true_now = Time::from_secs(10);
+//! let local = model.local(true_now);
+//! assert!(local > true_now);
+//! ```
+
+pub mod model;
+pub mod source;
+pub mod time;
+
+pub use model::{ClockFailure, ClockModel};
+pub use source::{Clock, ManualClock, WallClock};
+pub use time::{Dur, Time};

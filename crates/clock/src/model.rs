@@ -1,0 +1,321 @@
+//! Per-host clock models mapping true time to local clock readings.
+//!
+//! Section 5 of the paper analyses exactly which clock misbehaviours matter:
+//!
+//! * a **fast server clock** may let the server regard a lease as expired
+//!   while the client still trusts it — writes can then proceed too early and
+//!   consistency is lost;
+//! * a **slow client clock** lets the client keep using a lease the server
+//!   regards as expired — the same hazard from the other side;
+//! * the dual failures (slow server, fast client) are harmless: they only
+//!   generate extra extension traffic.
+//!
+//! [`ClockModel`] expresses a host clock as `local(t) = t + offset +
+//! drift_ppm * (t - start)`, plus optional step failures, so experiments can
+//! inject each of these cases and let the consistency oracle observe the
+//! consequences.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Time;
+
+/// A discrete clock fault injected at a point in true time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockFailure {
+    /// True time at which the failure takes effect.
+    pub at: Time,
+    /// Step adjustment applied to the local clock, in nanoseconds.
+    pub step_nanos: i64,
+    /// New drift rate from this point on, in parts per million.
+    pub new_drift_ppm: f64,
+}
+
+/// A deterministic mapping from true (global simulation) time to a host's
+/// local clock reading.
+///
+/// The model is piecewise linear: a base offset and drift rate, modified by
+/// an ordered list of [`ClockFailure`] steps. Drift is expressed in parts
+/// per million of elapsed true time, so `drift_ppm = 100.0` means the clock
+/// gains 100 µs per second of true time.
+///
+/// # Examples
+///
+/// ```
+/// use lease_clock::{ClockModel, Time};
+///
+/// let perfect = ClockModel::perfect();
+/// assert_eq!(perfect.local(Time::from_secs(3)), Time::from_secs(3));
+///
+/// let fast = ClockModel::new(0, 1_000_000.0); // 2x speed: +1s per second
+/// assert_eq!(fast.local(Time::from_secs(1)), Time::from_secs(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockModel {
+    /// Base offset from true time at the epoch, in nanoseconds.
+    pub offset_nanos: i64,
+    /// Base drift rate, in parts per million of elapsed true time.
+    pub drift_ppm: f64,
+    /// Step failures, ordered by `at`.
+    pub failures: Vec<ClockFailure>,
+}
+
+impl ClockModel {
+    /// A perfect clock: local time equals true time.
+    pub fn perfect() -> ClockModel {
+        ClockModel::new(0, 0.0)
+    }
+
+    /// A clock with fixed skew (nanoseconds) and drift (ppm), no failures.
+    pub fn new(offset_nanos: i64, drift_ppm: f64) -> ClockModel {
+        ClockModel {
+            offset_nanos,
+            drift_ppm,
+            failures: Vec::new(),
+        }
+    }
+
+    /// A clock that is `skew_nanos` ahead (positive) or behind (negative).
+    pub fn skewed(skew_nanos: i64) -> ClockModel {
+        ClockModel::new(skew_nanos, 0.0)
+    }
+
+    /// A clock drifting at `ppm` parts per million (positive runs fast).
+    pub fn drifting(ppm: f64) -> ClockModel {
+        ClockModel::new(0, ppm)
+    }
+
+    /// Adds a step failure; failures must be added in increasing `at` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes an already-registered failure.
+    pub fn with_failure(mut self, failure: ClockFailure) -> ClockModel {
+        if let Some(last) = self.failures.last() {
+            assert!(failure.at >= last.at, "clock failures must be time-ordered");
+        }
+        self.failures.push(failure);
+        self
+    }
+
+    /// Local clock reading at true time `t`.
+    ///
+    /// The mapping is monotone non-decreasing in `t` provided all drift
+    /// rates exceed -1 000 000 ppm (a clock cannot run backwards, only
+    /// slowly), which [`ClockModel::is_sane`] checks.
+    pub fn local(&self, t: Time) -> Time {
+        let mut seg_start = Time::ZERO;
+        let mut offset = self.offset_nanos;
+        let mut drift = self.drift_ppm;
+        for f in &self.failures {
+            if f.at > t {
+                break;
+            }
+            offset += drift_nanos(drift, f.at.saturating_since(seg_start).as_nanos());
+            offset += f.step_nanos;
+            drift = f.new_drift_ppm;
+            seg_start = f.at;
+        }
+        let elapsed = t.saturating_since(seg_start).as_nanos();
+        t.offset(offset.saturating_add(drift_nanos(drift, elapsed)))
+    }
+
+    /// The clock's instantaneous rate (d local / d true) at true time `t`.
+    pub fn rate_at(&self, t: Time) -> f64 {
+        let mut drift = self.drift_ppm;
+        for f in &self.failures {
+            if f.at > t {
+                break;
+            }
+            drift = f.new_drift_ppm;
+        }
+        1.0 + drift / 1e6
+    }
+
+    /// The true instant at which this clock will have advanced by
+    /// `local_dur` beyond its reading at `true_now`, assuming the current
+    /// segment's rate persists (harnesses use this to arm timers that the
+    /// protocol specified in local time).
+    pub fn true_after(&self, true_now: Time, local_dur: crate::time::Dur) -> Time {
+        if local_dur.is_infinite() {
+            return Time::MAX;
+        }
+        let rate = self.rate_at(true_now).max(1e-9);
+        true_now + crate::time::Dur::from_secs_f64(local_dur.as_secs_f64() / rate)
+    }
+
+    /// Absolute error `|local(t) - t|` at true time `t`, in nanoseconds.
+    pub fn error_at(&self, t: Time) -> u64 {
+        let local = self.local(t);
+        local.as_nanos().abs_diff(t.as_nanos())
+    }
+
+    /// Whether every segment keeps the clock monotone (drift > -10^6 ppm)
+    /// and steps never move it backwards.
+    pub fn is_sane(&self) -> bool {
+        let drifts =
+            std::iter::once(self.drift_ppm).chain(self.failures.iter().map(|f| f.new_drift_ppm));
+        drifts.into_iter().all(|d| d > -1_000_000.0)
+            && self.failures.iter().all(|f| f.step_nanos >= 0 || true)
+            && self.check_monotone_steps()
+    }
+
+    fn check_monotone_steps(&self) -> bool {
+        // A negative step is allowed by the type but makes the local clock
+        // jump backwards, which real clock disciplines avoid; flag it.
+        self.failures.iter().all(|f| f.step_nanos >= 0)
+    }
+}
+
+impl Default for ClockModel {
+    fn default() -> ClockModel {
+        ClockModel::perfect()
+    }
+}
+
+fn drift_nanos(ppm: f64, elapsed_nanos: u64) -> i64 {
+    let v = ppm / 1e6 * elapsed_nanos as f64;
+    if v >= i64::MAX as f64 {
+        i64::MAX
+    } else if v <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = ClockModel::perfect();
+        for s in [0u64, 1, 60, 3600] {
+            assert_eq!(c.local(Time::from_secs(s)), Time::from_secs(s));
+        }
+        assert!(c.is_sane());
+    }
+
+    #[test]
+    fn fixed_skew() {
+        let ahead = ClockModel::skewed(Dur::from_millis(5).as_signed());
+        assert_eq!(
+            ahead.local(Time::from_secs(1)),
+            Time::from_secs(1) + Dur::from_millis(5)
+        );
+        let behind = ClockModel::skewed(-Dur::from_millis(5).as_signed());
+        assert_eq!(
+            behind.local(Time::from_secs(1)),
+            Time::from_secs(1) - Dur::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn drift_accumulates() {
+        // 1000 ppm fast: gains 1 ms per second.
+        let c = ClockModel::drifting(1000.0);
+        assert_eq!(
+            c.local(Time::from_secs(10)),
+            Time::from_secs(10) + Dur::from_millis(10)
+        );
+        assert_eq!(
+            c.error_at(Time::from_secs(10)),
+            Dur::from_millis(10).as_nanos()
+        );
+    }
+
+    #[test]
+    fn slow_drift() {
+        let c = ClockModel::drifting(-1000.0);
+        assert_eq!(
+            c.local(Time::from_secs(10)),
+            Time::from_secs(10) - Dur::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn step_failure_applies_after_at() {
+        let c = ClockModel::perfect().with_failure(ClockFailure {
+            at: Time::from_secs(5),
+            step_nanos: Dur::from_secs(2).as_signed(),
+            new_drift_ppm: 0.0,
+        });
+        assert_eq!(c.local(Time::from_secs(4)), Time::from_secs(4));
+        assert_eq!(c.local(Time::from_secs(6)), Time::from_secs(8));
+    }
+
+    #[test]
+    fn failure_changes_drift() {
+        let c = ClockModel::perfect().with_failure(ClockFailure {
+            at: Time::from_secs(10),
+            step_nanos: 0,
+            new_drift_ppm: 1_000_000.0, // runs 2x fast afterwards
+        });
+        assert_eq!(c.local(Time::from_secs(10)), Time::from_secs(10));
+        assert_eq!(c.local(Time::from_secs(12)), Time::from_secs(14));
+    }
+
+    #[test]
+    fn drift_before_failure_is_preserved() {
+        // Fast 1000 ppm for 10 s (+10 ms), then perfect.
+        let c = ClockModel::drifting(1000.0).with_failure(ClockFailure {
+            at: Time::from_secs(10),
+            step_nanos: 0,
+            new_drift_ppm: 0.0,
+        });
+        let expected = Time::from_secs(20) + Dur::from_millis(10);
+        assert_eq!(c.local(Time::from_secs(20)), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn failures_must_be_ordered() {
+        let f1 = ClockFailure {
+            at: Time::from_secs(5),
+            step_nanos: 0,
+            new_drift_ppm: 0.0,
+        };
+        let f2 = ClockFailure {
+            at: Time::from_secs(1),
+            step_nanos: 0,
+            new_drift_ppm: 0.0,
+        };
+        let _ = ClockModel::perfect().with_failure(f1).with_failure(f2);
+    }
+
+    #[test]
+    fn rate_reflects_active_segment() {
+        let c = ClockModel::drifting(1_000_000.0).with_failure(ClockFailure {
+            at: Time::from_secs(10),
+            step_nanos: 0,
+            new_drift_ppm: 0.0,
+        });
+        assert_eq!(c.rate_at(Time::from_secs(5)), 2.0);
+        assert_eq!(c.rate_at(Time::from_secs(15)), 1.0);
+    }
+
+    #[test]
+    fn true_after_divides_by_rate() {
+        // A 2x-fast clock reaches +10 s local after +5 s true.
+        let fast = ClockModel::drifting(1_000_000.0);
+        let t = fast.true_after(Time::from_secs(100), Dur::from_secs(10));
+        assert_eq!(t, Time::from_secs(105));
+        let perfect = ClockModel::perfect();
+        assert_eq!(
+            perfect.true_after(Time::from_secs(1), Dur::from_secs(3)),
+            Time::from_secs(4)
+        );
+        assert_eq!(perfect.true_after(Time::ZERO, Dur::MAX), Time::MAX);
+    }
+
+    #[test]
+    fn sanity_flags_backward_steps() {
+        let c = ClockModel::perfect().with_failure(ClockFailure {
+            at: Time::from_secs(1),
+            step_nanos: -5,
+            new_drift_ppm: 0.0,
+        });
+        assert!(!c.is_sane());
+    }
+}

@@ -1,0 +1,140 @@
+//! Clock sources: where protocol code gets "now" from.
+//!
+//! The lease state machines in `lease-core` are sans-IO and receive `now` as
+//! an explicit argument, so most code never touches a [`Clock`] directly.
+//! The trait exists for the edges: the real-time runtime (`lease-rt`) reads
+//! a [`WallClock`], tests drive a [`ManualClock`], and harnesses can wrap
+//! either in a [`ClockModel`](crate::ClockModel) to inject skew.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::time::Time;
+
+/// A source of the current local time.
+pub trait Clock: Send + Sync {
+    /// The current reading of this clock.
+    fn now(&self) -> Time;
+}
+
+/// A wall clock: nanoseconds since this clock was created.
+///
+/// Backed by [`std::time::Instant`], so it is monotone.
+///
+/// # Examples
+///
+/// ```
+/// use lease_clock::{Clock, WallClock};
+///
+/// let c = WallClock::new();
+/// let a = c.now();
+/// let b = c.now();
+/// assert!(b >= a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock whose epoch is now.
+    pub fn new() -> WallClock {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Time {
+        Time(u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+/// A hand-advanced clock for unit tests.
+///
+/// Cloning shares the underlying time cell, so a test can hold one handle
+/// while the code under test holds another.
+///
+/// # Examples
+///
+/// ```
+/// use lease_clock::{Clock, Dur, ManualClock, Time};
+///
+/// let c = ManualClock::new(Time::ZERO);
+/// let held = c.clone();
+/// c.advance(Dur::from_secs(5));
+/// assert_eq!(held.now(), Time::from_secs(5));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a manual clock reading `start`.
+    pub fn new(start: Time) -> ManualClock {
+        ManualClock {
+            nanos: Arc::new(AtomicU64::new(start.as_nanos())),
+        }
+    }
+
+    /// Moves the clock forward by `d`.
+    pub fn advance(&self, d: crate::time::Dur) {
+        self.nanos.fetch_add(d.as_nanos(), Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute reading.
+    ///
+    /// Allows moving backwards; tests use this to model faulty clocks.
+    pub fn set(&self, t: Time) {
+        self.nanos.store(t.as_nanos(), Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Time {
+        Time(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn wall_clock_monotone() {
+        let c = WallClock::new();
+        let mut last = c.now();
+        for _ in 0..100 {
+            let t = c.now();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn manual_clock_shared() {
+        let c = ManualClock::new(Time::from_secs(1));
+        let other = c.clone();
+        assert_eq!(other.now(), Time::from_secs(1));
+        c.advance(Dur::from_millis(500));
+        assert_eq!(other.now(), Time::from_millis(1500));
+        other.set(Time::ZERO);
+        assert_eq!(c.now(), Time::ZERO);
+    }
+
+    #[test]
+    fn clock_trait_object() {
+        let c: Box<dyn Clock> = Box::new(ManualClock::new(Time::from_secs(7)));
+        assert_eq!(c.now(), Time::from_secs(7));
+    }
+}

@@ -1,0 +1,369 @@
+//! Nanosecond-precision instants and durations.
+//!
+//! The simulator, the protocol state machines, and the real-time runtime all
+//! speak these two types. `Time` is an absolute instant (nanoseconds since an
+//! arbitrary epoch — simulation start, or process start for wall clocks);
+//! `Dur` is a non-negative span. Both are plain `u64` newtypes so they are
+//! `Copy`, totally ordered, and hashable.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute instant, in nanoseconds since the epoch.
+///
+/// The epoch is context-dependent: simulation start in simulated runs,
+/// process start in the real-time runtime. Only differences between `Time`
+/// values are meaningful across contexts.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Time(pub u64);
+
+/// A non-negative duration, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Dur(pub u64);
+
+impl Time {
+    /// The epoch itself.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as "never".
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant `secs` seconds after the epoch.
+    pub const fn from_secs(secs: u64) -> Time {
+        Time(secs * 1_000_000_000)
+    }
+
+    /// Creates an instant `ms` milliseconds after the epoch.
+    pub const fn from_millis(ms: u64) -> Time {
+        Time(ms * 1_000_000)
+    }
+
+    /// Creates an instant `us` microseconds after the epoch.
+    pub const fn from_micros(us: u64) -> Time {
+        Time(us * 1_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for the analytic model and plots).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`, or [`Dur::ZERO`] if `earlier` is later.
+    pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier > self`.
+    pub fn since(self, earlier: Time) -> Dur {
+        debug_assert!(earlier <= self, "Time::since: {earlier:?} > {self:?}");
+        Dur(self.0 - earlier.0)
+    }
+
+    /// Adds a signed nanosecond offset, saturating at both ends.
+    pub fn offset(self, nanos: i64) -> Time {
+        if nanos >= 0 {
+            Time(self.0.saturating_add(nanos as u64))
+        } else {
+            Time(self.0.saturating_sub(nanos.unsigned_abs()))
+        }
+    }
+
+    /// Adds a duration, saturating at [`Time::MAX`].
+    pub fn saturating_add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Dur {
+    /// The zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+    /// The largest representable duration; used as "infinite term".
+    pub const MAX: Dur = Dur(u64::MAX);
+
+    /// Creates a duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Dur {
+        Dur(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Creates a duration of `us` microseconds.
+    pub const fn from_micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// Creates a duration from (possibly fractional) seconds, saturating.
+    ///
+    /// Negative and NaN inputs map to zero; overly large inputs to [`Dur::MAX`].
+    pub fn from_secs_f64(secs: f64) -> Dur {
+        if !(secs > 0.0) {
+            return Dur::ZERO;
+        }
+        let nanos = secs * 1e9;
+        if nanos >= u64::MAX as f64 {
+            Dur::MAX
+        } else {
+            Dur(nanos as u64)
+        }
+    }
+
+    /// Length in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This duration as a signed nanosecond offset (for clock skews).
+    ///
+    /// Saturates at `i64::MAX` for durations beyond ~292 years.
+    pub fn as_signed(self) -> i64 {
+        i64::try_from(self.0).unwrap_or(i64::MAX)
+    }
+
+    /// Whether this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this stands for an infinite lease term.
+    pub const fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Difference, saturating at zero.
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+
+    /// Sum, saturating at [`Dur::MAX`].
+    pub fn saturating_add(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_add(other.0))
+    }
+
+    /// Scales by a non-negative float, saturating.
+    pub fn mul_f64(self, k: f64) -> Dur {
+        Dur::from_secs_f64(self.as_secs_f64() * k)
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, d: Dur) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    fn sub(self, d: Dur) -> Time {
+        Time(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    fn sub(self, other: Time) -> Dur {
+        self.since(other)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, other: Dur) -> Dur {
+        self.saturating_add(other)
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, other: Dur) {
+        *self = *self + other;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, other: Dur) -> Dur {
+        debug_assert!(other <= self, "Dur subtraction underflow");
+        Dur(self.0 - other.0)
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, other: Dur) {
+        *self = *self - other;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, k: u64) -> Dur {
+        Dur(self.0.saturating_mul(k))
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, k: u64) -> Dur {
+        Dur(self.0 / k)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{}", Dur(self.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == u64::MAX {
+            write!(f, "inf")
+        } else if ns >= 1_000_000_000 && ns % 1_000_000 == 0 {
+            let ms = ns / 1_000_000;
+            if ms % 1000 == 0 {
+                write!(f, "{}s", ms / 1000)
+            } else {
+                write!(f, "{}.{:03}s", ms / 1000, ms % 1000)
+            }
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<std::time::Duration> for Dur {
+    fn from(d: std::time::Duration) -> Dur {
+        Dur(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+impl From<Dur> for std::time::Duration {
+    fn from(d: Dur) -> std::time::Duration {
+        std::time::Duration::from_nanos(d.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Time::from_secs(1), Time::from_millis(1000));
+        assert_eq!(Time::from_millis(1), Time::from_micros(1000));
+        assert_eq!(Dur::from_secs(2).as_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::from_secs(5);
+        assert_eq!(t + Dur::from_secs(3), Time::from_secs(8));
+        assert_eq!(t - Dur::from_secs(5), Time::ZERO);
+        assert_eq!(Time::from_secs(8) - t, Dur::from_secs(3));
+        assert_eq!(t.saturating_since(Time::from_secs(9)), Dur::ZERO);
+    }
+
+    #[test]
+    fn signed_offsets() {
+        let t = Time::from_secs(10);
+        assert_eq!(t.offset(-1_000_000_000), Time::from_secs(9));
+        assert_eq!(t.offset(1_000_000_000), Time::from_secs(11));
+        assert_eq!(Time::from_secs(1).offset(i64::MIN), Time::ZERO);
+    }
+
+    #[test]
+    fn dur_float_roundtrip() {
+        let d = Dur::from_secs_f64(1.5);
+        assert_eq!(d, Dur::from_millis(1500));
+        assert!((d.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(Dur::from_secs_f64(-1.0), Dur::ZERO);
+        assert_eq!(Dur::from_secs_f64(f64::NAN), Dur::ZERO);
+        assert_eq!(Dur::from_secs_f64(1e30), Dur::MAX);
+    }
+
+    #[test]
+    fn dur_display_units() {
+        assert_eq!(format!("{}", Dur::from_secs(10)), "10s");
+        assert_eq!(format!("{}", Dur::from_millis(1500)), "1.500s");
+        assert_eq!(format!("{}", Dur::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{}", Dur::from_micros(7)), "7.000us");
+        assert_eq!(format!("{}", Dur(42)), "42ns");
+        assert_eq!(format!("{}", Dur::MAX), "inf");
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(Time::MAX + Dur::from_secs(1), Time::MAX);
+        assert_eq!(Dur::MAX + Dur::from_secs(1), Dur::MAX);
+        assert_eq!(Dur::MAX * 2, Dur::MAX);
+        assert!(Dur::MAX.is_infinite());
+    }
+
+    #[test]
+    fn std_duration_conversion() {
+        let d: Dur = std::time::Duration::from_millis(250).into();
+        assert_eq!(d, Dur::from_millis(250));
+        let back: std::time::Duration = d.into();
+        assert_eq!(back, std::time::Duration::from_millis(250));
+    }
+}

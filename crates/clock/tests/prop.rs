@@ -1,0 +1,75 @@
+//! Property tests for time arithmetic and clock models.
+
+use lease_clock::{ClockFailure, ClockModel, Dur, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Adding then subtracting a duration is the identity when no
+    /// saturation occurs.
+    #[test]
+    fn time_add_sub_roundtrip(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+        let time = Time(t);
+        let dur = Dur(d);
+        prop_assert_eq!((time + dur) - dur, time);
+        prop_assert_eq!((time + dur) - time, dur);
+    }
+
+    /// `saturating_since` never panics and agrees with `since` when ordered.
+    #[test]
+    fn saturating_since_consistent(a in any::<u64>(), b in any::<u64>()) {
+        let (ta, tb) = (Time(a), Time(b));
+        let d = tb.saturating_since(ta);
+        if b >= a {
+            prop_assert_eq!(d, tb.since(ta));
+        } else {
+            prop_assert_eq!(d, Dur::ZERO);
+        }
+    }
+
+    /// Local clock readings are monotone for sane models.
+    #[test]
+    fn sane_clock_is_monotone(
+        offset in -1_000_000_000i64..1_000_000_000,
+        drift in -500_000.0f64..500_000.0,
+        fail_at in 1u64..100,
+        step in 0i64..1_000_000_000,
+        new_drift in -500_000.0f64..500_000.0,
+        samples in proptest::collection::vec(0u64..200_000_000_000, 1..64),
+    ) {
+        let model = ClockModel::new(offset, drift).with_failure(ClockFailure {
+            at: Time::from_secs(fail_at),
+            step_nanos: step,
+            new_drift_ppm: new_drift,
+        });
+        prop_assume!(model.is_sane());
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        let mut last = None;
+        for s in sorted {
+            let local = model.local(Time(s));
+            if let Some(prev) = last {
+                prop_assert!(local >= prev, "clock went backwards: {:?} -> {:?}", prev, local);
+            }
+            last = Some(local);
+        }
+    }
+
+    /// Drift error grows linearly: error at 2t is at least error at t for
+    /// failure-free models.
+    #[test]
+    fn drift_error_monotone(drift in -100_000.0f64..100_000.0, t in 1u64..1_000_000) {
+        let model = ClockModel::drifting(drift);
+        let e1 = model.error_at(Time::from_micros(t));
+        let e2 = model.error_at(Time::from_micros(2 * t));
+        prop_assert!(e2 >= e1);
+    }
+
+    /// Dur float conversion roundtrips to within a nanosecond per second.
+    #[test]
+    fn dur_f64_roundtrip(ns in 0u64..1_000_000_000_000) {
+        let d = Dur(ns);
+        let back = Dur::from_secs_f64(d.as_secs_f64());
+        let err = back.as_nanos().abs_diff(ns);
+        prop_assert!(err <= 1 + ns / 1_000_000_000);
+    }
+}

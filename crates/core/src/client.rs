@@ -1,0 +1,1378 @@
+//! The client file-cache state machine.
+//!
+//! A cache "requires a valid lease on the datum (in addition to holding the
+//! datum) before it returns the datum in response to a read, or modifies
+//! the datum in response to a write" (§2). This module implements that
+//! cache: the read fast path, lease extension with batching, write-through
+//! writes carrying the writer's implicit approval, approval callbacks that
+//! invalidate the local copy, the client side of the effective-term rule
+//! `t_c = t_s - (m_prop + 2·m_proc) - ε`, anticipatory renewal (§4), and
+//! LRU eviction with voluntary relinquish.
+//!
+//! # Effective term
+//!
+//! The client never learns the server-clock instant its lease started, so
+//! it anchors expiry to the time it *first sent* the request:
+//! `expiry = first_send + t_s − ε`. The server granted at some instant no
+//! earlier than the send, so the client's view is conservative by at least
+//! the in-flight delay — exactly the `t_c` shortening the paper models.
+//! This rule needs only bounded clock *drift*, not synchronized clocks
+//! (§5); the one message that does rely on ε-synchronization is the
+//! installed-file multicast, whose term is anchored to a server timestamp.
+
+use std::collections::HashMap;
+
+use lease_clock::{Dur, Time};
+
+use crate::msg::{Grant, ToClient, ToServer};
+use crate::types::{ClientId, OpId, ReqId, Resource, Version};
+
+/// Client cache configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Clock-skew/drift allowance ε subtracted from every term.
+    pub epsilon: Dur,
+    /// Retransmission interval for outstanding requests.
+    pub retry_interval: Dur,
+    /// Retransmissions before an op fails with [`OpError::Timeout`].
+    pub max_retries: u32,
+    /// Piggyback extension of all held leases on every fetch (§3.1: batch
+    /// extensions).
+    pub batch_extensions: bool,
+    /// Renew all held leases every interval without waiting for a miss
+    /// (§4 anticipatory extension); `None` = on-demand only.
+    pub anticipatory: Option<Dur>,
+    /// Cache capacity in entries (0 = unbounded); LRU beyond that.
+    pub capacity: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            epsilon: Dur::from_millis(100),
+            retry_interval: Dur::from_millis(500),
+            max_retries: 20,
+            batch_extensions: true,
+            anticipatory: None,
+            capacity: 0,
+        }
+    }
+}
+
+/// An application-level cache operation.
+#[derive(Debug, Clone)]
+pub enum Op<R, D> {
+    /// Read the resource.
+    Read(R),
+    /// Write-through new contents.
+    Write(R, D),
+}
+
+/// Timers the client asks the harness to arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientTimer {
+    /// Retransmission timer for a request.
+    Retry(ReqId),
+    /// The periodic anticipatory-renewal tick.
+    Renewal,
+}
+
+/// Inputs to the client state machine.
+#[derive(Debug, Clone)]
+pub enum ClientInput<R, D> {
+    /// The application submits an operation.
+    Op {
+        /// Caller-chosen id reported back in [`ClientOutput::Done`].
+        op: OpId,
+        /// The operation.
+        kind: Op<R, D>,
+    },
+    /// A message from the server.
+    Msg(ToClient<R, D>),
+    /// A timer fired.
+    Timer(ClientTimer),
+}
+
+/// How a completed operation went.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpOutcome<D> {
+    /// A read completed.
+    Read {
+        /// The data.
+        data: D,
+        /// Its version.
+        version: Version,
+        /// Whether the cache served it without contacting the server.
+        from_cache: bool,
+    },
+    /// A write committed.
+    Write {
+        /// The committed version.
+        version: Version,
+    },
+}
+
+/// Why an operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpError {
+    /// The server does not know the resource.
+    NoSuchResource,
+    /// Retransmissions exhausted, server unreachable. For writes this
+    /// means the outcome is *unknown*: the server may still commit.
+    Timeout,
+}
+
+/// The result delivered with [`ClientOutput::Done`].
+pub type OpResult<D> = Result<OpOutcome<D>, OpError>;
+
+/// Effects the harness must apply after a `handle` call.
+#[derive(Debug, Clone)]
+pub enum ClientOutput<R, D> {
+    /// Send a message to the server.
+    Send(ToServer<R, D>),
+    /// Arm a timer (re-arming an existing key replaces it).
+    SetTimer {
+        /// When it should fire.
+        at: Time,
+        /// Which timer.
+        timer: ClientTimer,
+    },
+    /// Cancel a timer by key.
+    CancelTimer(ClientTimer),
+    /// An operation completed.
+    Done {
+        /// The operation.
+        op: OpId,
+        /// Its result.
+        result: OpResult<D>,
+    },
+}
+
+/// Cache behaviour counters, exposed for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientCounters {
+    /// Reads served from cache under a valid lease.
+    pub hits: u64,
+    /// Reads that needed a lease extension (data was cached).
+    pub misses_extend: u64,
+    /// Reads that needed data (nothing cached).
+    pub misses_cold: u64,
+    /// Write operations submitted.
+    pub writes: u64,
+    /// Approval callbacks honoured.
+    pub approvals: u64,
+    /// Cache entries invalidated by approvals.
+    pub invalidations: u64,
+    /// Retransmissions sent.
+    pub retries: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Operations failed by retry exhaustion.
+    pub timeouts: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<D> {
+    data: D,
+    version: Version,
+    /// Conservative client-clock expiry of the lease.
+    expiry: Time,
+    last_used: Time,
+}
+
+#[derive(Debug, Clone)]
+enum Pending<R, D> {
+    Fetch {
+        resource: R,
+        waiters: Vec<(OpId, Time)>,
+        originals: usize,
+        first_sent: Time,
+        retries: u32,
+    },
+    Write {
+        resource: R,
+        data: D,
+        op: OpId,
+        first_sent: Time,
+        retries: u32,
+    },
+    Renew {
+        first_sent: Time,
+    },
+}
+
+/// The client cache.
+///
+/// See the [module documentation](self) for the protocol description and
+/// [`ClientInput`]/[`ClientOutput`] for the I/O contract.
+pub struct LeaseClient<R: Resource, D: Clone> {
+    id: ClientId,
+    cfg: ClientConfig,
+    entries: HashMap<R, Entry<D>>,
+    /// In-flight fetch per resource (ops pile onto it).
+    fetch_inflight: HashMap<R, ReqId>,
+    requests: HashMap<ReqId, Pending<R, D>>,
+    /// Per-resource version floor: the highest version this cache has
+    /// observed (through grants, write completions, installed extensions),
+    /// raised past the replaced version on every approval. Nothing below
+    /// the floor may ever be cached — the defence against delayed,
+    /// duplicated, or reordered replies re-installing stale data.
+    floor: HashMap<R, Version>,
+    next_req: u64,
+    /// Counters for experiments.
+    pub counters: ClientCounters,
+}
+
+impl<R: Resource, D: Clone> LeaseClient<R, D> {
+    /// Creates a cache for client `id`.
+    pub fn new(id: ClientId, cfg: ClientConfig) -> LeaseClient<R, D> {
+        LeaseClient {
+            id,
+            cfg,
+            entries: HashMap::new(),
+            fetch_inflight: HashMap::new(),
+            requests: HashMap::new(),
+            floor: HashMap::new(),
+            next_req: 0,
+            counters: ClientCounters::default(),
+        }
+    }
+
+    /// This cache's client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Arms initial timers; call once when the client comes up.
+    pub fn start(&mut self, now: Time) -> Vec<ClientOutput<R, D>> {
+        let mut out = Vec::new();
+        if let Some(interval) = self.cfg.anticipatory {
+            out.push(ClientOutput::SetTimer {
+                at: now + interval,
+                timer: ClientTimer::Renewal,
+            });
+        }
+        out
+    }
+
+    /// Whether the cache holds `resource` under a lease valid at `now`.
+    pub fn lease_valid(&self, resource: R, now: Time) -> bool {
+        self.entries.get(&resource).is_some_and(|e| e.expiry > now)
+    }
+
+    /// The cached version of `resource`, if any (lease may be expired).
+    pub fn cached_version(&self, resource: R) -> Option<Version> {
+        self.entries.get(&resource).map(|e| e.version)
+    }
+
+    /// Number of cached entries.
+    pub fn cached_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Handles one input; returns the effects to apply.
+    pub fn handle(&mut self, now: Time, input: ClientInput<R, D>) -> Vec<ClientOutput<R, D>> {
+        let mut out = Vec::new();
+        match input {
+            ClientInput::Op { op, kind } => match kind {
+                Op::Read(r) => self.on_read(now, op, r, &mut out),
+                Op::Write(r, d) => self.on_write(now, op, r, d, &mut out),
+            },
+            ClientInput::Msg(msg) => self.on_msg(now, msg, &mut out),
+            ClientInput::Timer(t) => self.on_timer(now, t, &mut out),
+        }
+        out
+    }
+
+    /// Wipes all volatile state (host crash). A restarted cache is empty.
+    pub fn crash(&mut self) {
+        self.entries.clear();
+        self.fetch_inflight.clear();
+        self.requests.clear();
+        self.floor.clear();
+    }
+
+    fn fresh_req(&mut self) -> ReqId {
+        let r = ReqId(self.next_req);
+        self.next_req += 1;
+        r
+    }
+
+    fn on_read(&mut self, now: Time, op: OpId, resource: R, out: &mut Vec<ClientOutput<R, D>>) {
+        if let Some(e) = self.entries.get_mut(&resource) {
+            if e.expiry > now {
+                // Fast path: valid lease, no server contact (§2).
+                e.last_used = now;
+                self.counters.hits += 1;
+                out.push(ClientOutput::Done {
+                    op,
+                    result: Ok(OpOutcome::Read {
+                        data: e.data.clone(),
+                        version: e.version,
+                        from_cache: true,
+                    }),
+                });
+                return;
+            }
+        }
+        if self.entries.contains_key(&resource) {
+            self.counters.misses_extend += 1;
+        } else {
+            self.counters.misses_cold += 1;
+        }
+        if let Some(req) = self.fetch_inflight.get(&resource) {
+            // Another op already asked; wait with it.
+            if let Some(Pending::Fetch { waiters, .. }) = self.requests.get_mut(req) {
+                waiters.push((op, now));
+                return;
+            }
+        }
+        let req = self.fresh_req();
+        let msg = self.build_fetch(req, resource);
+        self.fetch_inflight.insert(resource, req);
+        self.requests.insert(
+            req,
+            Pending::Fetch {
+                resource,
+                waiters: vec![(op, now)],
+                originals: 1,
+                first_sent: now,
+                retries: 0,
+            },
+        );
+        out.push(ClientOutput::Send(msg));
+        out.push(ClientOutput::SetTimer {
+            at: now + self.cfg.retry_interval,
+            timer: ClientTimer::Retry(req),
+        });
+    }
+
+    fn build_fetch(&self, req: ReqId, resource: R) -> ToServer<R, D> {
+        let cached = self.entries.get(&resource).map(|e| e.version);
+        let also_extend = if self.cfg.batch_extensions {
+            let mut v: Vec<(R, Version)> = self
+                .entries
+                .iter()
+                .filter(|(r, _)| **r != resource)
+                .map(|(r, e)| (*r, e.version))
+                .collect();
+            v.sort_unstable_by_key(|(r, _)| *r);
+            v
+        } else {
+            Vec::new()
+        };
+        ToServer::Fetch {
+            req,
+            resource,
+            cached,
+            also_extend,
+        }
+    }
+
+    fn on_write(
+        &mut self,
+        now: Time,
+        op: OpId,
+        resource: R,
+        data: D,
+        out: &mut Vec<ClientOutput<R, D>>,
+    ) {
+        self.counters.writes += 1;
+        // Write-through: the request carries our implicit approval, so the
+        // server may commit while our old lease is still live — the old
+        // copy must go now.
+        self.entries.remove(&resource);
+        let req = self.fresh_req();
+        self.requests.insert(
+            req,
+            Pending::Write {
+                resource,
+                data: data.clone(),
+                op,
+                first_sent: now,
+                retries: 0,
+            },
+        );
+        out.push(ClientOutput::Send(ToServer::Write {
+            req,
+            resource,
+            data,
+        }));
+        out.push(ClientOutput::SetTimer {
+            at: now + self.cfg.retry_interval,
+            timer: ClientTimer::Retry(req),
+        });
+    }
+
+    fn on_msg(&mut self, now: Time, msg: ToClient<R, D>, out: &mut Vec<ClientOutput<R, D>>) {
+        match msg {
+            ToClient::Grants { req, grants } => self.on_grants(now, req, grants, out),
+            ToClient::WriteDone {
+                req,
+                resource,
+                version,
+                term,
+            } => {
+                let Some(pending) = self.requests.remove(&req) else {
+                    return; // Duplicate reply.
+                };
+                let Pending::Write {
+                    data,
+                    op,
+                    first_sent,
+                    ..
+                } = pending
+                else {
+                    self.requests.insert(req, pending);
+                    return;
+                };
+                out.push(ClientOutput::CancelTimer(ClientTimer::Retry(req)));
+                let expiry = lease_expiry(first_sent, term, self.cfg.epsilon);
+                // Version-floor check: a delayed (retransmission-replayed)
+                // WriteDone must never re-install data older than anything
+                // this cache has already observed or approved away.
+                let below_floor = self.floor.get(&resource).is_some_and(|f| version < *f);
+                // While ANY other of our writes to this resource is still
+                // in flight, nothing may be cached: retransmissions can
+                // commit in arbitrary order at the server, so any pending
+                // write may yet supersede this version.
+                let another_pending = self
+                    .requests
+                    .values()
+                    .any(|p| matches!(p, Pending::Write { resource: r, .. } if *r == resource));
+                if !below_floor {
+                    self.observe(resource, version);
+                }
+                if !below_floor && !another_pending {
+                    self.insert_entry(now, resource, data, version, expiry, out);
+                }
+                out.push(ClientOutput::Done {
+                    op,
+                    result: Ok(OpOutcome::Write { version }),
+                });
+            }
+            ToClient::ApprovalRequest {
+                write_id,
+                resource,
+                replaces,
+            } => {
+                self.counters.approvals += 1;
+                if self.entries.remove(&resource).is_some() {
+                    self.counters.invalidations += 1;
+                }
+                // Anything at or below the superseded version is stale:
+                // raise the floor past it.
+                self.observe(resource, replaces.next());
+                out.push(ClientOutput::Send(ToServer::Approve { write_id }));
+            }
+            ToClient::InstalledExtend {
+                resources,
+                term,
+                sent_at,
+            } => {
+                // Anchored to the server's clock; relies on ε-synchronized
+                // clocks (§5).
+                let expiry = lease_expiry(sent_at, term, self.cfg.epsilon);
+                for (r, version) in resources {
+                    if let Some(e) = self.entries.get_mut(&r) {
+                        if e.version == version {
+                            e.expiry = e.expiry.max(expiry);
+                        } else if e.version < version {
+                            // The datum changed while our lease was lapsed
+                            // (delayed update, §4): drop the stale copy.
+                            self.entries.remove(&r);
+                            self.counters.invalidations += 1;
+                            self.observe(r, version);
+                        }
+                    }
+                }
+            }
+            ToClient::Error { req, .. } => {
+                let Some(pending) = self.requests.remove(&req) else {
+                    return;
+                };
+                out.push(ClientOutput::CancelTimer(ClientTimer::Retry(req)));
+                match pending {
+                    Pending::Fetch {
+                        resource, waiters, ..
+                    } => {
+                        self.fetch_inflight.remove(&resource);
+                        for (op, _) in waiters {
+                            out.push(ClientOutput::Done {
+                                op,
+                                result: Err(OpError::NoSuchResource),
+                            });
+                        }
+                    }
+                    Pending::Write { op, .. } => {
+                        out.push(ClientOutput::Done {
+                            op,
+                            result: Err(OpError::NoSuchResource),
+                        });
+                    }
+                    Pending::Renew { .. } => {}
+                }
+            }
+        }
+    }
+
+    fn on_grants(
+        &mut self,
+        now: Time,
+        req: ReqId,
+        grants: Vec<Grant<R, D>>,
+        out: &mut Vec<ClientOutput<R, D>>,
+    ) {
+        let Some(pending) = self.requests.get(&req) else {
+            return; // Late duplicate; anchor unknown, ignore.
+        };
+        let (first_sent, target) = match pending {
+            Pending::Fetch {
+                first_sent,
+                resource,
+                ..
+            } => (*first_sent, Some(*resource)),
+            Pending::Renew { first_sent } => (*first_sent, None),
+            Pending::Write { .. } => return,
+        };
+        let mut target_grant: Option<Grant<R, D>> = None;
+        for g in grants {
+            if Some(g.resource) == target {
+                target_grant = Some(g.clone());
+            }
+            self.apply_grant(now, first_sent, g, out);
+        }
+        match (target, target_grant) {
+            (Some(resource), Some(g)) => {
+                // The fetch is answered.
+                let Some(Pending::Fetch {
+                    waiters, originals, ..
+                }) = self.requests.remove(&req)
+                else {
+                    unreachable!("checked above");
+                };
+                self.fetch_inflight.remove(&resource);
+                out.push(ClientOutput::CancelTimer(ClientTimer::Retry(req)));
+                let data = match g.data {
+                    Some(d) => d,
+                    None => match self.entries.get(&resource) {
+                        Some(e) => e.data.clone(),
+                        None => {
+                            // A no-data grant but our copy is gone (an
+                            // approval raced with the reply): start over
+                            // with a fresh fetch carrying the same waiters.
+                            self.refetch(now, resource, waiters, out);
+                            return;
+                        }
+                    },
+                };
+                // Linearizability of coalesced waiters: if the (freshly
+                // applied) lease is valid right now, the data is provably
+                // current at this instant, which lies inside every
+                // waiter's interval — serve them all. Otherwise only the
+                // *original* requesters (already waiting when the request
+                // was sent) may use this reply: the grant is at least as
+                // fresh as their start. Later joiners re-fetch, because
+                // the data may predate them.
+                let lease_ok = self.lease_valid(resource, now);
+                let mut refetch = Vec::new();
+                for (i, (op, joined)) in waiters.into_iter().enumerate() {
+                    if lease_ok || i < originals {
+                        out.push(ClientOutput::Done {
+                            op,
+                            result: Ok(OpOutcome::Read {
+                                data: data.clone(),
+                                version: g.version,
+                                from_cache: false,
+                            }),
+                        });
+                    } else {
+                        refetch.push((op, joined));
+                    }
+                }
+                if !refetch.is_empty() {
+                    self.refetch(now, resource, refetch, out);
+                }
+            }
+            (None, _) => {
+                // A renewal: grants applied, request done.
+                self.requests.remove(&req);
+            }
+            (Some(_), None) => {
+                // Partial reply (extensions only; target parked behind a
+                // pending write). Keep waiting.
+            }
+        }
+    }
+
+    /// Issues a fresh fetch for `resource` on behalf of `waiters`.
+    fn refetch(
+        &mut self,
+        now: Time,
+        resource: R,
+        waiters: Vec<(OpId, Time)>,
+        out: &mut Vec<ClientOutput<R, D>>,
+    ) {
+        let req = self.fresh_req();
+        let msg = self.build_fetch(req, resource);
+        self.fetch_inflight.insert(resource, req);
+        let originals = waiters.len();
+        self.requests.insert(
+            req,
+            Pending::Fetch {
+                resource,
+                waiters,
+                originals,
+                first_sent: now,
+                retries: 0,
+            },
+        );
+        out.push(ClientOutput::Send(msg));
+        out.push(ClientOutput::SetTimer {
+            at: now + self.cfg.retry_interval,
+            timer: ClientTimer::Retry(req),
+        });
+    }
+
+    fn apply_grant(
+        &mut self,
+        now: Time,
+        first_sent: Time,
+        g: Grant<R, D>,
+        out: &mut Vec<ClientOutput<R, D>>,
+    ) {
+        let expiry = lease_expiry(first_sent, g.term, self.cfg.epsilon);
+        // Version-floor check: data below anything we have observed (or
+        // approved the replacement of) is stale; it may still be served to
+        // waiting ops (their intervals overlap its validity) but must
+        // never be cached.
+        if self.floor.get(&g.resource).is_some_and(|f| g.version < *f) {
+            return;
+        }
+        self.observe(g.resource, g.version);
+        // Our own in-flight write carries our implicit approval: the
+        // server may commit it at any moment without asking us, so no
+        // grant may (re)establish a cached copy until the write resolves
+        // — the submit-time invalidation, extended to in-flight grants.
+        let own_write_pending = self
+            .requests
+            .values()
+            .any(|p| matches!(p, Pending::Write { resource: r, .. } if *r == g.resource));
+        if own_write_pending {
+            return;
+        }
+        match self.entries.get_mut(&g.resource) {
+            Some(e) => {
+                if g.version < e.version {
+                    return; // Regressive grant (reordered network); drop.
+                }
+                if let Some(d) = g.data {
+                    e.data = d;
+                }
+                e.version = g.version;
+                e.expiry = e.expiry.max(expiry);
+                e.last_used = now;
+            }
+            None => {
+                // Create an entry only if we actually asked for this
+                // resource: an unsolicited or stale-request grant (e.g.
+                // one racing our own eviction/relinquish) must not
+                // resurrect a cache entry the server no longer tracks.
+                if self.fetch_inflight.contains_key(&g.resource) {
+                    if let Some(d) = g.data {
+                        self.insert_entry(now, g.resource, d, g.version, expiry, out);
+                    }
+                }
+                // A no-data grant for something we no longer hold: useless.
+            }
+        }
+    }
+
+    /// Raises the version floor for `resource` to at least `version`.
+    fn observe(&mut self, resource: R, version: Version) {
+        let f = self.floor.entry(resource).or_insert(version);
+        *f = (*f).max(version);
+    }
+
+    fn insert_entry(
+        &mut self,
+        now: Time,
+        resource: R,
+        data: D,
+        version: Version,
+        expiry: Time,
+        out: &mut Vec<ClientOutput<R, D>>,
+    ) {
+        self.entries.insert(
+            resource,
+            Entry {
+                data,
+                version,
+                expiry,
+                last_used: now,
+            },
+        );
+        if self.cfg.capacity > 0 && self.entries.len() > self.cfg.capacity {
+            // Evict the least-recently-used other entry and give the lease
+            // back so the server can forget us (§4: relinquish option).
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(r, _)| **r != resource && !self.fetch_inflight.contains_key(*r))
+                .min_by_key(|(r, e)| (e.last_used, **r))
+                .map(|(r, _)| *r);
+            if let Some(v) = victim {
+                self.entries.remove(&v);
+                self.counters.evictions += 1;
+                out.push(ClientOutput::Send(ToServer::Relinquish {
+                    resources: vec![v],
+                }));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, now: Time, timer: ClientTimer, out: &mut Vec<ClientOutput<R, D>>) {
+        match timer {
+            ClientTimer::Retry(req) => self.on_retry(now, req, out),
+            ClientTimer::Renewal => {
+                if let Some(interval) = self.cfg.anticipatory {
+                    if !self.entries.is_empty() {
+                        let req = self.fresh_req();
+                        let mut resources: Vec<(R, Version)> =
+                            self.entries.iter().map(|(r, e)| (*r, e.version)).collect();
+                        resources.sort_unstable_by_key(|(r, _)| *r);
+                        self.requests
+                            .insert(req, Pending::Renew { first_sent: now });
+                        out.push(ClientOutput::Send(ToServer::Renew { req, resources }));
+                    }
+                    out.push(ClientOutput::SetTimer {
+                        at: now + interval,
+                        timer: ClientTimer::Renewal,
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_retry(&mut self, now: Time, req: ReqId, out: &mut Vec<ClientOutput<R, D>>) {
+        let Some(pending) = self.requests.get_mut(&req) else {
+            return; // Completed; stale timer.
+        };
+        let exhausted = match pending {
+            Pending::Fetch { retries, .. } | Pending::Write { retries, .. } => {
+                *retries += 1;
+                *retries > self.cfg.max_retries
+            }
+            Pending::Renew { .. } => true, // Renewals are not retried.
+        };
+        if exhausted {
+            let pending = self.requests.remove(&req).expect("present");
+            match pending {
+                Pending::Fetch {
+                    resource, waiters, ..
+                } => {
+                    self.fetch_inflight.remove(&resource);
+                    for (op, _) in waiters {
+                        self.counters.timeouts += 1;
+                        out.push(ClientOutput::Done {
+                            op,
+                            result: Err(OpError::Timeout),
+                        });
+                    }
+                }
+                Pending::Write { op, .. } => {
+                    self.counters.timeouts += 1;
+                    out.push(ClientOutput::Done {
+                        op,
+                        result: Err(OpError::Timeout),
+                    });
+                }
+                Pending::Renew { .. } => {}
+            }
+            return;
+        }
+        self.counters.retries += 1;
+        let msg = match self.requests.get(&req).expect("still present") {
+            Pending::Fetch { resource, .. } => self.build_fetch(req, *resource),
+            Pending::Write { resource, data, .. } => ToServer::Write {
+                req,
+                resource: *resource,
+                data: data.clone(),
+            },
+            Pending::Renew { .. } => unreachable!("renewals are not retried"),
+        };
+        out.push(ClientOutput::Send(msg));
+        out.push(ClientOutput::SetTimer {
+            at: now + self.cfg.retry_interval,
+            timer: ClientTimer::Retry(req),
+        });
+    }
+}
+
+/// The conservative client-side lease expiry: `anchor + term − ε`,
+/// saturating; an infinite term never expires.
+fn lease_expiry(anchor: Time, term: Dur, epsilon: Dur) -> Time {
+    if term.is_infinite() {
+        return Time::MAX;
+    }
+    anchor + term.saturating_sub(epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type C = LeaseClient<u64, String>;
+
+    fn cfg() -> ClientConfig {
+        ClientConfig {
+            epsilon: Dur::from_millis(10),
+            ..ClientConfig::default()
+        }
+    }
+
+    fn client() -> C {
+        LeaseClient::new(ClientId(1), cfg())
+    }
+
+    fn t(ms: u64) -> Time {
+        Time::from_millis(ms)
+    }
+
+    fn grant(resource: u64, version: u64, data: &str, term_ms: u64) -> Grant<u64, String> {
+        Grant {
+            resource,
+            version: Version(version),
+            data: Some(data.to_string()),
+            term: Dur::from_millis(term_ms),
+        }
+    }
+
+    /// Drives a read miss to the point where the fetch is on the wire;
+    /// returns the request id.
+    fn start_read(c: &mut C, now: Time, op: u64, resource: u64) -> ReqId {
+        let out = c.handle(
+            now,
+            ClientInput::Op {
+                op: OpId(op),
+                kind: Op::Read(resource),
+            },
+        );
+        for o in &out {
+            if let ClientOutput::Send(ToServer::Fetch { req, .. }) = o {
+                return *req;
+            }
+        }
+        panic!("no fetch sent: {out:?}");
+    }
+
+    fn deliver_grants(
+        c: &mut C,
+        now: Time,
+        req: ReqId,
+        grants: Vec<Grant<u64, String>>,
+    ) -> Vec<ClientOutput<u64, String>> {
+        c.handle(now, ClientInput::Msg(ToClient::Grants { req, grants }))
+    }
+
+    #[test]
+    fn cold_miss_then_hit_then_expiry() {
+        let mut c = client();
+        let req = start_read(&mut c, t(0), 1, 7);
+        let out = deliver_grants(&mut c, t(3), req, vec![grant(7, 1, "data", 10_000)]);
+        assert!(out.iter().any(|o| matches!(
+            o,
+            ClientOutput::Done {
+                op: OpId(1),
+                result: Ok(OpOutcome::Read {
+                    from_cache: false,
+                    ..
+                })
+            }
+        )));
+        assert_eq!(c.counters.misses_cold, 1);
+
+        // Within the term (minus epsilon): cache hit, no messages.
+        let out = c.handle(
+            t(5000),
+            ClientInput::Op {
+                op: OpId(2),
+                kind: Op::Read(7),
+            },
+        );
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            &out[0],
+            ClientOutput::Done {
+                result: Ok(OpOutcome::Read {
+                    from_cache: true,
+                    ..
+                }),
+                ..
+            }
+        ));
+        assert_eq!(c.counters.hits, 1);
+
+        // Effective expiry is first_sent + term - epsilon = 9990 ms.
+        assert!(c.lease_valid(7, t(9989)));
+        assert!(!c.lease_valid(7, t(9990)));
+
+        // After expiry: extension miss.
+        let out = c.handle(
+            t(12_000),
+            ClientInput::Op {
+                op: OpId(3),
+                kind: Op::Read(7),
+            },
+        );
+        assert!(out.iter().any(|o| matches!(
+            o,
+            ClientOutput::Send(ToServer::Fetch {
+                cached: Some(Version(1)),
+                ..
+            })
+        )));
+        assert_eq!(c.counters.misses_extend, 1);
+    }
+
+    #[test]
+    fn no_data_grant_serves_cached_copy() {
+        let mut c = client();
+        let req = start_read(&mut c, t(0), 1, 7);
+        deliver_grants(&mut c, t(1), req, vec![grant(7, 3, "v3", 1000)]);
+        // Lease expires; read again; server says "unchanged".
+        let req2 = start_read(&mut c, t(5000), 2, 7);
+        let g = Grant {
+            resource: 7u64,
+            version: Version(3),
+            data: None,
+            term: Dur::from_millis(1000),
+        };
+        let out = deliver_grants(&mut c, t(5003), req2, vec![g]);
+        let done = out.iter().find_map(|o| match o {
+            ClientOutput::Done {
+                result:
+                    Ok(OpOutcome::Read {
+                        data, from_cache, ..
+                    }),
+                ..
+            } => Some((data.clone(), *from_cache)),
+            _ => None,
+        });
+        assert_eq!(done, Some(("v3".to_string(), false)));
+    }
+
+    #[test]
+    fn concurrent_reads_share_one_fetch() {
+        let mut c = client();
+        let req = start_read(&mut c, t(0), 1, 7);
+        let out = c.handle(
+            t(1),
+            ClientInput::Op {
+                op: OpId(2),
+                kind: Op::Read(7),
+            },
+        );
+        assert!(out.is_empty(), "second read should wait: {out:?}");
+        let out = deliver_grants(&mut c, t(3), req, vec![grant(7, 1, "x", 1000)]);
+        let done: Vec<u64> = out
+            .iter()
+            .filter_map(|o| match o {
+                ClientOutput::Done { op, .. } => Some(op.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done, vec![1, 2]);
+    }
+
+    #[test]
+    fn approval_invalidates_and_replies() {
+        let mut c = client();
+        let req = start_read(&mut c, t(0), 1, 7);
+        deliver_grants(&mut c, t(1), req, vec![grant(7, 1, "old", 60_000)]);
+        assert!(c.lease_valid(7, t(100)));
+        let out = c.handle(
+            t(200),
+            ClientInput::Msg(ToClient::ApprovalRequest {
+                write_id: WriteIdT(5),
+                resource: 7,
+                replaces: Version(1),
+            }),
+        );
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, ClientOutput::Send(ToServer::Approve { .. }))));
+        assert!(!c.lease_valid(7, t(201)));
+        assert_eq!(c.counters.invalidations, 1);
+    }
+
+    // Local alias so the test reads naturally.
+    #[allow(non_snake_case)]
+    fn WriteIdT(n: u64) -> crate::types::WriteId {
+        crate::types::WriteId(n)
+    }
+
+    #[test]
+    fn write_invalidates_local_copy_until_done() {
+        let mut c = client();
+        let req = start_read(&mut c, t(0), 1, 7);
+        deliver_grants(&mut c, t(1), req, vec![grant(7, 1, "old", 60_000)]);
+        let out = c.handle(
+            t(100),
+            ClientInput::Op {
+                op: OpId(2),
+                kind: Op::Write(7, "new".into()),
+            },
+        );
+        let wreq = out
+            .iter()
+            .find_map(|o| match o {
+                ClientOutput::Send(ToServer::Write { req, .. }) => Some(*req),
+                _ => None,
+            })
+            .expect("write sent");
+        // Local copy gone while the write is in flight.
+        assert!(!c.lease_valid(7, t(101)));
+        let out = c.handle(
+            t(105),
+            ClientInput::Msg(ToClient::WriteDone {
+                req: wreq,
+                resource: 7,
+                version: Version(2),
+                term: Dur::from_secs(10),
+            }),
+        );
+        assert!(out.iter().any(|o| matches!(
+            o,
+            ClientOutput::Done {
+                op: OpId(2),
+                result: Ok(OpOutcome::Write {
+                    version: Version(2)
+                })
+            }
+        )));
+        // The writer now caches its own data under a fresh lease.
+        assert!(c.lease_valid(7, t(200)));
+        assert_eq!(c.cached_version(7), Some(Version(2)));
+    }
+
+    #[test]
+    fn barrier_blocks_stale_grant_after_approval() {
+        let mut c = client();
+        // Fetch in flight...
+        let req = start_read(&mut c, t(0), 1, 7);
+        // ...approval for a write arrives first.
+        c.handle(
+            t(5),
+            ClientInput::Msg(ToClient::ApprovalRequest {
+                write_id: WriteIdT(9),
+                resource: 7,
+                replaces: Version(1),
+            }),
+        );
+        // The (stale) grant from before the write finally lands.
+        deliver_grants(&mut c, t(6), req, vec![grant(7, 1, "stale", 60_000)]);
+        // It must not be cached.
+        assert!(!c.lease_valid(7, t(7)));
+        assert_eq!(c.cached_version(7), None);
+    }
+
+    #[test]
+    fn retry_retransmits_then_times_out() {
+        let mut c = LeaseClient::<u64, String>::new(
+            ClientId(1),
+            ClientConfig {
+                max_retries: 2,
+                ..cfg()
+            },
+        );
+        let req = start_read(&mut c, t(0), 1, 7);
+        let out = c.handle(t(500), ClientInput::Timer(ClientTimer::Retry(req)));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, ClientOutput::Send(ToServer::Fetch { .. }))));
+        let out = c.handle(t(1000), ClientInput::Timer(ClientTimer::Retry(req)));
+        assert!(out.iter().any(|o| matches!(o, ClientOutput::Send(_))));
+        // Third fire exhausts the budget.
+        let out = c.handle(t(1500), ClientInput::Timer(ClientTimer::Retry(req)));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            ClientOutput::Done {
+                result: Err(OpError::Timeout),
+                ..
+            }
+        )));
+        assert_eq!(c.counters.retries, 2);
+        assert_eq!(c.counters.timeouts, 1);
+        // A late reply after failure is ignored.
+        let out = deliver_grants(&mut c, t(2000), req, vec![grant(7, 1, "late", 1000)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn batched_fetch_carries_all_held_leases() {
+        let mut c = client();
+        for (i, r) in [(1u64, 10u64), (2, 11)] {
+            let req = start_read(&mut c, t(i), i, r);
+            deliver_grants(&mut c, t(i + 1), req, vec![grant(r, 1, "d", 100)]);
+        }
+        // Both leases now expired; a read of 12 should piggyback 10 and 11.
+        let out = c.handle(
+            t(10_000),
+            ClientInput::Op {
+                op: OpId(9),
+                kind: Op::Read(12),
+            },
+        );
+        let also = out
+            .iter()
+            .find_map(|o| match o {
+                ClientOutput::Send(ToServer::Fetch { also_extend, .. }) => {
+                    Some(also_extend.clone())
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(also, vec![(10, Version(1)), (11, Version(1))]);
+    }
+
+    #[test]
+    fn installed_extend_pushes_expiry_forward() {
+        let mut c = client();
+        let req = start_read(&mut c, t(0), 1, 7);
+        deliver_grants(&mut c, t(1), req, vec![grant(7, 1, "bin", 1000)]);
+        assert!(!c.lease_valid(7, t(2000)));
+        c.handle(
+            t(2000),
+            ClientInput::Msg(ToClient::InstalledExtend {
+                // 99 is not cached: ignored.
+                resources: vec![(7, Version(1)), (99, Version(1))],
+                term: Dur::from_secs(60),
+                sent_at: t(1990),
+            }),
+        );
+        // Expiry = sent_at + 60 s - epsilon.
+        assert!(c.lease_valid(7, t(61_979)));
+        assert!(!c.lease_valid(7, t(61_990)));
+        assert_eq!(c.cached_count(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_relinquishes() {
+        let mut c = LeaseClient::<u64, String>::new(
+            ClientId(1),
+            ClientConfig {
+                capacity: 2,
+                ..cfg()
+            },
+        );
+        for (i, r) in [(1u64, 10u64), (2, 11), (3, 12)] {
+            let req = start_read(&mut c, t(i * 100), i, r);
+            let out = deliver_grants(&mut c, t(i * 100 + 1), req, vec![grant(r, 1, "d", 60_000)]);
+            if r == 12 {
+                // Inserting the third entry evicts resource 10 (the LRU).
+                assert!(out.iter().any(|o| matches!(
+                    o,
+                    ClientOutput::Send(ToServer::Relinquish { resources }) if resources == &vec![10]
+                )));
+            }
+        }
+        assert_eq!(c.cached_count(), 2);
+        assert!(c.lease_valid(11, t(500)));
+        assert!(c.lease_valid(12, t(500)));
+        assert!(!c.lease_valid(10, t(500)));
+        assert_eq!(c.counters.evictions, 1);
+    }
+
+    #[test]
+    fn anticipatory_renewal_fires_periodically() {
+        let mut c = LeaseClient::<u64, String>::new(
+            ClientId(1),
+            ClientConfig {
+                anticipatory: Some(Dur::from_secs(5)),
+                ..cfg()
+            },
+        );
+        let out = c.start(t(0));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            ClientOutput::SetTimer {
+                timer: ClientTimer::Renewal,
+                ..
+            }
+        )));
+        let req = start_read(&mut c, t(100), 1, 7);
+        deliver_grants(&mut c, t(101), req, vec![grant(7, 1, "d", 60_000)]);
+        let out = c.handle(t(5000), ClientInput::Timer(ClientTimer::Renewal));
+        let sent = out.iter().any(|o| {
+            matches!(o, ClientOutput::Send(ToServer::Renew { resources, .. }) if resources == &vec![(7, Version(1))])
+        });
+        assert!(sent, "{out:?}");
+        // And it re-arms itself.
+        assert!(out.iter().any(|o| matches!(
+            o,
+            ClientOutput::SetTimer { timer: ClientTimer::Renewal, at } if *at == t(10_000)
+        )));
+    }
+
+    #[test]
+    fn zero_term_grant_serves_read_but_never_caches_validly() {
+        let mut c = client();
+        let req = start_read(&mut c, t(0), 1, 7);
+        let g = Grant {
+            resource: 7u64,
+            version: Version(1),
+            data: Some("d".into()),
+            term: Dur::ZERO,
+        };
+        let out = deliver_grants(&mut c, t(1), req, vec![g]);
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, ClientOutput::Done { result: Ok(_), .. })));
+        // Data is stored but the lease is never valid.
+        assert!(!c.lease_valid(7, t(1)));
+        assert_eq!(c.cached_version(7), Some(Version(1)));
+    }
+
+    #[test]
+    fn crash_wipes_cache() {
+        let mut c = client();
+        let req = start_read(&mut c, t(0), 1, 7);
+        deliver_grants(&mut c, t(1), req, vec![grant(7, 1, "d", 60_000)]);
+        c.crash();
+        assert_eq!(c.cached_count(), 0);
+        assert!(!c.lease_valid(7, t(2)));
+    }
+
+    #[test]
+    fn late_write_done_does_not_clobber_newer_version() {
+        // Regression: a retransmission-replayed WriteDone (old version)
+        // arriving after a newer version was cached must not regress the
+        // cache.
+        let mut c = client();
+        let out = c.handle(
+            t(0),
+            ClientInput::Op {
+                op: OpId(1),
+                kind: Op::Write(7, "w1".into()),
+            },
+        );
+        let req1 = out
+            .iter()
+            .find_map(|o| match o {
+                ClientOutput::Send(ToServer::Write { req, .. }) => Some(*req),
+                _ => None,
+            })
+            .unwrap();
+        // A fetch observes version 5 (not cached: our own write is still
+        // in flight, and its commit point is unknown).
+        let fr = start_read(&mut c, t(100), 2, 7);
+        deliver_grants(&mut c, t(101), fr, vec![grant(7, 5, "v5", 10_000)]);
+        assert_eq!(c.cached_version(7), None);
+        // The delayed WriteDone for version 2 finally lands: the version
+        // floor (5) keeps the stale data out of the cache.
+        c.handle(
+            t(200),
+            ClientInput::Msg(ToClient::WriteDone {
+                req: req1,
+                resource: 7,
+                version: Version(2),
+                term: Dur::from_secs(10),
+            }),
+        );
+        assert_eq!(c.cached_version(7), None);
+        // A fresh fetch with the current version caches normally again.
+        let fr = start_read(&mut c, t(300), 3, 7);
+        deliver_grants(&mut c, t(301), fr, vec![grant(7, 5, "v5", 10_000)]);
+        assert_eq!(c.cached_version(7), Some(Version(5)));
+    }
+
+    #[test]
+    fn out_of_order_write_done_replies_keep_latest_write() {
+        // Two of our own writes in flight; their WriteDone replies arrive
+        // out of order. The cache must end at the later write's version.
+        let mut c = client();
+        let send_write = |c: &mut C, now: Time, op: u64, data: &str| {
+            let out = c.handle(
+                now,
+                ClientInput::Op {
+                    op: OpId(op),
+                    kind: Op::Write(7, data.into()),
+                },
+            );
+            out.iter()
+                .find_map(|o| match o {
+                    ClientOutput::Send(ToServer::Write { req, .. }) => Some(*req),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let r1 = send_write(&mut c, t(0), 1, "w1");
+        let r2 = send_write(&mut c, t(10), 2, "w2");
+        // The second write's reply arrives first: while the other write is
+        // still in flight, nothing may be cached (it could commit later).
+        c.handle(
+            t(20),
+            ClientInput::Msg(ToClient::WriteDone {
+                req: r2,
+                resource: 7,
+                version: Version(3),
+                term: Dur::from_secs(10),
+            }),
+        );
+        assert_eq!(c.cached_version(7), None);
+        // Now the first write's (older) reply lands: below the version
+        // floor (3), so it must not be cached either.
+        c.handle(
+            t(30),
+            ClientInput::Msg(ToClient::WriteDone {
+                req: r1,
+                resource: 7,
+                version: Version(2),
+                term: Dur::from_secs(10),
+            }),
+        );
+        assert_eq!(c.cached_version(7), None);
+
+        // And the in-order case: first reply arrives while the second
+        // write is still pending -> not cached; second reply caches.
+        let mut c = client();
+        let r1 = send_write(&mut c, t(0), 1, "w1");
+        let r2 = send_write(&mut c, t(10), 2, "w2");
+        c.handle(
+            t(20),
+            ClientInput::Msg(ToClient::WriteDone {
+                req: r1,
+                resource: 7,
+                version: Version(2),
+                term: Dur::from_secs(10),
+            }),
+        );
+        assert_eq!(
+            c.cached_version(7),
+            None,
+            "superseded by our own pending write"
+        );
+        c.handle(
+            t(30),
+            ClientInput::Msg(ToClient::WriteDone {
+                req: r2,
+                resource: 7,
+                version: Version(3),
+                term: Dur::from_secs(10),
+            }),
+        );
+        assert_eq!(c.cached_version(7), Some(Version(3)));
+    }
+
+    #[test]
+    fn regressive_grant_is_ignored() {
+        let mut c = client();
+        let req = start_read(&mut c, t(0), 1, 7);
+        deliver_grants(&mut c, t(1), req, vec![grant(7, 5, "v5", 1000)]);
+        // An old, reordered grant with version 3 must not clobber v5.
+        let req2 = start_read(&mut c, t(5000), 2, 7);
+        deliver_grants(&mut c, t(5001), req2, vec![grant(7, 3, "v3", 1000)]);
+        assert_eq!(c.cached_version(7), Some(Version(5)));
+    }
+}

@@ -1,0 +1,245 @@
+//! Lease-term policies: how the server picks `t_s`.
+//!
+//! Section 4 of the paper: "the server can set the lease term based on the
+//! file access characteristics for the requested file as well as the
+//! propagation delay to the client. In particular, a heavily write-shared
+//! file might be given a lease term of zero. [...] In general, a server can
+//! dynamically pick lease terms on a per file and per client cache basis
+//! using the analytic model."
+
+use lease_clock::Dur;
+
+use crate::stats::ResourceStats;
+use crate::types::{ClientId, Resource};
+
+/// Picks the term for a lease the server is about to grant.
+pub trait TermPolicy<R: Resource>: Send {
+    /// The term for a grant of `resource` to `client`, given the observed
+    /// access statistics. Returning [`Dur::ZERO`] serves the data without
+    /// caching rights; [`Dur::MAX`] is an infinite lease (the revised-Andrew
+    /// configuration, useful as a baseline).
+    fn term(&mut self, resource: &R, client: ClientId, stats: &ResourceStats) -> Dur;
+}
+
+/// The same term for every grant — the configuration the paper's model
+/// sweeps over.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedTerm(pub Dur);
+
+impl<R: Resource> TermPolicy<R> for FixedTerm {
+    fn term(&mut self, _resource: &R, _client: ClientId, _stats: &ResourceStats) -> Dur {
+        self.0
+    }
+}
+
+/// The knee rule derived from the paper's model: the shortest term that
+/// already captures a `1 - theta` fraction of the extension-traffic
+/// savings.
+///
+/// From formula (1), the extension message rate relative to a zero term is
+/// `1 / (1 + R·t_c)`; driving it to `theta` needs `t = (1/theta - 1) / R`.
+/// With the paper's `R = 0.864/s` and `theta = 0.1`, this yields ≈ 10.4 s —
+/// the "term of (say) 10 seconds" the paper recommends. When the benefit
+/// factor `α ≤ 1` (heavy write sharing), a non-zero term only adds load, so
+/// the rule returns zero (§3.1).
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveTerm {
+    /// Target residual fraction of extension traffic (e.g. 0.1).
+    pub theta: f64,
+    /// Lower clamp for non-zero terms.
+    pub min: Dur,
+    /// Upper clamp.
+    pub max: Dur,
+}
+
+impl AdaptiveTerm {
+    /// A sensible default: 10% residual traffic, terms clamped to 1–60 s.
+    pub fn new() -> AdaptiveTerm {
+        AdaptiveTerm {
+            theta: 0.1,
+            min: Dur::from_secs(1),
+            max: Dur::from_secs(60),
+        }
+    }
+
+    /// The knee term for an observed read rate, before clamping.
+    pub fn knee(theta: f64, read_rate: f64) -> Dur {
+        if read_rate <= 0.0 {
+            Dur::MAX
+        } else {
+            Dur::from_secs_f64((1.0 / theta - 1.0) / read_rate)
+        }
+    }
+}
+
+impl Default for AdaptiveTerm {
+    fn default() -> AdaptiveTerm {
+        AdaptiveTerm::new()
+    }
+}
+
+impl<R: Resource> TermPolicy<R> for AdaptiveTerm {
+    fn term(&mut self, _resource: &R, _client: ClientId, stats: &ResourceStats) -> Dur {
+        if stats.alpha() <= 1.0 {
+            return Dur::ZERO;
+        }
+        // The per-cache read rate is what amortizes extensions; the stats
+        // track the aggregate rate, so divide by the sharing degree.
+        let per_cache_rate = stats.read_rate() / stats.sharing();
+        Ord::clamp(
+            AdaptiveTerm::knee(self.theta, per_cache_rate),
+            self.min,
+            self.max,
+        )
+    }
+}
+
+/// Wraps a policy with per-client term compensation for distant clients.
+///
+/// §4: "A lease given to a distant client could be increased to compensate
+/// for the amount the lease term is reduced by the propagation delay and
+/// for the extra delay incurred by the client to extend the lease." The
+/// effective client-side term is `t_s − (m_prop + 2·m_proc) − ε`; adding
+/// the client's round-trip overhead back restores its effective term to
+/// what near clients enjoy.
+pub struct CompensatedTerm<R> {
+    /// The base policy.
+    pub inner: Box<dyn TermPolicy<R>>,
+    /// Extra term per client (its measured request overhead).
+    pub extra: std::collections::HashMap<ClientId, Dur>,
+}
+
+impl<R: Resource> CompensatedTerm<R> {
+    /// Wraps `inner` with an empty compensation table.
+    pub fn new(inner: Box<dyn TermPolicy<R>>) -> CompensatedTerm<R> {
+        CompensatedTerm {
+            inner,
+            extra: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Registers `extra` term for a distant client.
+    pub fn compensate(mut self, client: ClientId, extra: Dur) -> CompensatedTerm<R> {
+        self.extra.insert(client, extra);
+        self
+    }
+}
+
+impl<R: Resource> TermPolicy<R> for CompensatedTerm<R> {
+    fn term(&mut self, resource: &R, client: ClientId, stats: &ResourceStats) -> Dur {
+        let base = self.inner.term(resource, client, stats);
+        if base.is_zero() || base.is_infinite() {
+            return base; // Zero stays zero; infinite needs no help.
+        }
+        base.saturating_add(self.extra.get(&client).copied().unwrap_or(Dur::ZERO))
+    }
+}
+
+/// An arbitrary policy from a closure, for experiments.
+pub struct ClosurePolicy<R>(
+    /// The decision function.
+    pub Box<dyn FnMut(&R, ClientId, &ResourceStats) -> Dur + Send>,
+);
+
+impl<R: Resource> TermPolicy<R> for ClosurePolicy<R> {
+    fn term(&mut self, resource: &R, client: ClientId, stats: &ResourceStats) -> Dur {
+        (self.0)(resource, client, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lease_clock::Time;
+
+    fn stats_with(reads_per_sec: f64, writes_per_sec: f64, sharers: usize) -> ResourceStats {
+        let mut s = ResourceStats::new(Dur::from_secs(10));
+        if reads_per_sec > 0.0 {
+            let gap_ms = (1000.0 / reads_per_sec) as u64;
+            for i in 1..=300u64 {
+                s.on_read(Time::from_millis(i * gap_ms));
+            }
+        }
+        if writes_per_sec > 0.0 {
+            let gap_ms = (1000.0 / writes_per_sec) as u64;
+            for i in 1..=300u64 {
+                s.on_write(Time::from_millis(i * gap_ms), sharers);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn fixed_term_is_constant() {
+        let mut p = FixedTerm(Dur::from_secs(10));
+        let s = stats_with(1.0, 0.0, 1);
+        let t = TermPolicy::<u64>::term(&mut p, &1, ClientId(0), &s);
+        assert_eq!(t, Dur::from_secs(10));
+    }
+
+    #[test]
+    fn knee_matches_paper_example() {
+        // R = 0.864/s, theta = 0.1 -> about 10.4 s.
+        let t = AdaptiveTerm::knee(0.1, 0.864);
+        assert!((t.as_secs_f64() - 10.42).abs() < 0.05, "{t}");
+    }
+
+    #[test]
+    fn adaptive_zeroes_write_shared_resources() {
+        // Heavy write sharing: alpha = 2R/(SW) = 2*1/(8*2) < 1.
+        let s = stats_with(1.0, 2.0, 8);
+        assert!(s.alpha() < 1.0, "alpha = {}", s.alpha());
+        let mut p = AdaptiveTerm::new();
+        assert_eq!(
+            TermPolicy::<u64>::term(&mut p, &1, ClientId(0), &s),
+            Dur::ZERO
+        );
+    }
+
+    #[test]
+    fn adaptive_grants_long_terms_to_read_mostly() {
+        let s = stats_with(2.0, 0.01, 1);
+        let mut p = AdaptiveTerm::new();
+        let t = TermPolicy::<u64>::term(&mut p, &1, ClientId(0), &s);
+        assert!(t >= Dur::from_secs(1) && t <= Dur::from_secs(60));
+        assert!(t.as_secs_f64() > 3.0, "expected multi-second term, got {t}");
+    }
+
+    #[test]
+    fn compensation_extends_distant_clients_only() {
+        let mut p: CompensatedTerm<u64> =
+            CompensatedTerm::new(Box::new(FixedTerm(Dur::from_secs(10))))
+                .compensate(ClientId(7), Dur::from_millis(200));
+        let s = stats_with(1.0, 0.0, 1);
+        assert_eq!(p.term(&1, ClientId(0), &s), Dur::from_secs(10));
+        assert_eq!(
+            p.term(&1, ClientId(7), &s),
+            Dur::from_secs(10) + Dur::from_millis(200)
+        );
+    }
+
+    #[test]
+    fn compensation_preserves_zero_and_infinite() {
+        let mut zero: CompensatedTerm<u64> = CompensatedTerm::new(Box::new(FixedTerm(Dur::ZERO)))
+            .compensate(ClientId(7), Dur::from_secs(1));
+        let s = stats_with(1.0, 0.0, 1);
+        assert_eq!(zero.term(&1, ClientId(7), &s), Dur::ZERO);
+        let mut inf: CompensatedTerm<u64> = CompensatedTerm::new(Box::new(FixedTerm(Dur::MAX)))
+            .compensate(ClientId(7), Dur::from_secs(1));
+        assert_eq!(inf.term(&1, ClientId(7), &s), Dur::MAX);
+    }
+
+    #[test]
+    fn closure_policy_runs() {
+        let mut p: ClosurePolicy<u64> = ClosurePolicy(Box::new(|r, _, _| {
+            if *r == 1 {
+                Dur::ZERO
+            } else {
+                Dur::from_secs(5)
+            }
+        }));
+        let s = stats_with(0.0, 0.0, 1);
+        assert_eq!(p.term(&1, ClientId(0), &s), Dur::ZERO);
+        assert_eq!(p.term(&2, ClientId(0), &s), Dur::from_secs(5));
+    }
+}

@@ -1,0 +1,233 @@
+//! The server's lease table.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap};
+
+use lease_clock::Time;
+
+use crate::types::{ClientId, Resource};
+
+/// The soft state the server keeps per granted lease.
+///
+/// The paper sizes this at "a couple of pointers" per lease (§2); here it
+/// is one `(ClientId, Time)` pair per holder under the resource key, plus
+/// an expiry index so the table can be pruned lazily without scans.
+///
+/// All queries take `now` and ignore expired entries, so callers never see
+/// stale holders; physically removing them happens on access or via
+/// [`LeaseTable::prune`].
+#[derive(Debug, Clone)]
+pub struct LeaseTable<R> {
+    /// resource -> holder -> expiry (server clock).
+    holders: HashMap<R, HashMap<ClientId, Time>>,
+    /// Expiry index for cheap pruning: ordered (expiry, resource, client).
+    index: BTreeSet<(Time, R, ClientId)>,
+    /// Leases ever granted (for reporting).
+    granted_total: u64,
+}
+
+impl<R: Resource> LeaseTable<R> {
+    /// An empty table.
+    pub fn new() -> LeaseTable<R> {
+        LeaseTable {
+            holders: HashMap::new(),
+            index: BTreeSet::new(),
+            granted_total: 0,
+        }
+    }
+
+    /// Records (or extends) `client`'s lease on `resource` until `expiry`.
+    ///
+    /// An extension never shortens an existing lease: granting a later
+    /// expiry replaces the record, an earlier one is ignored.
+    pub fn grant(&mut self, resource: R, client: ClientId, expiry: Time) {
+        self.granted_total += 1;
+        match self.holders.entry(resource).or_default().entry(client) {
+            Entry::Occupied(mut e) => {
+                let old = *e.get();
+                if expiry > old {
+                    self.index.remove(&(old, resource, client));
+                    self.index.insert((expiry, resource, client));
+                    e.insert(expiry);
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(expiry);
+                self.index.insert((expiry, resource, client));
+            }
+        }
+    }
+
+    /// Removes `client`'s lease on `resource` (approval or relinquish).
+    pub fn release(&mut self, resource: R, client: ClientId) {
+        if let Some(m) = self.holders.get_mut(&resource) {
+            if let Some(expiry) = m.remove(&client) {
+                self.index.remove(&(expiry, resource, client));
+            }
+            if m.is_empty() {
+                self.holders.remove(&resource);
+            }
+        }
+    }
+
+    /// Unexpired holders of `resource` at `now`.
+    pub fn holders_at(&self, resource: R, now: Time) -> Vec<ClientId> {
+        let mut v: Vec<ClientId> = match self.holders.get(&resource) {
+            Some(m) => m
+                .iter()
+                .filter(|(_, exp)| **exp > now)
+                .map(|(c, _)| *c)
+                .collect(),
+            None => Vec::new(),
+        };
+        v.sort_unstable();
+        v
+    }
+
+    /// The expiry of `client`'s lease on `resource`, if unexpired at `now`.
+    pub fn expiry_of(&self, resource: R, client: ClientId, now: Time) -> Option<Time> {
+        self.holders
+            .get(&resource)?
+            .get(&client)
+            .copied()
+            .filter(|e| *e > now)
+    }
+
+    /// The latest expiry among unexpired holders of `resource`, if any.
+    pub fn max_expiry(&self, resource: R, now: Time) -> Option<Time> {
+        self.holders
+            .get(&resource)?
+            .values()
+            .copied()
+            .filter(|e| *e > now)
+            .max()
+    }
+
+    /// Physically removes every lease expired at `now`; returns how many.
+    pub fn prune(&mut self, now: Time) -> usize {
+        let mut removed = 0;
+        while let Some(&(expiry, resource, client)) = self.index.iter().next() {
+            if expiry > now {
+                break;
+            }
+            self.index.remove(&(expiry, resource, client));
+            if let Some(m) = self.holders.get_mut(&resource) {
+                m.remove(&client);
+                if m.is_empty() {
+                    self.holders.remove(&resource);
+                }
+            }
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Drops everything (server crash: the table is volatile soft state).
+    pub fn clear(&mut self) {
+        self.holders.clear();
+        self.index.clear();
+    }
+
+    /// Live lease records, including expired-but-unpruned ones.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the table holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Total leases ever granted (extension counts as a grant).
+    pub fn granted_total(&self) -> u64 {
+        self.granted_total
+    }
+
+    /// Iterates all live records as `(resource, client, expiry)`.
+    pub fn iter(&self) -> impl Iterator<Item = (R, ClientId, Time)> + '_ {
+        self.index.iter().map(|(e, r, c)| (*r, *c, *e))
+    }
+}
+
+impl<R: Resource> Default for LeaseTable<R> {
+    fn default() -> LeaseTable<R> {
+        LeaseTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C1: ClientId = ClientId(1);
+    const C2: ClientId = ClientId(2);
+
+    fn t(s: u64) -> Time {
+        Time::from_secs(s)
+    }
+
+    #[test]
+    fn grant_and_query() {
+        let mut tab = LeaseTable::new();
+        tab.grant(7u64, C1, t(10));
+        tab.grant(7, C2, t(12));
+        assert_eq!(tab.holders_at(7, t(5)), vec![C1, C2]);
+        assert_eq!(tab.holders_at(7, t(11)), vec![C2]);
+        assert_eq!(tab.holders_at(7, t(12)), Vec::<ClientId>::new());
+        assert_eq!(tab.max_expiry(7, t(5)), Some(t(12)));
+        assert_eq!(tab.expiry_of(7, C1, t(5)), Some(t(10)));
+        assert_eq!(tab.expiry_of(7, C1, t(10)), None);
+    }
+
+    #[test]
+    fn extension_never_shortens() {
+        let mut tab = LeaseTable::new();
+        tab.grant(1u64, C1, t(10));
+        tab.grant(1, C1, t(8)); // ignored
+        assert_eq!(tab.expiry_of(1, C1, t(0)), Some(t(10)));
+        tab.grant(1, C1, t(20)); // extends
+        assert_eq!(tab.expiry_of(1, C1, t(0)), Some(t(20)));
+        assert_eq!(tab.len(), 1);
+    }
+
+    #[test]
+    fn release_removes() {
+        let mut tab = LeaseTable::new();
+        tab.grant(1u64, C1, t(10));
+        tab.release(1, C1);
+        assert!(tab.holders_at(1, t(0)).is_empty());
+        assert!(tab.is_empty());
+        // Releasing again is a no-op.
+        tab.release(1, C1);
+    }
+
+    #[test]
+    fn prune_removes_only_expired() {
+        let mut tab = LeaseTable::new();
+        tab.grant(1u64, C1, t(5));
+        tab.grant(1, C2, t(15));
+        tab.grant(2, C1, t(10));
+        assert_eq!(tab.prune(t(10)), 2); // C1@5 and 2/C1@10 (expiry <= now)
+        assert_eq!(tab.len(), 1);
+        assert_eq!(tab.holders_at(1, t(0)), vec![C2]);
+    }
+
+    #[test]
+    fn clear_wipes_everything() {
+        let mut tab = LeaseTable::new();
+        tab.grant(1u64, C1, t(5));
+        tab.grant(2, C2, t(5));
+        tab.clear();
+        assert!(tab.is_empty());
+        assert_eq!(tab.granted_total(), 2); // counter survives for reporting
+    }
+
+    #[test]
+    fn iter_yields_ordered_records() {
+        let mut tab = LeaseTable::new();
+        tab.grant(2u64, C2, t(20));
+        tab.grant(1, C1, t(10));
+        let recs: Vec<_> = tab.iter().collect();
+        assert_eq!(recs, vec![(1, C1, t(10)), (2, C2, t(20))]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Protocol identifiers shared by client and server.
+
+use std::fmt;
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a client cache to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+/// A client-local operation id: one logical read or write submitted by the
+/// application. Several ops may wait on one network request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u64);
+
+/// A client-local request id, carried on the wire and echoed in replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReqId(pub u64);
+
+/// A server-assigned id for a write awaiting approval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WriteId(pub u64);
+
+/// A monotonically increasing per-resource version. Version 0 means "never
+/// written".
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The next version.
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The datum a lease covers.
+///
+/// The paper leases file contents, but also name-to-file bindings and
+/// permission information (§2), and whole directories of installed files
+/// (§4) — so the protocol core is generic over the resource key. Anything
+/// cheap to copy, hash, and order qualifies.
+pub trait Resource: Copy + Eq + Hash + Ord + fmt::Debug + Send + 'static {}
+
+impl<T: Copy + Eq + Hash + Ord + fmt::Debug + Send + 'static> Resource for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_ordering_and_next() {
+        assert!(Version(2) > Version(1));
+        assert_eq!(Version::default(), Version(0));
+        assert_eq!(Version(7).next(), Version(8));
+        assert_eq!(format!("{}", Version(3)), "v3");
+    }
+
+    fn takes_resource<R: Resource>(_r: R) {}
+
+    #[test]
+    fn blanket_resource_impl() {
+        takes_resource(5u64);
+        takes_resource((1u32, 2u32));
+        takes_resource('x');
+    }
+}

@@ -1,0 +1,227 @@
+//! Property tests for the protocol core: the lease table, and the
+//! server/client pair driven through random message interleavings.
+
+use lease_clock::{Dur, Time};
+use lease_core::{
+    ClientConfig, ClientId, ClientInput, ClientOutput, LeaseClient, LeaseServer, LeaseTable,
+    MemStorage, Op, OpId, OpOutcome, ServerConfig, ServerInput, ServerOutput, Storage, ToClient,
+    ToServer,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- table --
+
+#[derive(Debug, Clone)]
+enum TableOp {
+    Grant { r: u8, c: u8, expiry: u16 },
+    Release { r: u8, c: u8 },
+    Prune { now: u16 },
+}
+
+fn table_op() -> impl Strategy<Value = TableOp> {
+    prop_oneof![
+        (any::<u8>(), 0u8..8, any::<u16>()).prop_map(|(r, c, expiry)| TableOp::Grant {
+            r: r % 16,
+            c,
+            expiry
+        }),
+        (any::<u8>(), 0u8..8).prop_map(|(r, c)| TableOp::Release { r: r % 16, c }),
+        any::<u16>().prop_map(|now| TableOp::Prune { now }),
+    ]
+}
+
+proptest! {
+    /// The table agrees with a naive map model under random operations,
+    /// and extensions never shorten leases.
+    #[test]
+    fn lease_table_matches_model(ops in proptest::collection::vec(table_op(), 1..200)) {
+        let mut table: LeaseTable<u8> = LeaseTable::new();
+        let mut model: std::collections::HashMap<(u8, u8), u16> = Default::default();
+        let mut now_floor = 0u16;
+        for op in ops {
+            match op {
+                TableOp::Grant { r, c, expiry } => {
+                    table.grant(r, ClientId(c as u32), Time::from_secs(expiry as u64));
+                    let e = model.entry((r, c)).or_insert(expiry);
+                    *e = (*e).max(expiry);
+                }
+                TableOp::Release { r, c } => {
+                    table.release(r, ClientId(c as u32));
+                    model.remove(&(r, c));
+                }
+                TableOp::Prune { now } => {
+                    table.prune(Time::from_secs(now as u64));
+                    model.retain(|_, e| *e > now);
+                    now_floor = now_floor.max(now);
+                }
+            }
+            // Spot-check a query against the model.
+            for r in 0..4u8 {
+                let now = Time::from_secs(now_floor as u64);
+                let mut expect: Vec<u32> = model
+                    .iter()
+                    .filter(|((mr, _), e)| *mr == r && **e > now_floor)
+                    .map(|((_, c), _)| *c as u32)
+                    .collect();
+                expect.sort_unstable();
+                let got: Vec<u32> =
+                    table.holders_at(r, now).into_iter().map(|c| c.0).collect();
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------- protocol shuffle --
+
+/// Drives one server and two clients with random ops and a random (but
+/// loss-free, reordering) message schedule, then checks cache coherence
+/// invariants directly.
+#[derive(Debug, Clone)]
+enum DriveOp {
+    Read { client: u8 },
+    Write { client: u8, data: u64 },
+    DeliverToServer { idx: u8 },
+    DeliverToClient { client: u8, idx: u8 },
+    Tick { ms: u16 },
+}
+
+fn drive_op() -> impl Strategy<Value = DriveOp> {
+    prop_oneof![
+        (0u8..2).prop_map(|client| DriveOp::Read { client }),
+        (0u8..2, any::<u64>()).prop_map(|(client, data)| DriveOp::Write { client, data }),
+        any::<u8>().prop_map(|idx| DriveOp::DeliverToServer { idx }),
+        (0u8..2, any::<u8>()).prop_map(|(client, idx)| DriveOp::DeliverToClient { client, idx }),
+        (1u16..2000).prop_map(|ms| DriveOp::Tick { ms }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Under arbitrary message reordering (no loss), every completed
+    /// operation returns a version at least as new as whatever its client
+    /// had already observed when the operation *started* (overlapping
+    /// operations may legally complete out of version order), and a
+    /// valid-lease cache entry never lags the client's observations.
+    #[test]
+    fn shuffled_delivery_preserves_session_order(
+        ops in proptest::collection::vec(drive_op(), 1..150),
+    ) {
+        const RES: u64 = 1;
+        let mut store: MemStorage<u64, u64> = MemStorage::new();
+        store.insert(RES, 0);
+        let mut server = LeaseServer::new(ServerConfig::fixed(Dur::from_secs(5)));
+        let mut clients: Vec<LeaseClient<u64, u64>> = (0..2)
+            .map(|i| LeaseClient::new(ClientId(i), ClientConfig {
+                epsilon: Dur::from_millis(10),
+                retry_interval: Dur::from_secs(3600), // no retries: pure reorder test
+                ..ClientConfig::default()
+            }))
+            .collect();
+        let mut to_server: Vec<(ClientId, ToServer<u64, u64>)> = Vec::new();
+        let mut to_client: Vec<Vec<ToClient<u64, u64>>> = vec![Vec::new(), Vec::new()];
+        let mut now = Time::ZERO;
+        let mut next_op = 0u64;
+        // Per-client observation high-water mark, plus the mark captured
+        // at each operation's start (its legality floor).
+        let mut last_seen = [0u64, 0];
+        let mut op_floor: std::collections::HashMap<OpId, u64> = Default::default();
+
+        let mut sink_client =
+            |cid: usize,
+             outs: Vec<ClientOutput<u64, u64>>,
+             to_server: &mut Vec<(ClientId, ToServer<u64, u64>)>,
+             last_seen: &mut [u64; 2],
+             op_floor: &mut std::collections::HashMap<OpId, u64>| {
+                for o in outs {
+                    match o {
+                        ClientOutput::Send(m) => to_server.push((ClientId(cid as u32), m)),
+                        ClientOutput::Done { op, result: Ok(outcome) } => {
+                            let v = match outcome {
+                                OpOutcome::Read { version, .. } => version.0,
+                                OpOutcome::Write { version } => version.0,
+                            };
+                            let floor = op_floor.remove(&op).unwrap_or(0);
+                            assert!(
+                                v >= floor,
+                                "client {cid}: op saw version {v}, below its start floor {floor}"
+                            );
+                            last_seen[cid] = last_seen[cid].max(v);
+                        }
+                        _ => {}
+                    }
+                }
+            };
+
+        for op in ops {
+            match op {
+                DriveOp::Read { client } => {
+                    let c = client as usize;
+                    let id = OpId(next_op);
+                    next_op += 1;
+                    op_floor.insert(id, last_seen[c]);
+                    let outs = clients[c].handle(now, ClientInput::Op { op: id, kind: Op::Read(RES) });
+                    sink_client(c, outs, &mut to_server, &mut last_seen, &mut op_floor);
+                }
+                DriveOp::Write { client, data } => {
+                    let c = client as usize;
+                    let id = OpId(next_op);
+                    next_op += 1;
+                    op_floor.insert(id, last_seen[c]);
+                    let outs =
+                        clients[c].handle(now, ClientInput::Op { op: id, kind: Op::Write(RES, data) });
+                    sink_client(c, outs, &mut to_server, &mut last_seen, &mut op_floor);
+                }
+                DriveOp::DeliverToServer { idx } => {
+                    if to_server.is_empty() {
+                        continue;
+                    }
+                    let i = idx as usize % to_server.len();
+                    let (from, msg) = to_server.remove(i);
+                    let outs =
+                        server.handle(now, ServerInput::Msg { from, msg }, &mut store);
+                    for o in outs {
+                        match o {
+                            ServerOutput::Send { to, msg } => to_client[to.0 as usize].push(msg),
+                            ServerOutput::Multicast { to, msg } => {
+                                for c in to {
+                                    to_client[c.0 as usize].push(msg.clone());
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                DriveOp::DeliverToClient { client, idx } => {
+                    let c = client as usize;
+                    if to_client[c].is_empty() {
+                        continue;
+                    }
+                    let i = idx as usize % to_client[c].len();
+                    let msg = to_client[c].remove(i);
+                    let outs = clients[c].handle(now, ClientInput::Msg(msg));
+                    sink_client(c, outs, &mut to_server, &mut last_seen, &mut op_floor);
+                }
+                DriveOp::Tick { ms } => {
+                    now = now + Dur::from_millis(ms as u64);
+                }
+            }
+            // Invariant: a client's valid-lease cached version is never
+            // behind a version it has already observed.
+            for (c, cl) in clients.iter().enumerate() {
+                if cl.lease_valid(RES, now) {
+                    let v = cl.cached_version(RES).unwrap().0;
+                    prop_assert!(
+                        v >= last_seen[c],
+                        "client {c} caches v{v} under lease after seeing v{}",
+                        last_seen[c]
+                    );
+                }
+            }
+        }
+        // Storage version equals the number of committed writes plus one.
+        let final_version = store.version(&RES).unwrap().0;
+        prop_assert!(final_version >= 1);
+    }
+}

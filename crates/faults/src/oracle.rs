@@ -1,0 +1,418 @@
+//! The single-copy consistency oracle.
+
+use std::collections::HashMap;
+
+use lease_clock::{Dur, Time};
+use lease_core::{ClientId, OpId, Version};
+use lease_vsys::{History, HistoryEvent, Res};
+
+/// A consistency violation found by the oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A read returned a version that was not current at any instant of
+    /// the read's lifetime — stale data served under a broken lease.
+    StaleRead {
+        /// The reader.
+        client: ClientId,
+        /// The operation.
+        op: OpId,
+        /// The resource.
+        resource: Res,
+        /// The version returned.
+        version: Version,
+        /// Read start (true time).
+        start: Time,
+        /// Read completion (true time).
+        end: Time,
+        /// When the returned version stopped being current.
+        valid_until: Time,
+    },
+    /// A read returned a version the server never committed (or one from
+    /// the future of its completion).
+    UnknownVersion {
+        /// The reader.
+        client: ClientId,
+        /// The operation.
+        op: OpId,
+        /// The resource.
+        resource: Res,
+        /// The version returned.
+        version: Version,
+    },
+    /// Commits on a resource were not strictly increasing.
+    NonMonotonicCommit {
+        /// The resource.
+        resource: Res,
+        /// The offending version.
+        version: Version,
+        /// Commit time.
+        at: Time,
+    },
+    /// A write completed at its client without a matching commit —
+    /// a lost write, violating write-through durability.
+    LostWrite {
+        /// The writer.
+        client: ClientId,
+        /// The operation.
+        op: OpId,
+        /// The resource.
+        resource: Res,
+        /// The version the client believed committed.
+        version: Version,
+    },
+}
+
+/// Checks a recorded execution against single-copy (atomic) semantics.
+///
+/// For each resource, the committed versions form a timeline: version `v`
+/// is *current* from its commit until the next commit (the initial version
+/// 1 is current from the beginning). A read that returns `v` is legal iff
+/// `v` was current at some instant between the read's start and its
+/// completion. This is exactly the paper's definition of consistency:
+/// "the behavior is equivalent to there being only a single (uncached)
+/// copy of the data except for the performance benefit of the cache" (§1).
+pub fn check_history(history: &History) -> Result<(), Vec<Violation>> {
+    let mut violations = Vec::new();
+
+    // Collect commit timelines and discards (write-back lost writes) per
+    // resource.
+    let mut commits: HashMap<Res, Vec<(Time, Version)>> = HashMap::new();
+    let mut discards: HashMap<Res, Vec<(Time, Version, Version)>> = HashMap::new();
+    for e in &history.events {
+        match e {
+            HistoryEvent::Commit {
+                resource,
+                version,
+                at,
+                ..
+            } => {
+                commits.entry(*resource).or_default().push((*at, *version));
+            }
+            HistoryEvent::Discard {
+                resource,
+                last_durable,
+                last_lost,
+                at,
+            } => {
+                discards
+                    .entry(*resource)
+                    .or_default()
+                    .push((*at, *last_durable, *last_lost));
+            }
+            _ => {}
+        }
+    }
+    // A version is discarded if a crash occurred after its commit while it
+    // was above the durable high-water mark: it was visible only to its
+    // (exclusive) writer, from its commit until the crash.
+    let discarded_until = |resource: Res, commit_at: Time, v: Version| -> Option<Time> {
+        discards
+            .get(&resource)?
+            .iter()
+            .find_map(|(at, last, lost)| {
+                // Exactly the range the discard names, committed strictly
+                // before it (another holder's reservation is untouched).
+                if v > *last && v <= *lost && commit_at < *at {
+                    Some(*at)
+                } else {
+                    None
+                }
+            })
+    };
+    for (resource, list) in commits.iter_mut() {
+        list.sort();
+        for w in list.windows(2) {
+            if w[1].1 <= w[0].1 {
+                violations.push(Violation::NonMonotonicCommit {
+                    resource: *resource,
+                    version: w[1].1,
+                    at: w[1].0,
+                });
+            }
+        }
+    }
+
+    // Index op starts.
+    let mut starts: HashMap<(ClientId, OpId), Time> = HashMap::new();
+    for e in &history.events {
+        match e {
+            HistoryEvent::ReadStart { client, op, at, .. }
+            | HistoryEvent::WriteStart { client, op, at, .. } => {
+                starts.insert((*client, *op), *at);
+            }
+            _ => {}
+        }
+    }
+
+    let empty: Vec<(Time, Version)> = Vec::new();
+    for e in &history.events {
+        match e {
+            HistoryEvent::ReadDone {
+                client,
+                op,
+                resource,
+                version,
+                at,
+                ..
+            } => {
+                let start = starts.get(&(*client, *op)).copied().unwrap_or(*at);
+                let list = commits.get(resource).unwrap_or(&empty);
+                // Window of `version`: from its commit (or time zero for
+                // the initial version) to the next commit (or forever).
+                let valid_from = if version.0 <= 1 {
+                    Time::ZERO
+                } else {
+                    match list.iter().find(|(_, v)| v == version) {
+                        Some((t, _)) => *t,
+                        None => {
+                            violations.push(Violation::UnknownVersion {
+                                client: *client,
+                                op: *op,
+                                resource: *resource,
+                                version: *version,
+                            });
+                            continue;
+                        }
+                    }
+                };
+                // A discarded (lost write-back) version is valid only
+                // until the crash that destroyed it; an ordinary version
+                // until the next non-discarded commit.
+                let valid_until = match discarded_until(*resource, valid_from, *version) {
+                    Some(crash) => crash,
+                    None => list
+                        .iter()
+                        .find(|(t, v)| {
+                            *v > *version && discarded_until(*resource, *t, *v).is_none()
+                        })
+                        .map(|(t, _)| *t)
+                        .unwrap_or(Time::MAX),
+                };
+                // Overlap test between [start, end] and [valid_from, valid_until).
+                let end = *at;
+                if valid_from > end || valid_until <= start {
+                    violations.push(Violation::StaleRead {
+                        client: *client,
+                        op: *op,
+                        resource: *resource,
+                        version: *version,
+                        start,
+                        end,
+                        valid_until,
+                    });
+                }
+            }
+            HistoryEvent::WriteDone {
+                client,
+                op,
+                resource,
+                version,
+                ..
+            } => {
+                let committed = commits
+                    .get(resource)
+                    .is_some_and(|l| l.iter().any(|(_, v)| v == version));
+                if !committed {
+                    violations.push(Violation::LostWrite {
+                        client: *client,
+                        op: *op,
+                        resource: *resource,
+                        version: *version,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// The staleness of each violating read: how long before the read
+/// *completed* its returned version had already been superseded.
+pub fn staleness_of(violations: &[Violation]) -> Vec<Dur> {
+    violations
+        .iter()
+        .filter_map(|v| match v {
+            Violation::StaleRead {
+                end, valid_until, ..
+            } => Some(end.saturating_since(*valid_until)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: ClientId = ClientId(0);
+
+    fn read(h: &mut History, op: u64, res: Res, v: u64, start_s: u64, end_s: u64) {
+        h.push(HistoryEvent::ReadStart {
+            client: C,
+            op: OpId(op),
+            resource: res,
+            at: Time::from_secs(start_s),
+        });
+        h.push(HistoryEvent::ReadDone {
+            client: C,
+            op: OpId(op),
+            resource: res,
+            version: Version(v),
+            at: Time::from_secs(end_s),
+            from_cache: false,
+        });
+    }
+
+    fn commit(h: &mut History, res: Res, v: u64, at_s: u64) {
+        h.push(HistoryEvent::Commit {
+            resource: res,
+            version: Version(v),
+            writer: None,
+            at: Time::from_secs(at_s),
+        });
+    }
+
+    #[test]
+    fn initial_version_reads_are_legal() {
+        let mut h = History::new();
+        read(&mut h, 1, 1, 1, 1, 2);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn read_of_current_version_is_legal() {
+        let mut h = History::new();
+        commit(&mut h, 1, 2, 5);
+        read(&mut h, 1, 1, 2, 6, 7);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn read_overlapping_commit_may_return_either_version() {
+        let mut h = History::new();
+        commit(&mut h, 1, 2, 5);
+        // Read spanning the commit: old version legal...
+        read(&mut h, 1, 1, 1, 4, 6);
+        // ...and new version legal.
+        read(&mut h, 2, 1, 2, 4, 6);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn stale_read_is_flagged_with_staleness() {
+        let mut h = History::new();
+        commit(&mut h, 1, 2, 5);
+        // Entirely after the commit, yet returned version 1.
+        read(&mut h, 1, 1, 1, 8, 9);
+        let violations = check_history(&h).unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert!(
+            matches!(violations[0], Violation::StaleRead { valid_until, .. }
+            if valid_until == Time::from_secs(5))
+        );
+        let st = staleness_of(&violations);
+        assert_eq!(st, vec![Dur::from_secs(4)]);
+    }
+
+    #[test]
+    fn future_version_before_commit_is_flagged() {
+        let mut h = History::new();
+        commit(&mut h, 1, 2, 10);
+        // Read completed at 5 s but returned version 2 (committed at 10 s).
+        read(&mut h, 1, 1, 2, 4, 5);
+        let violations = check_history(&h).unwrap_err();
+        assert!(matches!(violations[0], Violation::StaleRead { .. }));
+    }
+
+    #[test]
+    fn unknown_version_is_flagged() {
+        let mut h = History::new();
+        read(&mut h, 1, 1, 7, 1, 2);
+        let violations = check_history(&h).unwrap_err();
+        assert!(matches!(
+            violations[0],
+            Violation::UnknownVersion {
+                version: Version(7),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn non_monotonic_commits_flagged() {
+        let mut h = History::new();
+        commit(&mut h, 1, 3, 5);
+        commit(&mut h, 1, 2, 6);
+        let violations = check_history(&h).unwrap_err();
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::NonMonotonicCommit {
+                version: Version(2),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn lost_write_is_flagged() {
+        let mut h = History::new();
+        h.push(HistoryEvent::WriteStart {
+            client: C,
+            op: OpId(1),
+            resource: 1,
+            at: Time::from_secs(1),
+        });
+        h.push(HistoryEvent::WriteDone {
+            client: C,
+            op: OpId(1),
+            resource: 1,
+            version: Version(2),
+            at: Time::from_secs(2),
+        });
+        let violations = check_history(&h).unwrap_err();
+        assert!(matches!(violations[0], Violation::LostWrite { .. }));
+    }
+
+    #[test]
+    fn write_with_commit_is_legal() {
+        let mut h = History::new();
+        h.push(HistoryEvent::WriteStart {
+            client: C,
+            op: OpId(1),
+            resource: 1,
+            at: Time::from_secs(1),
+        });
+        commit(&mut h, 1, 2, 1);
+        h.push(HistoryEvent::WriteDone {
+            client: C,
+            op: OpId(1),
+            resource: 1,
+            version: Version(2),
+            at: Time::from_secs(2),
+        });
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn reads_between_many_commits() {
+        let mut h = History::new();
+        for (v, t) in [(2u64, 10u64), (3, 20), (4, 30)] {
+            commit(&mut h, 1, v, t);
+        }
+        read(&mut h, 1, 1, 3, 22, 23); // current then: ok
+        read(&mut h, 2, 1, 2, 25, 26); // superseded at 20: stale
+        read(&mut h, 3, 1, 4, 35, 36); // ok
+        let violations = check_history(&h).unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            Violation::StaleRead { op: OpId(2), .. }
+        ));
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based end-to-end checking: random workloads, random faults,
+//! random terms — every execution must satisfy single-copy semantics.
+
+use lease_clock::{Dur, Time};
+use lease_faults::check_history;
+use lease_net::Partition;
+use lease_sim::ActorId;
+use lease_vsys::{run_trace_with_history, CrashEvent, NodeSel, SystemConfig, TermSpec};
+use lease_workload::{BurstyWorkload, PoissonWorkload, Trace};
+use proptest::prelude::*;
+
+fn poisson(n: u32, s: u32, seed: u64) -> Trace {
+    PoissonWorkload {
+        n,
+        r: 1.2,
+        w: 0.15,
+        s,
+        duration: Dur::from_secs(120),
+        seed,
+    }
+    .generate()
+}
+
+/// Case count: 24 by default (CI-friendly), override with LEASE_PROP_CASES.
+fn cases() -> u32 {
+    std::env::var("LEASE_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: cases(), ..ProptestConfig::default() })]
+
+    /// Random sharing degree, lease term, and loss rate: consistent.
+    #[test]
+    fn random_poisson_runs_are_consistent(
+        seed in 0u64..1000,
+        term_ms in prop_oneof![Just(0u64), 500u64..30_000],
+        s in 1u32..5,
+        loss in 0.0f64..0.25,
+    ) {
+        let n = s * 2;
+        let trace = poisson(n, s, seed);
+        let cfg = SystemConfig {
+            term: TermSpec::Fixed(Dur::from_millis(term_ms)),
+            loss,
+            retry_interval: Dur::from_millis(250),
+            max_retries: 2000,
+            seed: seed.wrapping_mul(31),
+            ..SystemConfig::default()
+        };
+        let (_, h) = run_trace_with_history(&cfg, &trace);
+        let res = check_history(&h.history.borrow());
+        prop_assert!(res.is_ok(), "violations: {:?}", res.err());
+    }
+
+    /// Random crash/recovery schedules on clients and the server.
+    #[test]
+    fn random_crash_schedules_are_consistent(
+        seed in 0u64..1000,
+        crash_at in 10u64..100,
+        down_secs in 1u64..40,
+        victim in 0u32..5u32,
+        term_s in 1u64..20,
+    ) {
+        let trace = poisson(4, 2, seed);
+        let node = if victim == 4 { NodeSel::Server } else { NodeSel::Client(victim % 4) };
+        let cfg = SystemConfig {
+            term: TermSpec::Fixed(Dur::from_secs(term_s)),
+            crashes: vec![CrashEvent {
+                at: Time::from_secs(crash_at),
+                node,
+                recover_at: Some(Time::from_secs(crash_at + down_secs)),
+            }],
+            max_retries: 2000,
+            seed,
+            ..SystemConfig::default()
+        };
+        let (_, h) = run_trace_with_history(&cfg, &trace);
+        let res = check_history(&h.history.borrow());
+        prop_assert!(res.is_ok(), "violations: {:?}", res.err());
+    }
+
+    /// Random partitions: any island, any window.
+    #[test]
+    fn random_partitions_are_consistent(
+        seed in 0u64..1000,
+        from in 10u64..80,
+        len in 5u64..50,
+        island_bits in 1u32..15u32, // nonempty strict subset of 4 clients
+    ) {
+        let trace = poisson(4, 2, seed);
+        let island: Vec<ActorId> = (0..4)
+            .filter(|i| island_bits & (1 << i) != 0)
+            .map(|i| ActorId(1 + i as usize))
+            .collect();
+        let cfg = SystemConfig {
+            term: TermSpec::Fixed(Dur::from_secs(8)),
+            partitions: vec![Partition::new(
+                Time::from_secs(from),
+                Time::from_secs(from + len),
+                island,
+            )],
+            retry_interval: Dur::from_millis(250),
+            max_retries: 2000,
+            seed,
+            ..SystemConfig::default()
+        };
+        let (_, h) = run_trace_with_history(&cfg, &trace);
+        let res = check_history(&h.history.borrow());
+        prop_assert!(res.is_ok(), "violations: {:?}", res.err());
+    }
+
+    /// Clock skew within epsilon plus bursty traffic: consistent.
+    #[test]
+    fn skew_within_epsilon_and_bursts_are_consistent(
+        seed in 0u64..1000,
+        skew_ms in -90i64..90,
+        term_s in 1u64..15,
+    ) {
+        let trace = BurstyWorkload {
+            n: 4,
+            r: 1.0,
+            w: 0.1,
+            s: 2,
+            on: Dur::from_secs(3),
+            off: Dur::from_secs(10),
+            duration: Dur::from_secs(120),
+            seed,
+        }
+        .generate();
+        let cfg = SystemConfig {
+            term: TermSpec::Fixed(Dur::from_secs(term_s)),
+            epsilon: Dur::from_millis(100),
+            client_clocks: (0..4)
+                .map(|i| lease_clock::ClockModel::skewed(skew_ms * 1_000_000 * if i % 2 == 0 { 1 } else { -1 }))
+                .collect(),
+            max_retries: 2000,
+            seed,
+            ..SystemConfig::default()
+        };
+        let (_, h) = run_trace_with_history(&cfg, &trace);
+        let res = check_history(&h.history.borrow());
+        prop_assert!(res.is_ok(), "violations: {:?}", res.err());
+    }
+
+    /// Jitter (reordering) and duplication stress the at-most-once and
+    /// version-floor machinery: still consistent.
+    #[test]
+    fn jitter_and_duplication_are_consistent(
+        seed in 0u64..1000,
+        jitter_ms in 0u64..50,
+        duplicate in 0.0f64..0.3,
+        loss in 0.0f64..0.15,
+        term_s in 1u64..15,
+    ) {
+        let trace = poisson(4, 2, seed);
+        let cfg = SystemConfig {
+            term: TermSpec::Fixed(Dur::from_secs(term_s)),
+            jitter: Dur::from_millis(jitter_ms),
+            duplicate,
+            loss,
+            retry_interval: Dur::from_millis(250),
+            max_retries: 2000,
+            seed,
+            ..SystemConfig::default()
+        };
+        let (_, h) = run_trace_with_history(&cfg, &trace);
+        let res = check_history(&h.history.borrow());
+        prop_assert!(res.is_ok(), "violations: {:?}", res.err());
+    }
+
+    /// The adaptive policy is as safe as any fixed term.
+    #[test]
+    fn adaptive_policy_is_consistent(seed in 0u64..1000, loss in 0.0f64..0.15) {
+        let trace = poisson(4, 2, seed);
+        let cfg = SystemConfig {
+            term: TermSpec::Adaptive {
+                theta: 0.1,
+                min: Dur::from_secs(1),
+                max: Dur::from_secs(60),
+            },
+            loss,
+            retry_interval: Dur::from_millis(250),
+            max_retries: 2000,
+            seed,
+            ..SystemConfig::default()
+        };
+        let (_, h) = run_trace_with_history(&cfg, &trace);
+        let res = check_history(&h.history.borrow());
+        prop_assert!(res.is_ok(), "violations: {:?}", res.err());
+    }
+}

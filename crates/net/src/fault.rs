@@ -1,0 +1,110 @@
+//! Network fault descriptions: loss, duplication, partitions.
+
+use std::collections::BTreeSet;
+
+use lease_clock::Time;
+use lease_sim::ActorId;
+use serde::{Deserialize, Serialize};
+
+/// A network partition: during `[from, until)`, hosts inside `island` can
+/// talk among themselves, hosts outside can talk among themselves, but no
+/// message crosses the boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Start of the partition (inclusive).
+    pub from: Time,
+    /// End of the partition (exclusive); heal time.
+    pub until: Time,
+    /// The isolated island.
+    pub island: BTreeSet<ActorId>,
+}
+
+impl Partition {
+    /// Creates a partition isolating `island` during `[from, until)`.
+    pub fn new(from: Time, until: Time, island: impl IntoIterator<Item = ActorId>) -> Partition {
+        Partition {
+            from,
+            until,
+            island: island.into_iter().collect(),
+        }
+    }
+
+    /// Whether a message sent at `now` from `a` to `b` crosses the cut.
+    pub fn blocks(&self, now: Time, a: ActorId, b: ActorId) -> bool {
+        now >= self.from
+            && now < self.until
+            && (self.island.contains(&a) != self.island.contains(&b))
+    }
+}
+
+/// Probabilistic and scheduled network faults applied by
+/// [`SimNet`](crate::SimNet).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultPlanNet {
+    /// Probability that any given message is silently lost.
+    pub loss_prob: f64,
+    /// Probability that a delivered message is delivered twice.
+    pub duplicate_prob: f64,
+    /// Scheduled partitions.
+    #[serde(skip)]
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlanNet {
+    /// A fault-free network.
+    pub fn none() -> FaultPlanNet {
+        FaultPlanNet::default()
+    }
+
+    /// A plan with uniform message loss.
+    pub fn with_loss(loss_prob: f64) -> FaultPlanNet {
+        FaultPlanNet {
+            loss_prob,
+            ..FaultPlanNet::default()
+        }
+    }
+
+    /// Adds a scheduled partition.
+    pub fn partition(mut self, p: Partition) -> FaultPlanNet {
+        self.partitions.push(p);
+        self
+    }
+
+    /// Whether any scheduled partition blocks `a -> b` at `now`.
+    pub fn partitioned(&self, now: Time, a: ActorId, b: ActorId) -> bool {
+        self.partitions.iter().any(|p| p.blocks(now, a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_blocks_only_across_cut_in_window() {
+        let p = Partition::new(Time::from_secs(10), Time::from_secs(20), [ActorId(1)]);
+        // Inside the window, crossing the cut.
+        assert!(p.blocks(Time::from_secs(15), ActorId(1), ActorId(2)));
+        assert!(p.blocks(Time::from_secs(15), ActorId(2), ActorId(1)));
+        // Same side.
+        assert!(!p.blocks(Time::from_secs(15), ActorId(2), ActorId(3)));
+        assert!(!p.blocks(Time::from_secs(15), ActorId(1), ActorId(1)));
+        // Outside the window.
+        assert!(!p.blocks(Time::from_secs(5), ActorId(1), ActorId(2)));
+        assert!(!p.blocks(Time::from_secs(20), ActorId(1), ActorId(2)));
+    }
+
+    #[test]
+    fn plan_aggregates_partitions() {
+        let plan = FaultPlanNet::none()
+            .partition(Partition::new(Time::ZERO, Time::from_secs(1), [ActorId(0)]))
+            .partition(Partition::new(
+                Time::from_secs(5),
+                Time::from_secs(6),
+                [ActorId(1)],
+            ));
+        assert!(plan.partitioned(Time::ZERO, ActorId(0), ActorId(1)));
+        assert!(!plan.partitioned(Time::from_secs(2), ActorId(0), ActorId(1)));
+        assert!(plan.partitioned(Time::from_millis(5500), ActorId(1), ActorId(2)));
+    }
+}

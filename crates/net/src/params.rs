@@ -1,0 +1,91 @@
+//! Network timing parameters (Table 1 of the paper).
+
+use lease_clock::Dur;
+use serde::{Deserialize, Serialize};
+
+/// The paper's two message-cost parameters.
+///
+/// `m_prop` is the one-way propagation delay; `m_proc` is the processing
+/// time spent on the critical path for each send and each receive. A
+/// message is received `m_prop + 2·m_proc` after the sender decides to send
+/// it, and a unicast request–response takes `2·m_prop + 4·m_proc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetParams {
+    /// One-way propagation delay.
+    pub m_prop: Dur,
+    /// Per-message processing time (send or receive).
+    pub m_proc: Dur,
+}
+
+impl NetParams {
+    /// The local-area parameters used for the V-system experiments:
+    /// `m_prop = m_proc = 0.5 ms`, giving a 3 ms request–response, in the
+    /// "few milliseconds" range of V IPC on MicroVAX II workstations.
+    pub fn v_lan() -> NetParams {
+        NetParams {
+            m_prop: Dur::from_micros(500),
+            m_proc: Dur::from_micros(500),
+        }
+    }
+
+    /// The wide-area parameters of the paper's Figure 3: a 100 ms
+    /// round-trip (`2·m_prop + 4·m_proc = 100 ms`).
+    pub fn wan_100ms() -> NetParams {
+        NetParams {
+            m_prop: Dur::from_millis(48),
+            m_proc: Dur::from_millis(1),
+        }
+    }
+
+    /// One-way latency seen by a receiver: `m_prop + 2·m_proc`.
+    pub fn one_way(&self) -> Dur {
+        self.m_prop + self.m_proc * 2
+    }
+
+    /// Unicast request–response time: `2·m_prop + 4·m_proc`.
+    pub fn round_trip(&self) -> Dur {
+        self.m_prop * 2 + self.m_proc * 4
+    }
+
+    /// Multicast-with-`n`-replies completion time:
+    /// `2·m_prop + (n+3)·m_proc`.
+    pub fn multicast_round(&self, n_replies: u64) -> Dur {
+        self.m_prop * 2 + self.m_proc * (n_replies + 3)
+    }
+}
+
+impl Default for NetParams {
+    fn default() -> NetParams {
+        NetParams::v_lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v_lan_round_trip_is_3ms() {
+        assert_eq!(NetParams::v_lan().round_trip(), Dur::from_millis(3));
+    }
+
+    #[test]
+    fn wan_round_trip_is_100ms() {
+        assert_eq!(NetParams::wan_100ms().round_trip(), Dur::from_millis(100));
+    }
+
+    #[test]
+    fn multicast_round_matches_paper_formula() {
+        let p = NetParams::v_lan();
+        // With one reply, multicast degenerates to the unicast cost.
+        assert_eq!(p.multicast_round(1), p.round_trip());
+        // Each extra reply adds one m_proc at the originator.
+        assert_eq!(p.multicast_round(5), p.round_trip() + p.m_proc * 4);
+    }
+
+    #[test]
+    fn one_way_latency() {
+        let p = NetParams::v_lan();
+        assert_eq!(p.one_way(), Dur::from_micros(1500));
+    }
+}

@@ -1,0 +1,242 @@
+//! The client-cache thread and its application-facing handle.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use lease_clock::{Clock, Time, WallClock};
+use lease_core::{
+    ClientCounters, ClientInput, ClientOutput, ClientTimer, LeaseClient, Op, OpError, OpId,
+    OpOutcome, ToClient, Version,
+};
+
+use crate::server::{Res, ServerCmd};
+
+/// An error from a real-time cache operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtError {
+    /// The resource does not exist at the server.
+    NoSuchResource,
+    /// The server was unreachable until the retry budget ran out. For a
+    /// write, the outcome is unknown.
+    Timeout,
+    /// The system has shut down.
+    Closed,
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::NoSuchResource => write!(f, "no such resource"),
+            RtError::Timeout => write!(f, "timed out"),
+            RtError::Closed => write!(f, "system closed"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+type OpReply = Result<(Bytes, Version, bool), RtError>;
+
+pub(crate) enum ClientCmd {
+    Read(Res, Sender<OpReply>),
+    Write(Res, Bytes, Sender<OpReply>),
+    Stats(Sender<ClientCounters>),
+    Shutdown,
+}
+
+/// The application-facing handle to one client cache.
+///
+/// Cloneable and cheap; operations block the calling thread until the
+/// cache completes them (immediately on a cache hit).
+#[derive(Clone)]
+pub struct RtClientHandle {
+    pub(crate) tx: Sender<ClientCmd>,
+}
+
+impl RtClientHandle {
+    /// Reads a file through the cache.
+    pub fn read(&self, resource: Res) -> Result<Bytes, RtError> {
+        let (tx, rx) = bounded(1);
+        self.tx
+            .send(ClientCmd::Read(resource, tx))
+            .map_err(|_| RtError::Closed)?;
+        rx.recv()
+            .map_err(|_| RtError::Closed)?
+            .map(|(data, _, _)| data)
+    }
+
+    /// Reads and also reports the version and whether the cache served it.
+    pub fn read_detailed(&self, resource: Res) -> Result<(Bytes, Version, bool), RtError> {
+        let (tx, rx) = bounded(1);
+        self.tx
+            .send(ClientCmd::Read(resource, tx))
+            .map_err(|_| RtError::Closed)?;
+        rx.recv().map_err(|_| RtError::Closed)?
+    }
+
+    /// Write-through write; returns the committed version.
+    pub fn write(&self, resource: Res, data: impl Into<Bytes>) -> Result<Version, RtError> {
+        let (tx, rx) = bounded(1);
+        self.tx
+            .send(ClientCmd::Write(resource, data.into(), tx))
+            .map_err(|_| RtError::Closed)?;
+        rx.recv().map_err(|_| RtError::Closed)?.map(|(_, v, _)| v)
+    }
+
+    /// Opens `name` in a leased directory: reads the directory's bindings
+    /// (a cache hit on repeated opens, §2) and resolves the name. Returns
+    /// `Ok(None)` when the name is not bound.
+    pub fn open(&self, dir: Res, name: &str) -> Result<Option<Res>, RtError> {
+        let listing = self.read(dir)?;
+        Ok(crate::naming::parse_listing(&listing)
+            .into_iter()
+            .find(|b| b.name == name)
+            .map(|b| b.id))
+    }
+
+    /// Snapshot of the cache's counters.
+    pub fn stats(&self) -> Result<ClientCounters, RtError> {
+        let (tx, rx) = bounded(1);
+        self.tx
+            .send(ClientCmd::Stats(tx))
+            .map_err(|_| RtError::Closed)?;
+        rx.recv().map_err(|_| RtError::Closed)
+    }
+}
+
+pub(crate) fn spawn_client(
+    mut cache: LeaseClient<Res, Bytes>,
+    cmd_rx: Receiver<ClientCmd>,
+    net_rx: Receiver<ToClient<Res, Bytes>>,
+    server_tx: Sender<ServerCmd>,
+    clock: WallClock,
+) -> JoinHandle<()> {
+    let id = cache.id();
+    std::thread::Builder::new()
+        .name(format!("lease-client-{}", id.0))
+        .spawn(move || {
+            let mut timers: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
+            let mut live_timers: HashMap<u64, Time> = HashMap::new();
+            let mut waiting: HashMap<OpId, Sender<OpReply>> = HashMap::new();
+            let mut next_op = 0u64;
+            let key = |t: ClientTimer| match t {
+                ClientTimer::Renewal => 1u64,
+                ClientTimer::Retry(r) => r.0 + 2,
+            };
+            let timer_of = |k: u64| {
+                if k == 1 {
+                    ClientTimer::Renewal
+                } else {
+                    ClientTimer::Retry(lease_core::ReqId(k - 2))
+                }
+            };
+
+            fn apply(
+                outs: Vec<ClientOutput<Res, Bytes>>,
+                timers: &mut BinaryHeap<Reverse<(Time, u64)>>,
+                live: &mut HashMap<u64, Time>,
+                waiting: &mut HashMap<OpId, Sender<OpReply>>,
+                server_tx: &Sender<ServerCmd>,
+                id: lease_core::ClientId,
+                key: &impl Fn(ClientTimer) -> u64,
+            ) {
+                for o in outs {
+                    match o {
+                        ClientOutput::Send(msg) => {
+                            let _ = server_tx.send(ServerCmd::Msg(id, msg));
+                        }
+                        ClientOutput::SetTimer { at, timer } => {
+                            let k = key(timer);
+                            live.insert(k, at);
+                            timers.push(Reverse((at, k)));
+                        }
+                        ClientOutput::CancelTimer(timer) => {
+                            live.remove(&key(timer));
+                        }
+                        ClientOutput::Done { op, result } => {
+                            if let Some(reply) = waiting.remove(&op) {
+                                let mapped = match result {
+                                    Ok(OpOutcome::Read { data, version, from_cache }) => {
+                                        Ok((data, version, from_cache))
+                                    }
+                                    Ok(OpOutcome::Write { version }) => {
+                                        Ok((Bytes::new(), version, false))
+                                    }
+                                    Err(OpError::NoSuchResource) => Err(RtError::NoSuchResource),
+                                    Err(OpError::Timeout) => Err(RtError::Timeout),
+                                };
+                                let _ = reply.send(mapped);
+                            }
+                        }
+                    }
+                }
+            }
+
+            let outs = cache.start(clock.now());
+            apply(outs, &mut timers, &mut live_timers, &mut waiting, &server_tx, id, &key);
+
+            loop {
+                // Fire due timers (skipping cancelled ones).
+                let now = clock.now();
+                while let Some(Reverse((at, k))) = timers.peek().copied() {
+                    if at > now {
+                        break;
+                    }
+                    timers.pop();
+                    if live_timers.get(&k) != Some(&at) {
+                        continue; // Cancelled or superseded.
+                    }
+                    live_timers.remove(&k);
+                    let outs = cache.handle(clock.now(), ClientInput::Timer(timer_of(k)));
+                    apply(outs, &mut timers, &mut live_timers, &mut waiting, &server_tx, id, &key);
+                }
+                let wait = timers
+                    .peek()
+                    .map(|Reverse((at, _))| {
+                        std::time::Duration::from(at.saturating_since(clock.now()))
+                    })
+                    .unwrap_or(std::time::Duration::from_millis(20));
+
+                crossbeam::channel::select! {
+                    recv(cmd_rx) -> cmd => match cmd {
+                        Ok(ClientCmd::Read(r, reply)) => {
+                            let op = OpId(next_op);
+                            next_op += 1;
+                            waiting.insert(op, reply);
+                            let outs = cache.handle(
+                                clock.now(),
+                                ClientInput::Op { op, kind: Op::Read(r) },
+                            );
+                            apply(outs, &mut timers, &mut live_timers, &mut waiting, &server_tx, id, &key);
+                        }
+                        Ok(ClientCmd::Write(r, data, reply)) => {
+                            let op = OpId(next_op);
+                            next_op += 1;
+                            waiting.insert(op, reply);
+                            let outs = cache.handle(
+                                clock.now(),
+                                ClientInput::Op { op, kind: Op::Write(r, data) },
+                            );
+                            apply(outs, &mut timers, &mut live_timers, &mut waiting, &server_tx, id, &key);
+                        }
+                        Ok(ClientCmd::Stats(reply)) => {
+                            let _ = reply.send(cache.counters);
+                        }
+                        Ok(ClientCmd::Shutdown) | Err(_) => break,
+                    },
+                    recv(net_rx) -> msg => match msg {
+                        Ok(m) => {
+                            let outs = cache.handle(clock.now(), ClientInput::Msg(m));
+                            apply(outs, &mut timers, &mut live_timers, &mut waiting, &server_tx, id, &key);
+                        }
+                        Err(_) => break,
+                    },
+                    default(wait) => {}
+                }
+            }
+        })
+        .expect("spawn client thread")
+}

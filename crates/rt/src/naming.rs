@@ -1,0 +1,184 @@
+//! Name-binding leases for the real-time deployment (§2).
+//!
+//! "In order to support a repeated open, the cache must also hold the
+//! name-to-file binding and permission information, and it needs a lease
+//! over this information in order to use that information to perform the
+//! open. Similarly, modification of this information, such as renaming the
+//! file, would constitute a write."
+//!
+//! Directories are leased resources like any file: their "contents" are a
+//! serialized listing of name→id bindings, and namespace mutations
+//! (rename, unlink, create) are writes to the directory resource — so they
+//! run the full approval protocol and invalidate every cached binding
+//! before taking effect.
+
+use std::fmt::Write as _;
+
+use bytes::Bytes;
+use lease_store::{DirEntry, DirId, Store};
+
+/// One parsed binding from a directory listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// Entry name.
+    pub name: String,
+    /// Resource id of the file or subdirectory.
+    pub id: u64,
+    /// Whether the entry is a subdirectory.
+    pub is_dir: bool,
+}
+
+/// Serializes a directory's bindings as the leased datum.
+pub fn encode_listing(store: &Store, dir: DirId) -> Bytes {
+    let mut out = String::new();
+    if let Ok(entries) = store.list(dir) {
+        for (name, entry) in entries {
+            let (id, kind) = match entry {
+                DirEntry::File(f) => (f.0, 'f'),
+                DirEntry::Dir(d) => (d.0, 'd'),
+            };
+            let _ = writeln!(out, "{kind} {id} {name}");
+        }
+    }
+    Bytes::from(out)
+}
+
+/// Parses a listing produced by [`encode_listing`].
+pub fn parse_listing(data: &[u8]) -> Vec<Binding> {
+    let text = String::from_utf8_lossy(data);
+    text.lines()
+        .filter_map(|line| {
+            let mut parts = line.splitn(3, ' ');
+            let kind = parts.next()?;
+            let id: u64 = parts.next()?.parse().ok()?;
+            let name = parts.next()?.to_string();
+            Some(Binding {
+                name,
+                id,
+                is_dir: kind == "d",
+            })
+        })
+        .collect()
+}
+
+/// A namespace mutation, encoded as the "data" written to a directory
+/// resource so it travels through the ordinary lease write protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameOp {
+    /// Rename an entry within the directory.
+    Rename {
+        /// Existing name.
+        from: String,
+        /// New name.
+        to: String,
+    },
+    /// Remove a file entry.
+    Unlink {
+        /// The entry to remove.
+        name: String,
+    },
+    /// Create an empty regular file.
+    Create {
+        /// The new entry's name.
+        name: String,
+    },
+}
+
+impl NameOp {
+    /// Encodes the operation for the wire.
+    pub fn encode(&self) -> Bytes {
+        let s = match self {
+            NameOp::Rename { from, to } => format!("R {from}\u{0} {to}"),
+            NameOp::Unlink { name } => format!("U {name}"),
+            NameOp::Create { name } => format!("C {name}"),
+        };
+        Bytes::from(s)
+    }
+
+    /// Decodes an operation; `None` if the bytes are not a namespace op.
+    pub fn decode(data: &[u8]) -> Option<NameOp> {
+        let text = std::str::from_utf8(data).ok()?;
+        let (tag, rest) = text.split_once(' ')?;
+        match tag {
+            "R" => {
+                let (from, to) = rest.split_once("\u{0} ")?;
+                Some(NameOp::Rename {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                })
+            }
+            "U" => Some(NameOp::Unlink {
+                name: rest.to_string(),
+            }),
+            "C" => Some(NameOp::Create {
+                name: rest.to_string(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lease_clock::Time;
+    use lease_store::{FileKind, Perms};
+
+    #[test]
+    fn listing_roundtrip() {
+        let mut store = Store::new();
+        let d = store.mkdir(DirId::ROOT, "etc", Time::ZERO).unwrap();
+        let f = store
+            .create_file(
+                DirId::ROOT,
+                "motd",
+                FileKind::Regular,
+                Perms::rw(),
+                Time::ZERO,
+            )
+            .unwrap();
+        let listing = encode_listing(&store, DirId::ROOT);
+        let bindings = parse_listing(&listing);
+        assert_eq!(bindings.len(), 2);
+        assert!(bindings
+            .iter()
+            .any(|b| b.name == "etc" && b.id == d.0 && b.is_dir));
+        assert!(bindings
+            .iter()
+            .any(|b| b.name == "motd" && b.id == f.0 && !b.is_dir));
+    }
+
+    #[test]
+    fn empty_and_garbage_listings_parse_safely() {
+        assert!(parse_listing(b"").is_empty());
+        assert!(parse_listing(b"not a listing").is_empty());
+        assert!(parse_listing(&[0xff, 0xfe]).is_empty());
+    }
+
+    #[test]
+    fn name_op_roundtrip() {
+        for op in [
+            NameOp::Rename {
+                from: "a b".into(),
+                to: "c d".into(),
+            },
+            NameOp::Unlink { name: "x".into() },
+            NameOp::Create {
+                name: "new file".into(),
+            },
+        ] {
+            assert_eq!(NameOp::decode(&op.encode()), Some(op));
+        }
+        assert_eq!(NameOp::decode(b"bogus"), None);
+        assert_eq!(NameOp::decode(b"Z nope"), None);
+    }
+
+    #[test]
+    fn rename_names_may_contain_spaces() {
+        let op = NameOp::Rename {
+            from: "my file.txt".into(),
+            to: "your file.txt".into(),
+        };
+        assert_eq!(NameOp::decode(&op.encode()), Some(op));
+    }
+}

@@ -1,0 +1,246 @@
+//! The server thread.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use lease_clock::{Clock, Time, WallClock};
+use lease_core::{
+    ClientId, LeaseServer, ServerCounters, ServerInput, ServerOutput, ServerTimer, Storage,
+    ToClient, ToServer, Version,
+};
+use lease_store::{FileId, Store};
+
+/// The resource key in the real-time system: the store's file id, as u64.
+pub type Res = u64;
+
+/// Messages into the server thread.
+pub enum ServerCmd {
+    /// A protocol message from a client.
+    Msg(ClientId, ToServer<Res, Bytes>),
+    /// An administrative write (install).
+    LocalWrite(Res, Bytes),
+    /// Ask for counters.
+    Stats(Sender<ServerStats>),
+    /// Stop the thread.
+    Shutdown,
+}
+
+/// Observable server statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerStats {
+    /// Protocol counters.
+    pub counters: ServerCounters,
+    /// Committed writes in the store.
+    pub writes_committed: u64,
+}
+
+/// Adapts `lease_store::Store` to the protocol's storage interface.
+pub struct StoreBackend {
+    /// The underlying durable store.
+    pub store: Store,
+    clock: WallClock,
+}
+
+impl StoreBackend {
+    /// Wraps a store.
+    pub fn new(store: Store, clock: WallClock) -> StoreBackend {
+        StoreBackend { store, clock }
+    }
+}
+
+impl Storage<Res, Bytes> for StoreBackend {
+    fn read(&self, resource: &Res) -> Option<(Bytes, Version)> {
+        if let Ok((data, v)) = self.store.read(FileId(*resource)) {
+            return Some((data.clone(), Version(v.0)));
+        }
+        // Directory resources serve their serialized name bindings (§2:
+        // the name-to-file information is leased like any datum).
+        let dir = lease_store::DirId(*resource);
+        let v = self.store.dir_version(dir)?;
+        Some((
+            crate::naming::encode_listing(&self.store, dir),
+            Version(v.0),
+        ))
+    }
+
+    fn version(&self, resource: &Res) -> Option<Version> {
+        if let Some(f) = self.store.file(FileId(*resource)) {
+            return Some(Version(f.version.0));
+        }
+        self.store
+            .dir_version(lease_store::DirId(*resource))
+            .map(|v| Version(v.0))
+    }
+
+    fn write(&mut self, resource: &Res, data: Bytes) -> Version {
+        let now = self.clock.now();
+        if self.store.file(FileId(*resource)).is_some() {
+            let v = self
+                .store
+                .install(FileId(*resource), data, now)
+                .expect("file exists");
+            return Version(v.0);
+        }
+        // A write to a directory resource carries an encoded namespace
+        // mutation; it lands here only after the lease protocol collected
+        // every binding-holder's approval.
+        let dir = lease_store::DirId(*resource);
+        if let Some(op) = crate::naming::NameOp::decode(&data) {
+            let apply = match op {
+                crate::naming::NameOp::Rename { from, to } => {
+                    self.store.rename(dir, &from, dir, &to, now).map(|_| ())
+                }
+                crate::naming::NameOp::Unlink { name } => {
+                    self.store.unlink(dir, &name, now).map(|_| ())
+                }
+                crate::naming::NameOp::Create { name } => self
+                    .store
+                    .create_file(
+                        dir,
+                        &name,
+                        lease_store::FileKind::Regular,
+                        lease_store::Perms::rw(),
+                        now,
+                    )
+                    .map(|_| ()),
+            };
+            if apply.is_err() {
+                // The op no longer applies (e.g. name vanished while the
+                // write waited for approvals): bump the version anyway so
+                // callers revalidate, by touching and undoing nothing.
+            }
+        }
+        Version(self.store.dir_version(dir).map(|v| v.0).unwrap_or(0))
+    }
+}
+
+/// Per-client outbound link, with a kill switch for fault injection.
+pub struct ClientLink {
+    /// Channel into the client thread.
+    pub tx: Sender<ToClient<Res, Bytes>>,
+    /// When set, messages to and from this client are dropped.
+    pub cut: Arc<AtomicBool>,
+}
+
+pub(crate) fn spawn_server(
+    mut server: LeaseServer<Res, Bytes>,
+    mut backend: StoreBackend,
+    rx: Receiver<ServerCmd>,
+    links: Vec<ClientLink>,
+    clock: WallClock,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("lease-server".into())
+        .spawn(move || {
+            let mut timers: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
+            let key = |t: ServerTimer| match t {
+                ServerTimer::InstalledTick => 0u64,
+                ServerTimer::WriteDeadline(w) => w.0 + 1,
+            };
+            let timer_of = |k: u64| {
+                if k == 0 {
+                    ServerTimer::InstalledTick
+                } else {
+                    ServerTimer::WriteDeadline(lease_core::WriteId(k - 1))
+                }
+            };
+            fn apply(
+                outs: Vec<ServerOutput<Res, Bytes>>,
+                timers: &mut BinaryHeap<Reverse<(Time, u64)>>,
+                links: &[ClientLink],
+                backend: &mut StoreBackend,
+                key: &impl Fn(ServerTimer) -> u64,
+            ) {
+                for o in outs {
+                    match o {
+                        ServerOutput::Send { to, msg } => {
+                            let link = &links[to.0 as usize];
+                            if !link.cut.load(Ordering::Relaxed) {
+                                let _ = link.tx.send(msg);
+                            }
+                        }
+                        ServerOutput::Multicast { to, msg } => {
+                            for c in to {
+                                let link = &links[c.0 as usize];
+                                if !link.cut.load(Ordering::Relaxed) {
+                                    let _ = link.tx.send(msg.clone());
+                                }
+                            }
+                        }
+                        ServerOutput::SetTimer { at, timer } => {
+                            timers.push(Reverse((at, key(timer))));
+                        }
+                        ServerOutput::PersistMaxTerm(d) => {
+                            backend
+                                .store
+                                .put_slot("max_lease_term", d.as_nanos().to_le_bytes().to_vec());
+                        }
+                        ServerOutput::PersistLease { .. } => {
+                            // The RT deployment uses MaxTerm recovery.
+                        }
+                        ServerOutput::Committed { .. } => {}
+                    }
+                }
+            }
+
+            let outs = server.start(clock.now(), &backend);
+            apply(outs, &mut timers, &links, &mut backend, &key);
+
+            loop {
+                // Fire due timers.
+                let now = clock.now();
+                while let Some(Reverse((at, k))) = timers.peek().copied() {
+                    if at > now {
+                        break;
+                    }
+                    timers.pop();
+                    let outs =
+                        server.handle(clock.now(), ServerInput::Timer(timer_of(k)), &mut backend);
+                    apply(outs, &mut timers, &links, &mut backend, &key);
+                }
+                // Wait for the next message or timer deadline.
+                let wait = timers
+                    .peek()
+                    .map(|Reverse((at, _))| {
+                        std::time::Duration::from(at.saturating_since(clock.now()))
+                    })
+                    .unwrap_or(std::time::Duration::from_millis(50));
+                match rx.recv_timeout(wait) {
+                    Ok(ServerCmd::Msg(from, msg)) => {
+                        if links[from.0 as usize].cut.load(Ordering::Relaxed) {
+                            continue; // Fault injection: drop inbound too.
+                        }
+                        let outs = server.handle(
+                            clock.now(),
+                            ServerInput::Msg { from, msg },
+                            &mut backend,
+                        );
+                        apply(outs, &mut timers, &links, &mut backend, &key);
+                    }
+                    Ok(ServerCmd::LocalWrite(resource, data)) => {
+                        let outs = server.handle(
+                            clock.now(),
+                            ServerInput::LocalWrite { resource, data },
+                            &mut backend,
+                        );
+                        apply(outs, &mut timers, &links, &mut backend, &key);
+                    }
+                    Ok(ServerCmd::Stats(reply)) => {
+                        let _ = reply.send(ServerStats {
+                            counters: server.counters,
+                            writes_committed: backend.store.writes_committed(),
+                        });
+                    }
+                    Ok(ServerCmd::Shutdown) => break,
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        })
+        .expect("spawn server thread")
+}

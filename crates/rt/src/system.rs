@@ -1,0 +1,273 @@
+//! Assembling a real-time lease system.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Sender};
+use lease_clock::{Clock, Dur, WallClock};
+use lease_core::{ClientConfig, ClientId, LeaseClient, LeaseServer, ServerConfig};
+use lease_store::{DirId, FileKind, Perms, Store};
+
+use crate::client::{spawn_client, ClientCmd, RtClientHandle};
+use crate::server::{spawn_server, ClientLink, Res, ServerCmd, ServerStats, StoreBackend};
+
+/// Builder for an [`RtSystem`].
+pub struct RtSystemBuilder {
+    term: Dur,
+    epsilon: Dur,
+    retry_interval: Dur,
+    max_retries: u32,
+    clients: u32,
+    files: Vec<(String, Bytes, FileKind)>,
+    installed_tick: Option<(Dur, Dur)>,
+}
+
+impl RtSystemBuilder {
+    /// The lease term the server grants.
+    pub fn term(mut self, term: Dur) -> Self {
+        self.term = term;
+        self
+    }
+
+    /// The client's clock allowance ε.
+    pub fn epsilon(mut self, epsilon: Dur) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Client retransmission interval.
+    pub fn retry_interval(mut self, d: Dur) -> Self {
+        self.retry_interval = d;
+        self
+    }
+
+    /// Client retry budget.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Number of client caches.
+    pub fn clients(mut self, n: u32) -> Self {
+        self.clients = n;
+        self
+    }
+
+    /// Pre-creates a file (path must be absolute; directories are made).
+    pub fn file(mut self, path: &str, data: impl Into<Bytes>) -> Self {
+        self.files
+            .push((path.to_owned(), data.into(), FileKind::Regular));
+        self
+    }
+
+    /// Pre-creates an installed (read-mostly system) file.
+    pub fn installed_file(mut self, path: &str, data: impl Into<Bytes>) -> Self {
+        self.files
+            .push((path.to_owned(), data.into(), FileKind::Installed));
+        self
+    }
+
+    /// Enables the §4 installed-file multicast with (tick, term).
+    pub fn installed_multicast(mut self, tick: Dur, term: Dur) -> Self {
+        self.installed_tick = Some((tick, term));
+        self
+    }
+
+    /// Builds and starts every thread.
+    pub fn start(self) -> RtSystem {
+        let clock = WallClock::new();
+        let mut store = Store::new();
+        let mut names = HashMap::new();
+        let mut dirs: HashMap<String, u64> = HashMap::new();
+        dirs.insert("/".to_string(), DirId::ROOT.0);
+        let mut installed_resources = Vec::new();
+        for (path, data, kind) in &self.files {
+            let (dir_path, name) = match path.rfind('/') {
+                Some(0) => ("/".to_string(), &path[1..]),
+                Some(i) => (path[..i].to_string(), &path[i + 1..]),
+                None => panic!("file path must be absolute: {path}"),
+            };
+            let dir = if dir_path == "/" {
+                DirId::ROOT
+            } else {
+                store.mkdir_p(&dir_path).unwrap()
+            };
+            dirs.insert(dir_path.clone(), dir.0);
+            let perms = if *kind == FileKind::Installed {
+                Perms::rx()
+            } else {
+                Perms::rw()
+            };
+            let id = store
+                .create_file(dir, name, *kind, perms, clock.now())
+                .unwrap();
+            store.write(id, data.clone(), clock.now()).unwrap();
+            names.insert(path.clone(), id.0);
+            if *kind == FileKind::Installed {
+                installed_resources.push(id.0);
+            }
+        }
+
+        let mut sc: ServerConfig<Res> = ServerConfig::fixed(self.term);
+        if let Some((tick, term)) = self.installed_tick {
+            sc.installed_tick = tick;
+            sc.installed_term = term;
+        }
+        let mut server: LeaseServer<Res, Bytes> = LeaseServer::new(sc);
+        if self.installed_tick.is_some() {
+            for r in installed_resources {
+                server.add_installed(r);
+            }
+            server.set_installed_group((0..self.clients).map(ClientId).collect());
+        }
+
+        let (server_tx, server_rx) = unbounded::<ServerCmd>();
+        let mut links = Vec::new();
+        let mut client_handles = Vec::new();
+        let mut threads: Vec<JoinHandle<()>> = Vec::new();
+        let mut cuts = Vec::new();
+        let mut client_cmd_txs: Vec<Sender<ClientCmd>> = Vec::new();
+
+        for i in 0..self.clients {
+            let (net_tx, net_rx) = unbounded();
+            let cut = Arc::new(AtomicBool::new(false));
+            links.push(ClientLink {
+                tx: net_tx,
+                cut: cut.clone(),
+            });
+            cuts.push(cut);
+            let (cmd_tx, cmd_rx) = unbounded();
+            let cache = LeaseClient::new(
+                ClientId(i),
+                ClientConfig {
+                    epsilon: self.epsilon,
+                    retry_interval: self.retry_interval,
+                    max_retries: self.max_retries,
+                    batch_extensions: true,
+                    anticipatory: None,
+                    capacity: 0,
+                },
+            );
+            threads.push(spawn_client(
+                cache,
+                cmd_rx,
+                net_rx,
+                server_tx.clone(),
+                clock.clone(),
+            ));
+            client_handles.push(RtClientHandle { tx: cmd_tx.clone() });
+            client_cmd_txs.push(cmd_tx);
+        }
+
+        let backend = StoreBackend::new(store, clock.clone());
+        threads.push(spawn_server(server, backend, server_rx, links, clock));
+
+        RtSystem {
+            server_tx,
+            client_handles,
+            client_cmd_txs,
+            cuts,
+            names,
+            dirs,
+            threads,
+        }
+    }
+}
+
+/// A running real-time lease system: one server thread, N client threads.
+pub struct RtSystem {
+    server_tx: Sender<ServerCmd>,
+    client_handles: Vec<RtClientHandle>,
+    client_cmd_txs: Vec<Sender<ClientCmd>>,
+    cuts: Vec<Arc<AtomicBool>>,
+    names: HashMap<String, Res>,
+    dirs: HashMap<String, Res>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RtSystem {
+    /// Starts building a system.
+    pub fn builder() -> RtSystemBuilder {
+        RtSystemBuilder {
+            term: Dur::from_millis(500),
+            epsilon: Dur::from_millis(10),
+            retry_interval: Dur::from_millis(50),
+            max_retries: 40,
+            clients: 1,
+            files: Vec::new(),
+            installed_tick: None,
+        }
+    }
+
+    /// Resolves a pre-created path to its resource id.
+    pub fn lookup(&self, path: &str) -> Option<Res> {
+        self.names.get(path).copied()
+    }
+
+    /// Resolves a pre-created directory path to its (leasable) resource.
+    pub fn dir(&self, path: &str) -> Option<Res> {
+        self.dirs.get(path).copied()
+    }
+
+    /// Renames an entry within a directory: a write to the name binding,
+    /// run through the full lease protocol (§2: "renaming the file would
+    /// constitute a write").
+    pub fn rename(&self, dir: Res, from: &str, to: &str) {
+        let op = crate::naming::NameOp::Rename {
+            from: from.into(),
+            to: to.into(),
+        };
+        let _ = self.server_tx.send(ServerCmd::LocalWrite(dir, op.encode()));
+    }
+
+    /// Removes a file entry from a directory (a name-binding write).
+    pub fn unlink(&self, dir: Res, name: &str) {
+        let op = crate::naming::NameOp::Unlink { name: name.into() };
+        let _ = self.server_tx.send(ServerCmd::LocalWrite(dir, op.encode()));
+    }
+
+    /// Creates an empty regular file in a directory (a name-binding write).
+    pub fn create(&self, dir: Res, name: &str) {
+        let op = crate::naming::NameOp::Create { name: name.into() };
+        let _ = self.server_tx.send(ServerCmd::LocalWrite(dir, op.encode()));
+    }
+
+    /// The handle for client `i`.
+    pub fn client(&self, i: usize) -> RtClientHandle {
+        self.client_handles[i].clone()
+    }
+
+    /// Cuts (or restores) all traffic to and from client `i` — the
+    /// partition / crashed-client fault.
+    pub fn set_cut(&self, i: usize, cut: bool) {
+        self.cuts[i].store(cut, Ordering::Relaxed);
+    }
+
+    /// Performs an administrative write (installing a new version, §4).
+    pub fn install(&self, resource: Res, data: impl Into<Bytes>) {
+        let _ = self
+            .server_tx
+            .send(ServerCmd::LocalWrite(resource, data.into()));
+    }
+
+    /// Server statistics snapshot.
+    pub fn server_stats(&self) -> Option<ServerStats> {
+        let (tx, rx) = bounded(1);
+        self.server_tx.send(ServerCmd::Stats(tx)).ok()?;
+        rx.recv_timeout(std::time::Duration::from_secs(5)).ok()
+    }
+
+    /// Stops every thread and waits for them.
+    pub fn shutdown(mut self) {
+        for tx in &self.client_cmd_txs {
+            let _ = tx.send(ClientCmd::Shutdown);
+        }
+        let _ = self.server_tx.send(ServerCmd::Shutdown);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The pluggable network model.
+
+use lease_clock::Time;
+
+use crate::actor::ActorId;
+use crate::rng::SimRng;
+
+/// Where a message is headed.
+#[derive(Debug, Clone)]
+pub enum Dest {
+    /// A unicast to one actor.
+    One(ActorId),
+    /// A multicast to an explicit recipient list (V "host group" style:
+    /// the sender pays one send, each recipient pays one receive).
+    Many(Vec<ActorId>),
+}
+
+/// One scheduled delivery decided by a [`Medium`].
+#[derive(Debug, Clone)]
+pub struct Delivery<M> {
+    /// When the recipient's handler runs.
+    pub at: Time,
+    /// The recipient.
+    pub to: ActorId,
+    /// The (possibly cloned, for multicast) message.
+    pub msg: M,
+}
+
+/// A network model: decides when (and whether) each send arrives.
+///
+/// Returning an empty vector drops the message. The medium sees the current
+/// time on every call, so implementations can apply time-scheduled control
+/// changes (partitions healing, loss bursts ending) lazily.
+pub trait Medium<M> {
+    /// Routes one send. `from` is the sending actor.
+    fn route(
+        &mut self,
+        now: Time,
+        rng: &mut SimRng,
+        from: ActorId,
+        dest: Dest,
+        msg: M,
+    ) -> Vec<Delivery<M>>;
+}
+
+/// A zero-latency, loss-free network for unit tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectMedium;
+
+impl<M: Clone> Medium<M> for PerfectMedium {
+    fn route(
+        &mut self,
+        now: Time,
+        _rng: &mut SimRng,
+        _from: ActorId,
+        dest: Dest,
+        msg: M,
+    ) -> Vec<Delivery<M>> {
+        match dest {
+            Dest::One(to) => vec![Delivery { at: now, to, msg }],
+            Dest::Many(tos) => tos
+                .into_iter()
+                .map(|to| Delivery {
+                    at: now,
+                    to,
+                    msg: msg.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_unicast_is_instant() {
+        let mut m = PerfectMedium;
+        let mut rng = SimRng::seed(0);
+        let d = m.route(
+            Time::from_secs(1),
+            &mut rng,
+            ActorId(0),
+            Dest::One(ActorId(1)),
+            "hi",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].at, Time::from_secs(1));
+        assert_eq!(d[0].to, ActorId(1));
+    }
+
+    #[test]
+    fn perfect_multicast_fans_out() {
+        let mut m = PerfectMedium;
+        let mut rng = SimRng::seed(0);
+        let to = vec![ActorId(1), ActorId(2), ActorId(3)];
+        let d = m.route(Time::ZERO, &mut rng, ActorId(0), Dest::Many(to), 7u32);
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().all(|x| x.msg == 7));
+    }
+}

@@ -1,0 +1,285 @@
+//! Counters and sample histograms harvested by the experiments.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A sample-keeping histogram.
+///
+/// The experiment scales here are modest (at most a few million samples per
+/// run), so the histogram keeps every sample and computes exact quantiles.
+///
+/// # Examples
+///
+/// ```
+/// use lease_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.mean(), 2.5);
+/// assert_eq!(h.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
+            .pipe_finite()
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_finite()
+    }
+
+    /// Exact `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method; 0 if empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+
+    /// A compact summary for reports.
+    pub fn summary(&mut self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Summary statistics of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// A registry of named counters and histograms.
+///
+/// Names are `&'static str` because every metric in this codebase is known
+/// at compile time; the `BTreeMap` keeps report output deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Increments the named counter by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into the named histogram.
+    pub fn observe(&mut self, name: &'static str, v: f64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
+    /// Mutable access to a histogram (creates it if missing).
+    pub fn histogram_mut(&mut self, name: &'static str) -> &mut Histogram {
+        self.histograms.entry(name).or_default()
+    }
+
+    /// Read access to a histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn counter_sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Merges another registry into this one (counters add, samples append).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            let dst = self.histograms.entry(k).or_default();
+            for s in &h.samples {
+                dst.record(*s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.inc("msgs");
+        m.add("msgs", 4);
+        assert_eq!(m.counter("msgs"), 5);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_exact() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.5), 50.0);
+        assert_eq!(h.quantile(0.95), 95.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn record_after_quantile_resorts() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        assert_eq!(h.quantile(0.5), 5.0);
+        h.record(1.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn prefix_sum() {
+        let mut m = Metrics::new();
+        m.add("server.msg.extend", 3);
+        m.add("server.msg.approve", 2);
+        m.add("client.msg.read", 7);
+        assert_eq!(m.counter_sum_prefix("server.msg."), 5);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Metrics::new();
+        a.inc("x");
+        a.observe("h", 1.0);
+        let mut b = Metrics::new();
+        b.add("x", 2);
+        b.observe("h", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.histogram_mut("h").count(), 2);
+        assert_eq!(a.histogram_mut("h").mean(), 2.0);
+    }
+}

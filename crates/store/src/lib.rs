@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! File-server substrate for the leases reproduction.
+//!
+//! The paper evaluates leases on the V file service; this crate is our
+//! stand-in for that service's storage layer: a hierarchical namespace of
+//! versioned files with permission bits and the file classes the paper's
+//! cache treats specially — *temporary* files (write-mostly, handled outside
+//! the consistency protocol, §2) and *installed* files (widely shared,
+//! read-mostly commands/headers/libraries, §4).
+//!
+//! Consistency is *not* this crate's job: the store is the primary copy the
+//! lease protocol in `lease-core` protects. What the store does guarantee is
+//! write-through durability — a committed write survives a server crash —
+//! plus small durable slots the server uses to persist its maximum granted
+//! lease term for crash recovery (§2).
+//!
+//! # Examples
+//!
+//! ```
+//! use bytes::Bytes;
+//! use lease_clock::Time;
+//! use lease_store::{FileKind, Perms, Store};
+//!
+//! let mut store = Store::new();
+//! let bin = store.mkdir_p("/bin").unwrap();
+//! let latex = store
+//!     .create_file(bin, "latex", FileKind::Installed, Perms::rx(), Time::ZERO)
+//!     .unwrap();
+//! store.write(latex, Bytes::from_static(b"ELF..."), Time::from_secs(1)).unwrap();
+//! let resolved = store.lookup("/bin/latex").unwrap();
+//! assert_eq!(resolved.file().unwrap(), latex);
+//! ```
+
+pub mod node;
+pub mod path;
+pub mod store;
+
+pub use node::{DirEntry, DirId, FileId, FileKind, FileNode, Perms, Version};
+pub use store::{Resolved, Store, StoreError};

@@ -1,0 +1,157 @@
+//! Identifiers and on-"disk" node types.
+
+use bytes::Bytes;
+use lease_clock::Time;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a file within a [`Store`](crate::Store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u64);
+
+/// Identifies a directory within a [`Store`](crate::Store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DirId(pub u64);
+
+impl DirId {
+    /// The root directory.
+    pub const ROOT: DirId = DirId(0);
+}
+
+/// A monotonically increasing per-object version number.
+///
+/// Version 0 means "never written"; the first write produces version 1.
+/// The lease protocol and the consistency oracle both key on versions.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The next version.
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+/// The access classes the paper's cache distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileKind {
+    /// Ordinary files: fully covered by the consistency protocol.
+    Regular,
+    /// Temporary files: write-mostly, handled outside the protocol (the V
+    /// cache treats them like a local disk, §2/§3.2).
+    Temporary,
+    /// Installed files: widely shared, read-mostly system files eligible
+    /// for the §4 directory-granularity lease optimization.
+    Installed,
+}
+
+/// Unix-flavoured permission bits, enough to make opens meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Perms {
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+    /// Executable (program loading counts as a read in the traces).
+    pub exec: bool,
+}
+
+impl Perms {
+    /// Read-write, the default for user files.
+    pub fn rw() -> Perms {
+        Perms {
+            read: true,
+            write: true,
+            exec: false,
+        }
+    }
+
+    /// Read-execute, typical for installed binaries.
+    pub fn rx() -> Perms {
+        Perms {
+            read: true,
+            write: false,
+            exec: true,
+        }
+    }
+
+    /// Read-only.
+    pub fn ro() -> Perms {
+        Perms {
+            read: true,
+            write: false,
+            exec: false,
+        }
+    }
+}
+
+impl Default for Perms {
+    fn default() -> Perms {
+        Perms::rw()
+    }
+}
+
+/// A directory entry: name → file or subdirectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DirEntry {
+    /// A file.
+    File(FileId),
+    /// A subdirectory.
+    Dir(DirId),
+}
+
+/// A file's full state.
+#[derive(Debug, Clone)]
+pub struct FileNode {
+    /// Contents.
+    pub data: Bytes,
+    /// Current version (0 until first written).
+    pub version: Version,
+    /// Last modification time (server clock).
+    pub mtime: Time,
+    /// Permission bits.
+    pub perms: Perms,
+    /// Access class.
+    pub kind: FileKind,
+}
+
+impl FileNode {
+    /// A freshly created, empty file.
+    pub fn empty(kind: FileKind, perms: Perms, now: Time) -> FileNode {
+        FileNode {
+            data: Bytes::new(),
+            version: Version(0),
+            mtime: now,
+            perms,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_next_increments() {
+        assert_eq!(Version(0).next(), Version(1));
+        assert_eq!(Version(41).next(), Version(42));
+    }
+
+    #[test]
+    fn perms_presets() {
+        assert!(Perms::rw().write);
+        assert!(!Perms::rx().write);
+        assert!(Perms::rx().exec);
+        assert!(!Perms::ro().exec && Perms::ro().read);
+    }
+
+    #[test]
+    fn empty_file_is_version_zero() {
+        let f = FileNode::empty(FileKind::Regular, Perms::rw(), Time::from_secs(3));
+        assert_eq!(f.version, Version(0));
+        assert!(f.data.is_empty());
+        assert_eq!(f.mtime, Time::from_secs(3));
+    }
+}

@@ -1,0 +1,91 @@
+//! Slash-separated path handling.
+
+/// Splits an absolute path into components, rejecting malformed input.
+///
+/// Rules: the path must start with `/`; empty components (`//`), `.` and
+/// `..` are rejected — the file service resolves plain absolute names, like
+/// the V naming protocol did. The root `/` yields an empty component list.
+///
+/// # Examples
+///
+/// ```
+/// use lease_store::path::split;
+///
+/// assert_eq!(split("/bin/latex").unwrap(), vec!["bin", "latex"]);
+/// assert_eq!(split("/").unwrap(), Vec::<&str>::new());
+/// assert!(split("relative").is_none());
+/// assert!(split("/a//b").is_none());
+/// assert!(split("/a/../b").is_none());
+/// ```
+pub fn split(path: &str) -> Option<Vec<&str>> {
+    let rest = path.strip_prefix('/')?;
+    if rest.is_empty() {
+        return Some(Vec::new());
+    }
+    let parts: Vec<&str> = rest.split('/').collect();
+    if parts
+        .iter()
+        .any(|p| p.is_empty() || *p == "." || *p == "..")
+    {
+        return None;
+    }
+    Some(parts)
+}
+
+/// Splits a path into (parent components, final name).
+///
+/// Returns `None` for the root or malformed paths.
+pub fn split_parent(path: &str) -> Option<(Vec<&str>, &str)> {
+    let mut parts = split(path)?;
+    let name = parts.pop()?;
+    Some((parts, name))
+}
+
+/// Joins a directory path and a name.
+pub fn join(dir: &str, name: &str) -> String {
+    if dir == "/" {
+        format!("/{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_components() {
+        assert_eq!(split("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(split("/x").unwrap(), vec!["x"]);
+    }
+
+    #[test]
+    fn root_is_empty() {
+        assert_eq!(split("/").unwrap(), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(split("").is_none());
+        assert!(split("a/b").is_none());
+        assert!(split("/a/").is_none());
+        assert!(split("/a//b").is_none());
+        assert!(split("/./a").is_none());
+        assert!(split("/a/..").is_none());
+    }
+
+    #[test]
+    fn parent_split() {
+        let (parent, name) = split_parent("/a/b/c").unwrap();
+        assert_eq!(parent, vec!["a", "b"]);
+        assert_eq!(name, "c");
+        assert!(split_parent("/").is_none());
+    }
+
+    #[test]
+    fn join_handles_root() {
+        assert_eq!(join("/", "etc"), "/etc");
+        assert_eq!(join("/usr", "lib"), "/usr/lib");
+    }
+}

@@ -1,0 +1,608 @@
+//! The store proper: namespace, file bodies, durable slots.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use bytes::Bytes;
+use lease_clock::Time;
+
+use crate::node::{DirEntry, DirId, FileId, FileKind, FileNode, Perms, Version};
+use crate::path;
+
+/// Errors returned by [`Store`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// The named file or directory does not exist.
+    NotFound,
+    /// An entry with this name already exists.
+    Exists,
+    /// A path component named a file where a directory was needed.
+    NotADirectory,
+    /// The operation needed a file but found a directory.
+    IsADirectory,
+    /// The path was not an absolute, well-formed name.
+    InvalidPath,
+    /// A directory slated for removal still has entries.
+    NotEmpty,
+    /// The file's permission bits forbid the operation.
+    PermissionDenied,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StoreError::NotFound => "not found",
+            StoreError::Exists => "already exists",
+            StoreError::NotADirectory => "not a directory",
+            StoreError::IsADirectory => "is a directory",
+            StoreError::InvalidPath => "invalid path",
+            StoreError::NotEmpty => "directory not empty",
+            StoreError::PermissionDenied => "permission denied",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Outcome of a path lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolved {
+    /// The path named a file, whose parent directory is also reported —
+    /// callers need it because the *name binding* lives in the directory
+    /// and is itself leased (§2: supporting repeated opens).
+    File {
+        /// The file.
+        file: FileId,
+        /// The directory holding the binding.
+        parent: DirId,
+    },
+    /// The path named a directory.
+    Dir(DirId),
+}
+
+impl Resolved {
+    /// The file id, if the path named a file.
+    pub fn file(self) -> Option<FileId> {
+        match self {
+            Resolved::File { file, .. } => Some(file),
+            Resolved::Dir(_) => None,
+        }
+    }
+
+    /// The directory id, if the path named a directory.
+    pub fn dir(self) -> Option<DirId> {
+        match self {
+            Resolved::Dir(d) => Some(d),
+            Resolved::File { .. } => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DirNode {
+    entries: BTreeMap<String, DirEntry>,
+    /// Bumped on any binding change (create, remove, rename): the version
+    /// of the name-to-file information a name lease covers.
+    version: Version,
+    mtime: Time,
+}
+
+/// The primary copy of all data: a hierarchical, versioned file store.
+///
+/// The store models a disk: everything in it survives a server crash.
+/// Volatile server state (the lease table) lives in `lease-core` and is
+/// lost on crash; the server's persisted maximum lease term goes through
+/// [`Store::put_slot`].
+#[derive(Debug, Clone)]
+pub struct Store {
+    files: HashMap<FileId, FileNode>,
+    dirs: HashMap<DirId, DirNode>,
+    next_id: u64,
+    /// Small named durable values (e.g. `"max_lease_term"`).
+    slots: HashMap<String, Vec<u8>>,
+    /// Count of committed file writes, for write-through accounting.
+    writes_committed: u64,
+}
+
+impl Store {
+    /// Creates a store containing only an empty root directory.
+    pub fn new() -> Store {
+        let mut dirs = HashMap::new();
+        dirs.insert(
+            DirId::ROOT,
+            DirNode {
+                entries: BTreeMap::new(),
+                version: Version(0),
+                mtime: Time::ZERO,
+            },
+        );
+        Store {
+            files: HashMap::new(),
+            dirs,
+            next_id: 1,
+            slots: HashMap::new(),
+            writes_committed: 0,
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Creates an empty file named `name` in `dir`.
+    pub fn create_file(
+        &mut self,
+        dir: DirId,
+        name: &str,
+        kind: FileKind,
+        perms: Perms,
+        now: Time,
+    ) -> Result<FileId, StoreError> {
+        if name.is_empty() || name.contains('/') {
+            return Err(StoreError::InvalidPath);
+        }
+        let id = FileId(self.fresh_id());
+        let d = self.dirs.get_mut(&dir).ok_or(StoreError::NotFound)?;
+        if d.entries.contains_key(name) {
+            return Err(StoreError::Exists);
+        }
+        d.entries.insert(name.to_owned(), DirEntry::File(id));
+        d.version = d.version.next();
+        d.mtime = now;
+        self.files.insert(id, FileNode::empty(kind, perms, now));
+        Ok(id)
+    }
+
+    /// Creates a subdirectory named `name` in `dir`.
+    pub fn mkdir(&mut self, dir: DirId, name: &str, now: Time) -> Result<DirId, StoreError> {
+        if name.is_empty() || name.contains('/') {
+            return Err(StoreError::InvalidPath);
+        }
+        let id = DirId(self.fresh_id());
+        let d = self.dirs.get_mut(&dir).ok_or(StoreError::NotFound)?;
+        if d.entries.contains_key(name) {
+            return Err(StoreError::Exists);
+        }
+        d.entries.insert(name.to_owned(), DirEntry::Dir(id));
+        d.version = d.version.next();
+        d.mtime = now;
+        self.dirs.insert(
+            id,
+            DirNode {
+                entries: BTreeMap::new(),
+                version: Version(0),
+                mtime: now,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Creates every missing directory along `path` and returns the last.
+    pub fn mkdir_p(&mut self, p: &str) -> Result<DirId, StoreError> {
+        let parts = path::split(p).ok_or(StoreError::InvalidPath)?;
+        let mut cur = DirId::ROOT;
+        for part in parts {
+            let existing = self
+                .dirs
+                .get(&cur)
+                .ok_or(StoreError::NotFound)?
+                .entries
+                .get(part)
+                .copied();
+            cur = match existing {
+                Some(DirEntry::Dir(d)) => d,
+                Some(DirEntry::File(_)) => return Err(StoreError::NotADirectory),
+                None => self.mkdir(cur, part, Time::ZERO)?,
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Resolves an absolute path.
+    pub fn lookup(&self, p: &str) -> Result<Resolved, StoreError> {
+        let parts = path::split(p).ok_or(StoreError::InvalidPath)?;
+        let mut cur = DirId::ROOT;
+        for (i, part) in parts.iter().enumerate() {
+            let d = self.dirs.get(&cur).ok_or(StoreError::NotFound)?;
+            match d.entries.get(*part) {
+                Some(DirEntry::Dir(next)) => cur = *next,
+                Some(DirEntry::File(f)) => {
+                    if i + 1 == parts.len() {
+                        return Ok(Resolved::File {
+                            file: *f,
+                            parent: cur,
+                        });
+                    }
+                    return Err(StoreError::NotADirectory);
+                }
+                None => return Err(StoreError::NotFound),
+            }
+        }
+        Ok(Resolved::Dir(cur))
+    }
+
+    /// Reads a file's contents and version.
+    pub fn read(&self, file: FileId) -> Result<(&Bytes, Version), StoreError> {
+        let f = self.files.get(&file).ok_or(StoreError::NotFound)?;
+        if !f.perms.read {
+            return Err(StoreError::PermissionDenied);
+        }
+        Ok((&f.data, f.version))
+    }
+
+    /// Metadata access without a permission check (for the server side).
+    pub fn file(&self, file: FileId) -> Option<&FileNode> {
+        self.files.get(&file)
+    }
+
+    /// Overwrites a file (write-through commit); returns the new version.
+    pub fn write(&mut self, file: FileId, data: Bytes, now: Time) -> Result<Version, StoreError> {
+        let f = self.files.get_mut(&file).ok_or(StoreError::NotFound)?;
+        if !f.perms.write && f.kind != FileKind::Installed {
+            // Installed files are updated administratively (new versions of
+            // commands get installed) even though clients cannot write them.
+            return Err(StoreError::PermissionDenied);
+        }
+        f.data = data;
+        f.version = f.version.next();
+        f.mtime = now;
+        self.writes_committed += 1;
+        Ok(f.version)
+    }
+
+    /// Writes regardless of permission bits: the administrative path used
+    /// for installing new versions of system files (§4).
+    pub fn install(&mut self, file: FileId, data: Bytes, now: Time) -> Result<Version, StoreError> {
+        let f = self.files.get_mut(&file).ok_or(StoreError::NotFound)?;
+        f.data = data;
+        f.version = f.version.next();
+        f.mtime = now;
+        self.writes_committed += 1;
+        Ok(f.version)
+    }
+
+    /// Removes the named file from `dir`.
+    pub fn unlink(&mut self, dir: DirId, name: &str, now: Time) -> Result<FileId, StoreError> {
+        let d = self.dirs.get_mut(&dir).ok_or(StoreError::NotFound)?;
+        match d.entries.get(name) {
+            Some(DirEntry::File(f)) => {
+                let f = *f;
+                d.entries.remove(name);
+                d.version = d.version.next();
+                d.mtime = now;
+                self.files.remove(&f);
+                Ok(f)
+            }
+            Some(DirEntry::Dir(_)) => Err(StoreError::IsADirectory),
+            None => Err(StoreError::NotFound),
+        }
+    }
+
+    /// Removes an empty subdirectory.
+    pub fn rmdir(&mut self, dir: DirId, name: &str, now: Time) -> Result<(), StoreError> {
+        let target = {
+            let d = self.dirs.get(&dir).ok_or(StoreError::NotFound)?;
+            match d.entries.get(name) {
+                Some(DirEntry::Dir(t)) => *t,
+                Some(DirEntry::File(_)) => return Err(StoreError::NotADirectory),
+                None => return Err(StoreError::NotFound),
+            }
+        };
+        if !self
+            .dirs
+            .get(&target)
+            .ok_or(StoreError::NotFound)?
+            .entries
+            .is_empty()
+        {
+            return Err(StoreError::NotEmpty);
+        }
+        self.dirs.remove(&target);
+        let d = self.dirs.get_mut(&dir).expect("parent vanished");
+        d.entries.remove(name);
+        d.version = d.version.next();
+        d.mtime = now;
+        Ok(())
+    }
+
+    /// Renames an entry within or across directories. Renaming is a write
+    /// to the *name binding* — both directory versions advance, which is
+    /// exactly what invalidates name leases (§2).
+    pub fn rename(
+        &mut self,
+        from_dir: DirId,
+        from_name: &str,
+        to_dir: DirId,
+        to_name: &str,
+        now: Time,
+    ) -> Result<(), StoreError> {
+        if to_name.is_empty() || to_name.contains('/') {
+            return Err(StoreError::InvalidPath);
+        }
+        if !self.dirs.contains_key(&to_dir) {
+            return Err(StoreError::NotFound);
+        }
+        if self
+            .dirs
+            .get(&to_dir)
+            .is_some_and(|d| d.entries.contains_key(to_name))
+            && !(from_dir == to_dir && from_name == to_name)
+        {
+            return Err(StoreError::Exists);
+        }
+        let entry = {
+            let src = self.dirs.get_mut(&from_dir).ok_or(StoreError::NotFound)?;
+            let e = src.entries.remove(from_name).ok_or(StoreError::NotFound)?;
+            src.version = src.version.next();
+            src.mtime = now;
+            e
+        };
+        let dst = self.dirs.get_mut(&to_dir).expect("checked above");
+        dst.entries.insert(to_name.to_owned(), entry);
+        dst.version = dst.version.next();
+        dst.mtime = now;
+        Ok(())
+    }
+
+    /// A directory's binding version (what a name lease covers).
+    pub fn dir_version(&self, dir: DirId) -> Option<Version> {
+        self.dirs.get(&dir).map(|d| d.version)
+    }
+
+    /// Lists a directory's entries in name order.
+    pub fn list(&self, dir: DirId) -> Result<Vec<(&str, DirEntry)>, StoreError> {
+        let d = self.dirs.get(&dir).ok_or(StoreError::NotFound)?;
+        Ok(d.entries.iter().map(|(k, v)| (k.as_str(), *v)).collect())
+    }
+
+    /// Stores a small durable value (survives crashes).
+    pub fn put_slot(&mut self, name: &str, value: Vec<u8>) {
+        self.slots.insert(name.to_owned(), value);
+    }
+
+    /// Reads a durable value.
+    pub fn get_slot(&self, name: &str) -> Option<&[u8]> {
+        self.slots.get(name).map(Vec::as_slice)
+    }
+
+    /// Removes a durable value.
+    pub fn remove_slot(&mut self, name: &str) -> Option<Vec<u8>> {
+        self.slots.remove(name)
+    }
+
+    /// Number of committed writes (write-through accounting).
+    pub fn writes_committed(&self) -> u64 {
+        self.writes_committed
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+impl Default for Store {
+    fn default() -> Store {
+        Store::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> Time {
+        Time::from_secs(s)
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let mut s = Store::new();
+        let f = s
+            .create_file(DirId::ROOT, "a", FileKind::Regular, Perms::rw(), t(0))
+            .unwrap();
+        assert_eq!(s.read(f).unwrap().1, Version(0));
+        let v = s.write(f, Bytes::from_static(b"hello"), t(1)).unwrap();
+        assert_eq!(v, Version(1));
+        let (data, v2) = s.read(f).unwrap();
+        assert_eq!(&data[..], b"hello");
+        assert_eq!(v2, Version(1));
+        assert_eq!(s.writes_committed(), 1);
+    }
+
+    #[test]
+    fn lookup_resolves_nested_paths() {
+        let mut s = Store::new();
+        let usr = s.mkdir(DirId::ROOT, "usr", t(0)).unwrap();
+        let lib = s.mkdir(usr, "lib", t(0)).unwrap();
+        let f = s
+            .create_file(lib, "libc.a", FileKind::Installed, Perms::ro(), t(0))
+            .unwrap();
+        match s.lookup("/usr/lib/libc.a").unwrap() {
+            Resolved::File { file, parent } => {
+                assert_eq!(file, f);
+                assert_eq!(parent, lib);
+            }
+            _ => panic!("expected file"),
+        }
+        assert_eq!(s.lookup("/usr/lib").unwrap().dir(), Some(lib));
+        assert_eq!(s.lookup("/").unwrap().dir(), Some(DirId::ROOT));
+    }
+
+    #[test]
+    fn lookup_errors() {
+        let mut s = Store::new();
+        let f = s
+            .create_file(DirId::ROOT, "f", FileKind::Regular, Perms::rw(), t(0))
+            .unwrap();
+        let _ = f;
+        assert_eq!(s.lookup("/missing").unwrap_err(), StoreError::NotFound);
+        assert_eq!(
+            s.lookup("/f/deeper").unwrap_err(),
+            StoreError::NotADirectory
+        );
+        assert_eq!(s.lookup("bad").unwrap_err(), StoreError::InvalidPath);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut s = Store::new();
+        s.create_file(DirId::ROOT, "x", FileKind::Regular, Perms::rw(), t(0))
+            .unwrap();
+        assert_eq!(
+            s.create_file(DirId::ROOT, "x", FileKind::Regular, Perms::rw(), t(0))
+                .unwrap_err(),
+            StoreError::Exists
+        );
+        assert_eq!(
+            s.mkdir(DirId::ROOT, "x", t(0)).unwrap_err(),
+            StoreError::Exists
+        );
+    }
+
+    #[test]
+    fn mkdir_p_is_idempotent() {
+        let mut s = Store::new();
+        let a = s.mkdir_p("/a/b/c").unwrap();
+        let b = s.mkdir_p("/a/b/c").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn directory_version_advances_on_binding_changes() {
+        let mut s = Store::new();
+        let v0 = s.dir_version(DirId::ROOT).unwrap();
+        s.create_file(DirId::ROOT, "x", FileKind::Regular, Perms::rw(), t(1))
+            .unwrap();
+        let v1 = s.dir_version(DirId::ROOT).unwrap();
+        assert!(v1 > v0);
+        s.rename(DirId::ROOT, "x", DirId::ROOT, "y", t(2)).unwrap();
+        let v2 = s.dir_version(DirId::ROOT).unwrap();
+        assert!(v2 > v1);
+        s.unlink(DirId::ROOT, "y", t(3)).unwrap();
+        assert!(s.dir_version(DirId::ROOT).unwrap() > v2);
+    }
+
+    #[test]
+    fn file_writes_do_not_touch_directory_version() {
+        let mut s = Store::new();
+        let f = s
+            .create_file(DirId::ROOT, "x", FileKind::Regular, Perms::rw(), t(0))
+            .unwrap();
+        let v = s.dir_version(DirId::ROOT).unwrap();
+        s.write(f, Bytes::from_static(b"data"), t(1)).unwrap();
+        assert_eq!(s.dir_version(DirId::ROOT).unwrap(), v);
+    }
+
+    #[test]
+    fn rename_across_directories() {
+        let mut s = Store::new();
+        let a = s.mkdir(DirId::ROOT, "a", t(0)).unwrap();
+        let b = s.mkdir(DirId::ROOT, "b", t(0)).unwrap();
+        let f = s
+            .create_file(a, "f", FileKind::Regular, Perms::rw(), t(0))
+            .unwrap();
+        s.rename(a, "f", b, "g", t(1)).unwrap();
+        assert_eq!(s.lookup("/b/g").unwrap().file(), Some(f));
+        assert_eq!(s.lookup("/a/f").unwrap_err(), StoreError::NotFound);
+    }
+
+    #[test]
+    fn rename_onto_existing_rejected() {
+        let mut s = Store::new();
+        s.create_file(DirId::ROOT, "x", FileKind::Regular, Perms::rw(), t(0))
+            .unwrap();
+        s.create_file(DirId::ROOT, "y", FileKind::Regular, Perms::rw(), t(0))
+            .unwrap();
+        assert_eq!(
+            s.rename(DirId::ROOT, "x", DirId::ROOT, "y", t(1))
+                .unwrap_err(),
+            StoreError::Exists
+        );
+    }
+
+    #[test]
+    fn unlink_and_rmdir() {
+        let mut s = Store::new();
+        let d = s.mkdir(DirId::ROOT, "d", t(0)).unwrap();
+        let f = s
+            .create_file(d, "f", FileKind::Regular, Perms::rw(), t(0))
+            .unwrap();
+        assert_eq!(
+            s.rmdir(DirId::ROOT, "d", t(1)).unwrap_err(),
+            StoreError::NotEmpty
+        );
+        assert_eq!(s.unlink(d, "f", t(1)).unwrap(), f);
+        assert!(s.read(f).is_err());
+        s.rmdir(DirId::ROOT, "d", t(2)).unwrap();
+        assert_eq!(s.lookup("/d").unwrap_err(), StoreError::NotFound);
+    }
+
+    #[test]
+    fn permissions_enforced() {
+        let mut s = Store::new();
+        let ro = s
+            .create_file(DirId::ROOT, "ro", FileKind::Regular, Perms::ro(), t(0))
+            .unwrap();
+        assert_eq!(
+            s.write(ro, Bytes::from_static(b"x"), t(1)).unwrap_err(),
+            StoreError::PermissionDenied
+        );
+        let hidden = s
+            .create_file(
+                DirId::ROOT,
+                "hidden",
+                FileKind::Regular,
+                Perms {
+                    read: false,
+                    write: true,
+                    exec: false,
+                },
+                t(0),
+            )
+            .unwrap();
+        assert_eq!(s.read(hidden).unwrap_err(), StoreError::PermissionDenied);
+    }
+
+    #[test]
+    fn install_bypasses_write_protection() {
+        let mut s = Store::new();
+        let bin = s
+            .create_file(DirId::ROOT, "latex", FileKind::Installed, Perms::rx(), t(0))
+            .unwrap();
+        // Clients cannot write it...
+        assert!(matches!(s.write(bin, Bytes::new(), t(1)), Ok(_)));
+        // (Installed files accept the administrative write path.)
+        let v = s.install(bin, Bytes::from_static(b"v2"), t(2)).unwrap();
+        assert_eq!(v, Version(2));
+    }
+
+    #[test]
+    fn durable_slots_roundtrip() {
+        let mut s = Store::new();
+        assert!(s.get_slot("max_term").is_none());
+        s.put_slot("max_term", vec![1, 2, 3]);
+        assert_eq!(s.get_slot("max_term"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(s.remove_slot("max_term"), Some(vec![1, 2, 3]));
+        assert!(s.get_slot("max_term").is_none());
+    }
+
+    #[test]
+    fn list_is_name_ordered() {
+        let mut s = Store::new();
+        s.create_file(DirId::ROOT, "b", FileKind::Regular, Perms::rw(), t(0))
+            .unwrap();
+        s.create_file(DirId::ROOT, "a", FileKind::Regular, Perms::rw(), t(0))
+            .unwrap();
+        let names: Vec<&str> = s
+            .list(DirId::ROOT)
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests: the store against a flat model of the namespace.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use lease_clock::Time;
+use lease_store::{DirId, FileKind, Perms, Store, StoreError};
+use proptest::prelude::*;
+
+/// A random filesystem operation over a small name universe.
+#[derive(Debug, Clone)]
+enum FsOp {
+    Create(u8),
+    Mkdir(u8),
+    Write(u8, Vec<u8>),
+    Unlink(u8),
+    Rename(u8, u8),
+    Lookup(u8),
+}
+
+fn name(i: u8) -> String {
+    format!("n{}", i % 8)
+}
+
+fn op_strategy() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        any::<u8>().prop_map(FsOp::Create),
+        any::<u8>().prop_map(FsOp::Mkdir),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(n, d)| FsOp::Write(n, d)),
+        any::<u8>().prop_map(FsOp::Unlink),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| FsOp::Rename(a, b)),
+        any::<u8>().prop_map(FsOp::Lookup),
+    ]
+}
+
+/// The reference model: name -> Entry in a single directory.
+#[derive(Debug, Clone, PartialEq)]
+enum Model {
+    File(Vec<u8>, u64),
+    Dir,
+}
+
+proptest! {
+    /// Random op sequences keep the store agreeing with a flat model of
+    /// the root directory: same entries, same contents, same versions.
+    #[test]
+    fn store_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut store = Store::new();
+        let mut model: HashMap<String, Model> = HashMap::new();
+        let mut ids: HashMap<String, lease_store::FileId> = HashMap::new();
+        let t = Time::ZERO;
+
+        for op in ops {
+            match op {
+                FsOp::Create(n) => {
+                    let nm = name(n);
+                    let r = store.create_file(DirId::ROOT, &nm, FileKind::Regular, Perms::rw(), t);
+                    if model.contains_key(&nm) {
+                        prop_assert_eq!(r.unwrap_err(), StoreError::Exists);
+                    } else {
+                        ids.insert(nm.clone(), r.unwrap());
+                        model.insert(nm, Model::File(Vec::new(), 0));
+                    }
+                }
+                FsOp::Mkdir(n) => {
+                    let nm = name(n);
+                    let r = store.mkdir(DirId::ROOT, &nm, t);
+                    if model.contains_key(&nm) {
+                        prop_assert_eq!(r.unwrap_err(), StoreError::Exists);
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert(nm, Model::Dir);
+                    }
+                }
+                FsOp::Write(n, data) => {
+                    let nm = name(n);
+                    match model.get_mut(&nm) {
+                        Some(Model::File(contents, version)) => {
+                            let id = ids[&nm];
+                            let v = store.write(id, Bytes::from(data.clone()), t).unwrap();
+                            *contents = data;
+                            *version += 1;
+                            prop_assert_eq!(v.0, *version);
+                        }
+                        _ => {
+                            // Missing or a directory: writing needs a FileId,
+                            // which the model says we do not have.
+                        }
+                    }
+                }
+                FsOp::Unlink(n) => {
+                    let nm = name(n);
+                    let r = store.unlink(DirId::ROOT, &nm, t);
+                    match model.get(&nm) {
+                        Some(Model::File(..)) => {
+                            prop_assert!(r.is_ok());
+                            model.remove(&nm);
+                            ids.remove(&nm);
+                        }
+                        Some(Model::Dir) => {
+                            prop_assert_eq!(r.unwrap_err(), StoreError::IsADirectory)
+                        }
+                        None => prop_assert_eq!(r.unwrap_err(), StoreError::NotFound),
+                    }
+                }
+                FsOp::Rename(a, b) => {
+                    let (from, to) = (name(a), name(b));
+                    let r = store.rename(DirId::ROOT, &from, DirId::ROOT, &to, t);
+                    let same = from == to;
+                    match (model.contains_key(&from), model.contains_key(&to)) {
+                        (_, true) if !same => {
+                            // The store checks the destination first.
+                            prop_assert_eq!(r.unwrap_err(), StoreError::Exists)
+                        }
+                        (true, _) => {
+                            prop_assert!(r.is_ok());
+                            if !same {
+                                let e = model.remove(&from).unwrap();
+                                model.insert(to.clone(), e);
+                                if let Some(id) = ids.remove(&from) {
+                                    ids.insert(to, id);
+                                }
+                            }
+                        }
+                        (false, _) => prop_assert_eq!(r.unwrap_err(), StoreError::NotFound),
+                    }
+                }
+                FsOp::Lookup(n) => {
+                    let nm = name(n);
+                    let r = store.lookup(&format!("/{nm}"));
+                    match model.get(&nm) {
+                        Some(Model::File(contents, version)) => {
+                            let resolved = r.unwrap();
+                            let id = resolved.file().expect("model says file");
+                            let (data, v) = store.read(id).unwrap();
+                            prop_assert_eq!(&data[..], &contents[..]);
+                            prop_assert_eq!(v.0, *version);
+                        }
+                        Some(Model::Dir) => {
+                            prop_assert!(r.unwrap().dir().is_some());
+                        }
+                        None => prop_assert_eq!(r.unwrap_err(), StoreError::NotFound),
+                    }
+                }
+            }
+        }
+        // Final sweep: every model entry resolves, directory list matches.
+        let listed: Vec<String> =
+            store.list(DirId::ROOT).unwrap().iter().map(|(n, _)| n.to_string()).collect();
+        let mut expected: Vec<String> = model.keys().cloned().collect();
+        expected.sort();
+        prop_assert_eq!(listed, expected);
+    }
+
+    /// Directory versions advance exactly on binding changes.
+    #[test]
+    fn dir_version_counts_binding_changes(ops in proptest::collection::vec(any::<u8>(), 1..40)) {
+        let mut store = Store::new();
+        let mut changes = 0u64;
+        for (i, n) in ops.iter().enumerate() {
+            let nm = format!("f{}", n % 6);
+            if i % 3 == 2 {
+                if store.unlink(DirId::ROOT, &nm, Time::ZERO).is_ok() {
+                    changes += 1;
+                }
+            } else if store
+                .create_file(DirId::ROOT, &nm, FileKind::Regular, Perms::rw(), Time::ZERO)
+                .is_ok()
+            {
+                changes += 1;
+            }
+        }
+        prop_assert_eq!(store.dir_version(DirId::ROOT).unwrap().0, changes);
+    }
+}

@@ -1,0 +1,132 @@
+//! Run measurements: what the experiments read off a finished simulation.
+
+use lease_sim::{HistogramSummary, Metrics, World};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate measurements of one simulated run.
+///
+/// *Consistency messages* are everything the lease protocol adds on top of
+/// plain write-through file service: fetch/renew requests and their grant
+/// replies, approval callbacks and approvals, relinquishes, installed-file
+/// multicasts, and errors. Write requests and write-done replies are data
+/// traffic — a write-through write contacts the server under any protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Consistency messages handled (sent or received) by the server.
+    pub consistency_msgs: u64,
+    /// Data messages (writes in, write-done out) at the server.
+    pub data_msgs: u64,
+    /// Approval-request multicasts sent (subset of consistency messages).
+    pub approval_msgs: u64,
+    /// Reads served from cache under a valid lease.
+    pub hits: u64,
+    /// Reads that contacted the server.
+    pub remote_reads: u64,
+    /// Writes completed.
+    pub writes: u64,
+    /// Temporary-file operations absorbed locally.
+    pub temp_ops: u64,
+    /// Operations that failed (timeout or missing resource).
+    pub op_failures: u64,
+    /// Per-read delay (seconds).
+    pub read_delay: HistogramSummary,
+    /// Per-write delay (seconds).
+    pub write_delay: HistogramSummary,
+    /// Per-operation delay over reads and writes (seconds).
+    pub all_delay: HistogramSummary,
+    /// Length of the measured window, seconds.
+    pub window_secs: f64,
+    /// Simulator events processed (for performance accounting).
+    pub sim_events: u64,
+}
+
+impl RunReport {
+    /// Extracts a report from a finished world (any message type: the
+    /// write-back harness reuses the same counter names).
+    pub fn from_world<M: 'static>(world: &mut World<M>, window_secs: f64) -> RunReport {
+        let sim_events = world.events_processed();
+        let m: &mut Metrics = world.metrics_mut();
+        let consistency = [
+            "srv.rx.fetch",
+            "srv.rx.renew",
+            "srv.rx.approve",
+            "srv.rx.relinquish",
+            "srv.tx.grants",
+            "srv.tx.approval_req",
+            "srv.tx.installed",
+            "srv.tx.error",
+        ]
+        .iter()
+        .map(|n| m.counter(n))
+        .sum();
+        let data = m.counter("srv.rx.write") + m.counter("srv.tx.write_done");
+        RunReport {
+            consistency_msgs: consistency,
+            data_msgs: data,
+            approval_msgs: m.counter("srv.tx.approval_req") + m.counter("srv.rx.approve"),
+            hits: m.counter("client.hit"),
+            remote_reads: m.counter("client.remote_read"),
+            writes: m.counter("client.write_done"),
+            temp_ops: m.counter("client.temp_ops"),
+            op_failures: m.counter("client.op_failures"),
+            read_delay: m.histogram_mut("delay.read").summary(),
+            write_delay: m.histogram_mut("delay.write").summary(),
+            all_delay: m.histogram_mut("delay.all").summary(),
+            window_secs,
+            sim_events,
+        }
+    }
+
+    /// Consistency messages per second at the server.
+    pub fn consistency_per_sec(&self) -> f64 {
+        self.consistency_msgs as f64 / self.window_secs.max(1e-9)
+    }
+
+    /// Fraction of reads served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.remote_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Mean added delay per operation, milliseconds.
+    pub fn mean_delay_ms(&self) -> f64 {
+        self.all_delay.mean * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NetMsg;
+    use lease_sim::{PerfectMedium, World};
+
+    #[test]
+    fn report_reads_counters() {
+        let mut w: World<NetMsg> = World::new(0, PerfectMedium);
+        w.metrics_mut().add("srv.rx.fetch", 10);
+        w.metrics_mut().add("srv.tx.grants", 10);
+        w.metrics_mut().add("srv.rx.write", 2);
+        w.metrics_mut().add("srv.tx.write_done", 2);
+        w.metrics_mut().add("client.hit", 30);
+        w.metrics_mut().add("client.remote_read", 10);
+        w.metrics_mut().observe("delay.all", 0.002);
+        let r = RunReport::from_world(&mut w, 10.0);
+        assert_eq!(r.consistency_msgs, 20);
+        assert_eq!(r.data_msgs, 4);
+        assert_eq!(r.consistency_per_sec(), 2.0);
+        assert!((r.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((r.mean_delay_ms() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_world_is_zeroes() {
+        let mut w: World<NetMsg> = World::new(0, PerfectMedium);
+        let r = RunReport::from_world(&mut w, 1.0);
+        assert_eq!(r.consistency_msgs, 0);
+        assert_eq!(r.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Simulator actors for the write-back system.
+
+use std::collections::HashMap;
+
+use lease_clock::Time;
+use lease_core::{ClientId, MemStorage, OpId};
+use lease_sim::{Actor, ActorId, Ctx, TimerId};
+use lease_vsys::driver::{OpDriver, DRIVER_TIMER_KEY};
+use lease_vsys::{HistoryEvent, SharedHistory};
+use lease_workload::TraceOp;
+
+use crate::client::{WbClient, WbClientOutput, WbClientTimer, WbInput, WbOutcome};
+use crate::msg::{WbToClient, WbToServer};
+use crate::server::{WbServer, WbServerInput, WbServerOutput};
+
+/// Trace resource and data aliases (same as the write-through system).
+pub type Res = lease_vsys::Res;
+/// Opaque contents token.
+pub type Data = lease_vsys::Data;
+
+/// Everything on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WbNetMsg {
+    /// Client to server.
+    Up(WbToServer<Res, Data>),
+    /// Server to client.
+    Down(WbToClient<Res, Data>),
+}
+
+/// The server actor.
+pub struct WbServerActor {
+    /// The protocol machine.
+    pub server: WbServer<Res, Data>,
+    /// Primary storage (durable).
+    pub storage: MemStorage<Res, Data>,
+    clients: Vec<ActorId>,
+    warmup: Time,
+}
+
+impl WbServerActor {
+    /// Creates the actor; `clients[i]` is client `i`'s actor id.
+    pub fn new(
+        server: WbServer<Res, Data>,
+        storage: MemStorage<Res, Data>,
+        clients: Vec<ActorId>,
+        warmup: Time,
+    ) -> WbServerActor {
+        WbServerActor {
+            server,
+            storage,
+            clients,
+            warmup,
+        }
+    }
+
+    fn client_of(&self, a: ActorId) -> Option<ClientId> {
+        self.clients
+            .iter()
+            .position(|x| *x == a)
+            .map(|i| ClientId(i as u32))
+    }
+
+    fn apply(&mut self, ctx: &mut Ctx<'_, WbNetMsg>, outs: Vec<WbServerOutput<Res, Data>>) {
+        let measuring = ctx.now() >= self.warmup;
+        for o in outs {
+            match o {
+                WbServerOutput::Send { to, msg } => {
+                    if measuring {
+                        let name = match &msg {
+                            WbToClient::Granted { .. } => "srv.tx.grants",
+                            WbToClient::Flushed { .. } | WbToClient::FlushRejected { .. } => {
+                                "srv.tx.write_done"
+                            }
+                            WbToClient::Recall { .. } => "srv.tx.approval_req",
+                            WbToClient::Error { .. } => "srv.tx.error",
+                        };
+                        ctx.metrics().inc(name);
+                    }
+                    ctx.send(self.clients[to.0 as usize], WbNetMsg::Down(msg));
+                }
+                WbServerOutput::SetRecallTimer { at, resource } => {
+                    ctx.set_timer_at(at, resource);
+                }
+                WbServerOutput::Durable { .. } => {
+                    // Durability only; visibility was logged at the client.
+                }
+            }
+        }
+    }
+}
+
+impl Actor<WbNetMsg> for WbServerActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, WbNetMsg>, from: ActorId, msg: WbNetMsg) {
+        let WbNetMsg::Up(msg) = msg else {
+            return;
+        };
+        let Some(client) = self.client_of(from) else {
+            return;
+        };
+        if ctx.now() >= self.warmup {
+            let name = match &msg {
+                WbToServer::Acquire { .. } => "srv.rx.fetch",
+                WbToServer::WriteBack { .. } => "srv.rx.write",
+                WbToServer::Release { .. } => "srv.rx.approve",
+            };
+            ctx.metrics().inc(name);
+        }
+        let outs = self.server.handle(
+            ctx.now(),
+            WbServerInput::Msg { from: client, msg },
+            &mut self.storage,
+        );
+        self.apply(ctx, outs);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, WbNetMsg>, _t: TimerId, key: u64) {
+        let outs = self.server.handle(
+            ctx.now(),
+            WbServerInput::RecallTimer(key),
+            &mut self.storage,
+        );
+        self.apply(ctx, outs);
+    }
+}
+
+/// The client actor: token cache plus the open-loop trace driver.
+pub struct WbClientActor {
+    /// The cache.
+    pub cache: WbClient<Res, Data>,
+    /// The driver.
+    pub driver: OpDriver,
+    server: ActorId,
+    id: ClientId,
+    history: SharedHistory,
+    op_meta: HashMap<OpId, (Res, bool)>,
+    next_data: u64,
+    warmup: Time,
+    crash_stamp: Time,
+}
+
+impl WbClientActor {
+    /// Creates the actor.
+    pub fn new(
+        cache: WbClient<Res, Data>,
+        driver: OpDriver,
+        server: ActorId,
+        history: SharedHistory,
+        warmup: Time,
+    ) -> WbClientActor {
+        let id = cache.id();
+        WbClientActor {
+            cache,
+            driver,
+            server,
+            id,
+            history,
+            op_meta: HashMap::new(),
+            next_data: 0,
+            warmup,
+            crash_stamp: Time::ZERO,
+        }
+    }
+
+    const FLUSH_KEY: u64 = 1;
+
+    fn schedule_driver(&mut self, ctx: &mut Ctx<'_, WbNetMsg>) {
+        if let Some(at) = self.driver.next_due() {
+            ctx.set_timer_at(at, DRIVER_TIMER_KEY);
+        }
+    }
+
+    fn apply(&mut self, ctx: &mut Ctx<'_, WbNetMsg>, outs: Vec<WbClientOutput<Res, Data>>) {
+        for o in outs {
+            match o {
+                WbClientOutput::Send(m) => ctx.send(self.server, WbNetMsg::Up(m)),
+                WbClientOutput::SetTimer {
+                    at,
+                    timer: WbClientTimer::Flush,
+                } => {
+                    ctx.set_timer_at(at, Self::FLUSH_KEY);
+                }
+                WbClientOutput::LocalCommit { resource, version } => {
+                    self.history.borrow_mut().push(HistoryEvent::Commit {
+                        resource,
+                        version,
+                        writer: Some(self.id),
+                        at: ctx.now(),
+                    });
+                }
+                WbClientOutput::Lost {
+                    resource,
+                    last_durable,
+                    last_lost,
+                } => {
+                    self.history.borrow_mut().push(HistoryEvent::Discard {
+                        resource,
+                        last_durable,
+                        last_lost,
+                        at: ctx.now(),
+                    });
+                }
+                WbClientOutput::Done { op, result } => {
+                    let meta = self.op_meta.remove(&op);
+                    match result {
+                        Some(outcome) => {
+                            self.driver.complete(ctx.now(), op, ctx.metrics());
+                            if ctx.now() >= self.warmup {
+                                match &outcome {
+                                    WbOutcome::Read { local: true, .. } => {
+                                        ctx.metrics().inc("client.hit")
+                                    }
+                                    WbOutcome::Read { local: false, .. } => {
+                                        ctx.metrics().inc("client.remote_read")
+                                    }
+                                    WbOutcome::Write { .. } => {
+                                        ctx.metrics().inc("client.write_done")
+                                    }
+                                }
+                            }
+                            if let Some((resource, _)) = meta {
+                                let ev = match outcome {
+                                    WbOutcome::Read { version, local, .. } => {
+                                        HistoryEvent::ReadDone {
+                                            client: self.id,
+                                            op,
+                                            resource,
+                                            version,
+                                            at: ctx.now(),
+                                            from_cache: local,
+                                        }
+                                    }
+                                    WbOutcome::Write { version, .. } => HistoryEvent::WriteDone {
+                                        client: self.id,
+                                        op,
+                                        resource,
+                                        version,
+                                        at: ctx.now(),
+                                    },
+                                };
+                                self.history.borrow_mut().push(ev);
+                            }
+                        }
+                        None => self.driver.fail(op, ctx.metrics()),
+                    }
+                }
+            }
+        }
+    }
+
+    fn issue_due(&mut self, ctx: &mut Ctx<'_, WbNetMsg>) {
+        let due = self.driver.take_due(ctx.now(), ctx.metrics());
+        for (op, trace_op) in due {
+            let now = ctx.now();
+            let input = match trace_op {
+                TraceOp::Read { file } => {
+                    self.history.borrow_mut().push(HistoryEvent::ReadStart {
+                        client: self.id,
+                        op,
+                        resource: file,
+                        at: now,
+                    });
+                    self.op_meta.insert(op, (file, true));
+                    WbInput::Read { op, resource: file }
+                }
+                TraceOp::Write { file } => {
+                    self.history.borrow_mut().push(HistoryEvent::WriteStart {
+                        client: self.id,
+                        op,
+                        resource: file,
+                        at: now,
+                    });
+                    self.op_meta.insert(op, (file, false));
+                    let token = ((self.id.0 as u64) << 32) | self.next_data;
+                    self.next_data += 1;
+                    WbInput::Write {
+                        op,
+                        resource: file,
+                        data: token,
+                    }
+                }
+            };
+            let outs = self.cache.handle(now, input);
+            self.apply(ctx, outs);
+        }
+        self.schedule_driver(ctx);
+    }
+}
+
+impl Actor<WbNetMsg> for WbClientActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, WbNetMsg>) {
+        let outs = self.cache.start(ctx.now());
+        self.apply(ctx, outs);
+        self.schedule_driver(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, WbNetMsg>, _from: ActorId, msg: WbNetMsg) {
+        let WbNetMsg::Down(msg) = msg else {
+            return;
+        };
+        let outs = self.cache.handle(ctx.now(), WbInput::Msg(msg));
+        self.apply(ctx, outs);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, WbNetMsg>, _t: TimerId, key: u64) {
+        if key == DRIVER_TIMER_KEY {
+            self.issue_due(ctx);
+            return;
+        }
+        if key == Self::FLUSH_KEY {
+            let outs = self
+                .cache
+                .handle(ctx.now(), WbInput::Timer(WbClientTimer::Flush));
+            self.apply(ctx, outs);
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Buffered writes die with the host: record what was lost before
+        // wiping. (History has no clock here; the harness stamps crash
+        // events with the scheduled crash instant — see `crash_stamp`.)
+        for (resource, last_durable, last_lost) in self.cache.dirty_state() {
+            self.history.borrow_mut().push(HistoryEvent::Discard {
+                resource,
+                last_durable,
+                last_lost,
+                at: self.crash_stamp,
+            });
+        }
+        self.cache.crash();
+        self.driver.crash();
+        self.op_meta.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, WbNetMsg>) {
+        self.driver.skip_until(ctx.now());
+        let outs = self.cache.start(ctx.now());
+        self.apply(ctx, outs);
+        self.schedule_driver(ctx);
+    }
+}
+
+impl WbClientActor {
+    /// The crash instant used to stamp Discard events; the harness sets it
+    /// when scheduling the crash (on_crash has no clock access).
+    pub fn set_crash_stamp(&mut self, at: Time) {
+        self.crash_stamp = at;
+    }
+}

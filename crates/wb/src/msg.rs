@@ -1,0 +1,136 @@
+//! Wire messages of the write-back (token) protocol.
+
+use lease_clock::Dur;
+use lease_core::{ReqId, Version};
+
+/// Lease mode: shared read or exclusive write (a token).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Shared: many caches may read.
+    Read,
+    /// Exclusive: one cache may read *and buffer writes locally*.
+    Write,
+}
+
+/// A pre-allocated version range handed out with a write lease.
+///
+/// The holder assigns `first..=last` to its local writes in order; the
+/// server never reuses a reserved number, so versions stay globally unique
+/// even when a crash destroys part of the range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// Server-unique reservation id.
+    pub id: u64,
+    /// First version the holder may assign.
+    pub first: Version,
+    /// Last version the holder may assign.
+    pub last: Version,
+}
+
+/// Client-to-server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WbToServer<R, D> {
+    /// Request a lease on `resource` in the given mode.
+    Acquire {
+        /// Echoed in the reply.
+        req: ReqId,
+        /// The resource.
+        resource: R,
+        /// Requested mode.
+        mode: Mode,
+        /// Version already cached, if any (elides data in the grant).
+        cached: Option<Version>,
+    },
+    /// Flush dirty data while keeping the write lease.
+    WriteBack {
+        /// Echoed in the reply.
+        req: ReqId,
+        /// The resource.
+        resource: R,
+        /// The reservation the versions come from.
+        reservation: u64,
+        /// The (collapsed) latest buffered version.
+        version: Version,
+        /// Its contents.
+        data: D,
+    },
+    /// Give a lease back, flushing any dirty tail with it.
+    Release {
+        /// Echoed in the flush ack/reject when `dirty` is present.
+        req: ReqId,
+        /// The resource.
+        resource: R,
+        /// The write reservation, if this was a write lease.
+        reservation: Option<u64>,
+        /// Dirty data to commit on the way out.
+        dirty: Option<(Version, D)>,
+    },
+}
+
+/// Server-to-client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WbToClient<R, D> {
+    /// A lease grant.
+    Granted {
+        /// The request answered.
+        req: ReqId,
+        /// The resource.
+        resource: R,
+        /// Granted mode (always the requested one).
+        mode: Mode,
+        /// Current committed version.
+        version: Version,
+        /// Contents, elided when `cached` matched.
+        data: Option<D>,
+        /// Lease term, measured at the server from receipt.
+        term: Dur,
+        /// The version range, for write grants.
+        reservation: Option<Reservation>,
+    },
+    /// A write-back was applied durably.
+    Flushed {
+        /// The request answered.
+        req: ReqId,
+        /// The resource.
+        resource: R,
+    },
+    /// A write-back arrived under a lapsed reservation: the resource has
+    /// moved on and the buffered writes are lost.
+    FlushRejected {
+        /// The request answered.
+        req: ReqId,
+        /// The resource.
+        resource: R,
+    },
+    /// Please flush and release `resource`: another cache needs it.
+    Recall {
+        /// The resource.
+        resource: R,
+    },
+    /// The resource does not exist.
+    Error {
+        /// The failed request.
+        req: ReqId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservation_carries_a_range() {
+        let r = Reservation {
+            id: 1,
+            first: Version(10),
+            last: Version(19),
+        };
+        assert!(r.first <= r.last);
+        assert_eq!(r.last.0 - r.first.0 + 1, 10);
+    }
+
+    #[test]
+    fn modes_are_distinct() {
+        assert_ne!(Mode::Read, Mode::Write);
+    }
+}

@@ -1,0 +1,213 @@
+//! The §3.1 model workload: Poisson reads and writes over shared files.
+
+use lease_clock::{Dur, Time};
+use lease_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{FileClass, FileSpec, Trace, TraceOp, TraceRecord};
+
+/// The analytic model's workload: `N` clients, per-client Poisson read and
+/// write rates `R` and `W`, arranged in groups of `S` clients that share
+/// one file per group — so every write finds the file cached by `S` caches,
+/// matching the model's sharing parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonWorkload {
+    /// Number of clients `N` (must be a multiple of `s` for clean groups;
+    /// a ragged final group is allowed).
+    pub n: u32,
+    /// Per-client read rate `R`, reads/second.
+    pub r: f64,
+    /// Per-client write rate `W`, writes/second (0 for read-only).
+    pub w: f64,
+    /// Sharing degree `S` ≥ 1.
+    pub s: u32,
+    /// Trace length.
+    pub duration: Dur,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PoissonWorkload {
+    /// The V-system rates with a chosen sharing degree.
+    pub fn v_rates(n: u32, s: u32, duration: Dur, seed: u64) -> PoissonWorkload {
+        PoissonWorkload {
+            n,
+            r: 0.864,
+            w: 0.04,
+            s,
+            duration,
+            seed,
+        }
+    }
+
+    /// The file a client reads and writes (its group's file).
+    pub fn file_of(&self, client: u32) -> u64 {
+        (client / self.s.max(1)) as u64
+    }
+
+    /// Generates the trace.
+    pub fn generate(&self) -> Trace {
+        assert!(self.s >= 1, "sharing degree must be at least 1");
+        let groups = (self.n + self.s - 1) / self.s.max(1);
+        let files: Vec<FileSpec> = (0..groups as u64)
+            .map(|id| FileSpec {
+                id,
+                class: FileClass::Regular,
+                path: None,
+            })
+            .collect();
+        let mut records = Vec::new();
+        let root = SimRng::seed(self.seed);
+        for client in 0..self.n {
+            let file = self.file_of(client);
+            let mut rng = root.fork(client as u64);
+            push_poisson_stream(
+                &mut records,
+                &mut rng,
+                client,
+                file,
+                self.r,
+                true,
+                self.duration,
+            );
+            if self.w > 0.0 {
+                push_poisson_stream(
+                    &mut records,
+                    &mut rng,
+                    client,
+                    file,
+                    self.w,
+                    false,
+                    self.duration,
+                );
+            }
+        }
+        Trace::new(files, records)
+    }
+}
+
+fn push_poisson_stream(
+    records: &mut Vec<TraceRecord>,
+    rng: &mut SimRng,
+    client: u32,
+    file: u64,
+    rate: f64,
+    is_read: bool,
+    duration: Dur,
+) {
+    if rate <= 0.0 {
+        return;
+    }
+    let mut t = 0.0;
+    let horizon = duration.as_secs_f64();
+    loop {
+        t += rng.exp_secs(rate);
+        if t >= horizon {
+            break;
+        }
+        let at = Time::ZERO + Dur::from_secs_f64(t);
+        let op = if is_read {
+            TraceOp::Read { file }
+        } else {
+            TraceOp::Write { file }
+        };
+        records.push(TraceRecord { at, client, op });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_respected() {
+        let w = PoissonWorkload {
+            n: 4,
+            r: 2.0,
+            w: 0.5,
+            s: 2,
+            duration: Dur::from_secs(500),
+            seed: 1,
+        };
+        let trace = w.generate();
+        trace.validate().unwrap();
+        let secs = 500.0;
+        let reads = trace.records.iter().filter(|r| r.op.is_read()).count() as f64;
+        let writes = trace.records.len() as f64 - reads;
+        let r_per_client = reads / secs / 4.0;
+        let w_per_client = writes / secs / 4.0;
+        assert!((r_per_client - 2.0).abs() < 0.15, "R = {r_per_client}");
+        assert!((w_per_client - 0.5).abs() < 0.08, "W = {w_per_client}");
+    }
+
+    #[test]
+    fn grouping_matches_sharing_degree() {
+        let w = PoissonWorkload {
+            n: 6,
+            r: 1.0,
+            w: 0.0,
+            s: 3,
+            duration: Dur::from_secs(10),
+            seed: 2,
+        };
+        assert_eq!(w.file_of(0), 0);
+        assert_eq!(w.file_of(2), 0);
+        assert_eq!(w.file_of(3), 1);
+        let trace = w.generate();
+        assert_eq!(trace.files.len(), 2);
+        // Every record's file matches its client's group.
+        for r in &trace.records {
+            assert_eq!(r.op.file(), w.file_of(r.client));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = |seed| {
+            PoissonWorkload {
+                n: 2,
+                r: 1.0,
+                w: 0.1,
+                s: 1,
+                duration: Dur::from_secs(50),
+                seed,
+            }
+            .generate()
+        };
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn read_only_generates_no_writes() {
+        let w = PoissonWorkload {
+            n: 2,
+            r: 1.0,
+            w: 0.0,
+            s: 1,
+            duration: Dur::from_secs(50),
+            seed: 3,
+        };
+        assert!(w.generate().records.iter().all(|r| r.op.is_read()));
+    }
+
+    #[test]
+    fn interarrivals_look_exponential() {
+        // Coefficient of variation of exponential gaps is 1.
+        let w = PoissonWorkload {
+            n: 1,
+            r: 5.0,
+            w: 0.0,
+            s: 1,
+            duration: Dur::from_secs(2000),
+            seed: 4,
+        };
+        let trace = w.generate();
+        let times: Vec<f64> = trace.records.iter().map(|r| r.at.as_secs_f64()).collect();
+        let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.1, "cv = {cv}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Trace statistics: recovering the Table 2 parameters from a trace.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{FileClass, Trace};
+
+/// Summary statistics of a trace, in the terms of the paper's Table 2.
+///
+/// Temporary-file operations are excluded from the rates, mirroring the V
+/// cache's special handling ("operations on temporary files do not appear
+/// because they are handled specially", §3.2). Directory reads count as
+/// reads: the paper's measurements "include program loading and access to
+/// information about files (such as directory lookups)".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Trace length, seconds.
+    pub duration_secs: f64,
+    /// Number of clients.
+    pub clients: u32,
+    /// Consistency-relevant reads (non-temporary).
+    pub reads: u64,
+    /// Consistency-relevant writes (non-temporary).
+    pub writes: u64,
+    /// Temporary-file operations excluded from the rates.
+    pub temp_ops: u64,
+    /// Per-client read rate `R`, reads/second.
+    pub read_rate: f64,
+    /// Per-client write rate `W`, writes/second.
+    pub write_rate: f64,
+    /// Read/write ratio.
+    pub rw_ratio: f64,
+    /// Fraction of reads against installed files.
+    pub installed_read_fraction: f64,
+    /// Fraction of reads that are directory lookups.
+    pub directory_read_fraction: f64,
+    /// Index of dispersion of per-10-second read counts (1 ≈ Poisson,
+    /// larger = burstier).
+    pub burstiness: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics from a trace.
+    pub fn from_trace(trace: &Trace) -> TraceStats {
+        let duration_secs = trace.duration().as_secs_f64().max(1e-9);
+        let clients = trace.client_count().max(1);
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut temp_ops = 0u64;
+        let mut installed_reads = 0u64;
+        let mut dir_reads = 0u64;
+        // Per-10-second read counts for the dispersion index.
+        let window = 10.0;
+        let bins = (duration_secs / window).ceil() as usize;
+        let mut counts = vec![0f64; bins.max(1)];
+        for r in &trace.records {
+            let class = trace.class_of(r.op.file());
+            if class == FileClass::Temporary {
+                temp_ops += 1;
+                continue;
+            }
+            if r.op.is_read() {
+                reads += 1;
+                if class == FileClass::Installed {
+                    installed_reads += 1;
+                }
+                if class == FileClass::Directory {
+                    dir_reads += 1;
+                }
+                let bin = ((r.at.as_secs_f64() / window) as usize).min(counts.len() - 1);
+                counts[bin] += 1.0;
+            } else {
+                writes += 1;
+            }
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+        let burstiness = if mean > 0.0 { var / mean } else { 0.0 };
+        let read_rate = reads as f64 / duration_secs / clients as f64;
+        let write_rate = writes as f64 / duration_secs / clients as f64;
+        TraceStats {
+            duration_secs,
+            clients,
+            reads,
+            writes,
+            temp_ops,
+            read_rate,
+            write_rate,
+            rw_ratio: if writes > 0 {
+                reads as f64 / writes as f64
+            } else {
+                f64::INFINITY
+            },
+            installed_read_fraction: if reads > 0 {
+                installed_reads as f64 / reads as f64
+            } else {
+                0.0
+            },
+            directory_read_fraction: if reads > 0 {
+                dir_reads as f64 / reads as f64
+            } else {
+                0.0
+            },
+            burstiness,
+        }
+    }
+
+    /// Renders the Table 2 rows.
+    pub fn table(&self) -> String {
+        format!(
+            "rate of reads             R      {:.3} /sec\n\
+             rate of writes            W      {:.3} /sec\n\
+             read/write ratio                 {:.1}\n\
+             installed fraction of reads      {:.1}%\n\
+             directory fraction of reads      {:.1}%\n\
+             clients                   N      {}\n\
+             duration                         {:.0} sec\n\
+             ops excluded (temporary)         {}\n\
+             burstiness (index of dispersion) {:.2}",
+            self.read_rate,
+            self.write_rate,
+            self.rw_ratio,
+            self.installed_read_fraction * 100.0,
+            self.directory_read_fraction * 100.0,
+            self.clients,
+            self.duration_secs,
+            self.temp_ops,
+            self.burstiness,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{FileSpec, TraceOp, TraceRecord};
+    use lease_clock::Time;
+
+    fn spec(id: u64, class: FileClass) -> FileSpec {
+        FileSpec {
+            id,
+            class,
+            path: None,
+        }
+    }
+
+    #[test]
+    fn counts_and_rates() {
+        let mut records = Vec::new();
+        // 100 s: 50 reads of installed 1, 30 reads of regular 2,
+        // 10 writes of 2, 20 temp ops of 3, 20 dir reads of 4.
+        for i in 0..50u64 {
+            records.push(TraceRecord {
+                at: Time::from_secs(i * 2),
+                client: 0,
+                op: TraceOp::Read { file: 1 },
+            });
+        }
+        for i in 0..30u64 {
+            records.push(TraceRecord {
+                at: Time::from_secs(i * 3),
+                client: 0,
+                op: TraceOp::Read { file: 2 },
+            });
+        }
+        for i in 0..10u64 {
+            records.push(TraceRecord {
+                at: Time::from_secs(i * 10),
+                client: 0,
+                op: TraceOp::Write { file: 2 },
+            });
+        }
+        for i in 0..20u64 {
+            records.push(TraceRecord {
+                at: Time::from_secs(i * 5),
+                client: 0,
+                op: TraceOp::Write { file: 3 },
+            });
+        }
+        for i in 0..20u64 {
+            records.push(TraceRecord {
+                at: Time::from_secs(i * 5),
+                client: 0,
+                op: TraceOp::Read { file: 4 },
+            });
+        }
+        records.push(TraceRecord {
+            at: Time::from_secs(100),
+            client: 0,
+            op: TraceOp::Read { file: 2 },
+        });
+        let trace = Trace::new(
+            vec![
+                spec(1, FileClass::Installed),
+                spec(2, FileClass::Regular),
+                spec(3, FileClass::Temporary),
+                spec(4, FileClass::Directory),
+            ],
+            records,
+        );
+        let s = TraceStats::from_trace(&trace);
+        assert_eq!(s.reads, 101);
+        assert_eq!(s.writes, 10);
+        assert_eq!(s.temp_ops, 20);
+        assert!((s.duration_secs - 100.0).abs() < 1e-9);
+        assert!((s.read_rate - 1.01).abs() < 1e-9);
+        assert!((s.installed_read_fraction - 50.0 / 101.0).abs() < 1e-9);
+        assert!((s.directory_read_fraction - 20.0 / 101.0).abs() < 1e-9);
+        assert!((s.rw_ratio - 10.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let s = TraceStats::from_trace(&Trace::new(vec![], vec![]));
+        assert_eq!(s.reads, 0);
+        assert!(s.rw_ratio.is_infinite());
+        assert_eq!(s.burstiness, 0.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let s = TraceStats::from_trace(&Trace::new(vec![], vec![]));
+        let t = s.table();
+        assert!(t.contains("rate of reads"));
+        assert!(t.contains("R"));
+    }
+}

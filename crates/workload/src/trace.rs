@@ -1,0 +1,241 @@
+//! The trace format: a time-ordered stream of file operations.
+
+use lease_clock::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// The access classes the V cache distinguishes (§2, §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileClass {
+    /// Ordinary files, fully covered by the consistency protocol.
+    Regular,
+    /// Installed files: commands, headers, libraries — widely shared,
+    /// read-mostly, eligible for the §4 multicast optimization.
+    Installed,
+    /// Temporary files, handled outside the protocol (like a local disk);
+    /// excluded from the consistency-relevant rates.
+    Temporary,
+    /// Directory name-binding information; reading it models the lookup
+    /// a repeated `open` needs (§2).
+    Directory,
+}
+
+/// A file participating in a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileSpec {
+    /// Trace-local file id.
+    pub id: u64,
+    /// Access class.
+    pub class: FileClass,
+    /// Human-readable path, if meaningful.
+    pub path: Option<String>,
+}
+
+/// One operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// A logical read: an open for reading, a program load, or a lookup.
+    Read {
+        /// The file.
+        file: u64,
+    },
+    /// A logical write: a close (commit) after writing.
+    Write {
+        /// The file.
+        file: u64,
+    },
+}
+
+impl TraceOp {
+    /// The file the operation touches.
+    pub fn file(&self) -> u64 {
+        match self {
+            TraceOp::Read { file } | TraceOp::Write { file } => *file,
+        }
+    }
+
+    /// Whether this is a read.
+    pub fn is_read(&self) -> bool {
+        matches!(self, TraceOp::Read { .. })
+    }
+}
+
+/// One timestamped operation by one client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// When the operation is issued.
+    pub at: Time,
+    /// The issuing client (dense ids from 0).
+    pub client: u32,
+    /// The operation.
+    pub op: TraceOp,
+}
+
+/// A complete trace: the file population plus the operation stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Files referenced by the records.
+    pub files: Vec<FileSpec>,
+    /// Operations, ordered by time.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates a trace, sorting records by time (stable, so equal-time
+    /// records keep generation order).
+    pub fn new(files: Vec<FileSpec>, mut records: Vec<TraceRecord>) -> Trace {
+        records.sort_by_key(|r| r.at);
+        Trace { files, records }
+    }
+
+    /// Trace duration: time of the last record.
+    pub fn duration(&self) -> Dur {
+        self.records
+            .last()
+            .map(|r| r.at.saturating_since(Time::ZERO))
+            .unwrap_or(Dur::ZERO)
+    }
+
+    /// Number of distinct clients (max id + 1).
+    pub fn client_count(&self) -> u32 {
+        self.records.iter().map(|r| r.client + 1).max().unwrap_or(0)
+    }
+
+    /// The class of a file, defaulting to regular for unknown ids.
+    pub fn class_of(&self, file: u64) -> FileClass {
+        self.files
+            .iter()
+            .find(|f| f.id == file)
+            .map(|f| f.class)
+            .unwrap_or(FileClass::Regular)
+    }
+
+    /// Checks internal consistency: records sorted, files unique, every
+    /// referenced file declared.
+    pub fn validate(&self) -> Result<(), String> {
+        for w in self.records.windows(2) {
+            if w[1].at < w[0].at {
+                return Err(format!("records out of order at {:?}", w[1].at));
+            }
+        }
+        let mut ids: Vec<u64> = self.files.iter().map(|f| f.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        if ids.len() != before {
+            return Err("duplicate file ids".into());
+        }
+        for r in &self.records {
+            if ids.binary_search(&r.op.file()).is_err() {
+                return Err(format!("record references undeclared file {}", r.op.file()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serializes")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Trace, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::new(
+            vec![
+                FileSpec {
+                    id: 1,
+                    class: FileClass::Regular,
+                    path: Some("/a".into()),
+                },
+                FileSpec {
+                    id: 2,
+                    class: FileClass::Installed,
+                    path: None,
+                },
+            ],
+            vec![
+                TraceRecord {
+                    at: Time::from_secs(2),
+                    client: 0,
+                    op: TraceOp::Write { file: 1 },
+                },
+                TraceRecord {
+                    at: Time::from_secs(1),
+                    client: 0,
+                    op: TraceOp::Read { file: 2 },
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn new_sorts_records() {
+        let t = sample();
+        assert!(t.records[0].at < t.records[1].at);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn duration_and_clients() {
+        let t = sample();
+        assert_eq!(t.duration(), Dur::from_secs(2));
+        assert_eq!(t.client_count(), 1);
+        let empty = Trace::new(vec![], vec![]);
+        assert_eq!(empty.duration(), Dur::ZERO);
+        assert_eq!(empty.client_count(), 0);
+    }
+
+    #[test]
+    fn class_lookup_defaults_to_regular() {
+        let t = sample();
+        assert_eq!(t.class_of(2), FileClass::Installed);
+        assert_eq!(t.class_of(999), FileClass::Regular);
+    }
+
+    #[test]
+    fn validate_catches_undeclared_files() {
+        let mut t = sample();
+        t.records.push(TraceRecord {
+            at: Time::from_secs(3),
+            client: 0,
+            op: TraceOp::Read { file: 42 },
+        });
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_duplicate_ids() {
+        let mut t = sample();
+        t.files.push(FileSpec {
+            id: 1,
+            class: FileClass::Regular,
+            path: None,
+        });
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let j = t.to_json();
+        let back = Trace::from_json(&j).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn op_accessors() {
+        let r = TraceOp::Read { file: 5 };
+        let w = TraceOp::Write { file: 6 };
+        assert!(r.is_read() && !w.is_read());
+        assert_eq!(r.file(), 5);
+        assert_eq!(w.file(), 6);
+    }
+}

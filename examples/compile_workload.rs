@@ -1,0 +1,47 @@
+//! The paper's core experiment as a demo: replay the V compile trace
+//! through the simulated file system at several lease terms and watch the
+//! consistency traffic collapse.
+//!
+//! Run with: `cargo run --release --example compile_workload`
+
+use leases::clock::Dur;
+use leases::vsys::{run_trace, SystemConfig, TermSpec};
+use leases::workload::{TraceStats, VTrace};
+
+fn main() {
+    let trace = VTrace::calibrated(1989).generate();
+    let stats = TraceStats::from_trace(&trace);
+    println!("workload: recompiling the V file server (synthetic reconstruction)");
+    println!(
+        "  {} reads, {} writes over {:.0} s (R = {:.3}/s, {}% installed)\n",
+        stats.reads,
+        stats.writes,
+        stats.duration_secs,
+        stats.read_rate,
+        (stats.installed_read_fraction * 100.0) as u32
+    );
+
+    println!(
+        "{:>9}  {:>12}  {:>9}  {:>11}",
+        "term", "cons. msgs", "hit rate", "delay (ms)"
+    );
+    for term_s in [0u64, 1, 2, 5, 10, 30, 120] {
+        let cfg = SystemConfig {
+            term: TermSpec::Fixed(Dur::from_secs(term_s)),
+            warmup: Dur::from_secs(60),
+            ..SystemConfig::default()
+        };
+        let r = run_trace(&cfg, &trace);
+        println!(
+            "{:>8}s  {:>12}  {:>9.3}  {:>11.3}",
+            term_s,
+            r.consistency_msgs,
+            r.hit_rate(),
+            r.mean_delay_ms()
+        );
+    }
+    println!();
+    println!("the knee is at a few seconds — the paper's conclusion: \"a lease term of");
+    println!("10 seconds results in a server load within 5 percent of that achievable");
+    println!("with infinite term\", while keeping every fault-delay bounded by 10 s.");
+}

@@ -1,0 +1,46 @@
+//! Quickstart: a lease-consistent distributed file cache in ~30 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use leases::clock::Dur;
+use leases::rt::RtSystem;
+
+fn main() {
+    // One server, two client caches, real threads, real clocks.
+    let sys = RtSystem::builder()
+        .term(Dur::from_millis(500)) // the lease term
+        .file("/doc/report.tex", b"\\documentclass{article}...".as_ref())
+        .clients(2)
+        .start();
+
+    let report = sys.lookup("/doc/report.tex").unwrap();
+    let (alice, bob) = (sys.client(0), sys.client(1));
+
+    // Alice reads twice: the first fetches, the second is a local hit
+    // under the lease — no server contact at all.
+    let (_, _, from_cache) = alice.read_detailed(report).unwrap();
+    println!("alice read #1: from_cache = {from_cache}");
+    let (_, _, from_cache) = alice.read_detailed(report).unwrap();
+    println!("alice read #2: from_cache = {from_cache}");
+
+    // Bob writes. The server first obtains Alice's approval (she holds a
+    // lease), which invalidates her copy; the write then commits.
+    let v = bob
+        .write(report, b"\\documentclass{book}...".as_ref())
+        .unwrap();
+    println!("bob wrote version {v}");
+
+    // Alice's next read revalidates and sees Bob's data: single-copy
+    // semantics, with caching.
+    let data = alice.read(report).unwrap();
+    println!("alice now sees: {}", String::from_utf8_lossy(&data[..22]));
+    assert!(data.starts_with(b"\\documentclass{book}"));
+
+    let stats = alice.stats().unwrap();
+    println!(
+        "alice's cache: {} hits, {} invalidations, {} approvals honoured",
+        stats.hits, stats.invalidations, stats.approvals
+    );
+    sys.shutdown();
+    println!("done: consistent caching with no lock manager and no cache-state recovery");
+}

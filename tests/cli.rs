@@ -1,0 +1,120 @@
+//! Smoke tests of the `leases-sim` command-line tool.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_leases-sim"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("leases-sim"));
+    assert!(text.contains("sweep"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn model_prints_curves() {
+    let out = bin().args(["model", "--sharing", "10"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("relative load"));
+    assert!(text.contains("alpha = 4.32"));
+}
+
+#[test]
+fn trace_roundtrips_through_a_file() {
+    let dir = std::env::temp_dir().join(format!("leases-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let out = bin()
+        .args([
+            "trace",
+            "--kind",
+            "poisson",
+            "--clients",
+            "2",
+            "--duration",
+            "60",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin()
+        .args(["stats", "--trace", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("rate of reads"));
+
+    let out = bin()
+        .args(["run", "--trace", path.to_str().unwrap(), "--term", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("single-copy oracle   : PASS"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_rejects_bad_flags() {
+    let out = bin().args(["run", "--term"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--term needs a value"));
+}
+
+#[test]
+fn sweep_covers_terms_consistently() {
+    let out = bin()
+        .args([
+            "sweep",
+            "--kind",
+            "poisson",
+            "--clients",
+            "2",
+            "--duration",
+            "60",
+            "--terms",
+            "0,5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.matches("PASS").count(), 2, "{text}");
+}
+
+#[test]
+fn writeback_mode_runs() {
+    let out = bin()
+        .args([
+            "run",
+            "--writeback",
+            "--kind",
+            "poisson",
+            "--clients",
+            "2",
+            "--duration",
+            "60",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+}

@@ -1,0 +1,187 @@
+//! Workspace-level integration tests: the public API exercised across
+//! every crate, the way a downstream user would.
+
+use leases::analytic::Params;
+use leases::clock::{Dur, Time};
+use leases::faults::check_history;
+use leases::rt::RtSystem;
+use leases::vsys::{run_trace, run_trace_with_history, SystemConfig, TermSpec};
+use leases::workload::{PoissonWorkload, TraceStats, VTrace};
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Model, workload, simulation, and oracle glued through the facade.
+    let p = Params::v_system();
+    assert!(p.relative_load(10.0) < 0.15);
+    let trace = PoissonWorkload::v_rates(2, 1, Dur::from_secs(60), 1).generate();
+    let cfg = SystemConfig::default();
+    let (_, h) = run_trace_with_history(&cfg, &trace);
+    check_history(&h.history.borrow()).expect("consistent");
+}
+
+#[test]
+fn model_and_simulation_agree_on_the_headline_number() {
+    // The paper's headline: a 10 s term removes ~90% of consistency
+    // traffic. Check that the simulated system agrees with the closed-form
+    // model to within a few points on the Poisson workload it models.
+    let trace = PoissonWorkload::v_rates(1, 1, Dur::from_secs(4000), 5).generate();
+    let run = |term: Dur| {
+        let cfg = SystemConfig {
+            term: TermSpec::Fixed(term),
+            warmup: Dur::from_secs(120),
+            ..SystemConfig::default()
+        };
+        run_trace(&cfg, &trace).consistency_msgs as f64
+    };
+    let measured = run(Dur::from_secs(10)) / run(Dur::ZERO);
+    let model = Params::v_system().relative_load(10.0);
+    assert!(
+        (measured - model).abs() < 0.05,
+        "simulation {measured:.3} vs model {model:.3}"
+    );
+}
+
+#[test]
+fn trace_knee_is_sharper_than_poisson_knee() {
+    // §3.2: "actual file access is burstier than that given by a Poisson
+    // distribution. This burstiness implies that short terms should
+    // perform even better than our estimates indicate."
+    let trace = VTrace::calibrated(8).generate();
+    let stats = TraceStats::from_trace(&trace);
+    assert!(stats.burstiness > 2.0);
+    let run = |term: Dur| {
+        let cfg = SystemConfig {
+            term: TermSpec::Fixed(term),
+            warmup: Dur::from_secs(60),
+            ..SystemConfig::default()
+        };
+        run_trace(&cfg, &trace).consistency_msgs as f64
+    };
+    let measured_2s = run(Dur::from_secs(2)) / run(Dur::ZERO);
+    let model_2s = Params::v_system().relative_load(2.0);
+    assert!(
+        measured_2s < model_2s - 0.1,
+        "trace at 2 s ({measured_2s:.3}) should beat the Poisson model ({model_2s:.3})"
+    );
+}
+
+#[test]
+fn simulated_and_realtime_deployments_share_semantics() {
+    // The same protocol core behind both deployments: a write by one
+    // client invalidates the other's cache in either world.
+    // Simulated:
+    use leases::workload::{FileClass, FileSpec, Trace, TraceOp, TraceRecord};
+    let trace = Trace::new(
+        vec![FileSpec {
+            id: 1,
+            class: FileClass::Regular,
+            path: None,
+        }],
+        vec![
+            TraceRecord {
+                at: Time::from_secs(1),
+                client: 1,
+                op: TraceOp::Read { file: 1 },
+            },
+            TraceRecord {
+                at: Time::from_secs(2),
+                client: 0,
+                op: TraceOp::Write { file: 1 },
+            },
+            TraceRecord {
+                at: Time::from_secs(3),
+                client: 1,
+                op: TraceOp::Read { file: 1 },
+            },
+        ],
+    );
+    let (_, h) = run_trace_with_history(&SystemConfig::default(), &trace);
+    check_history(&h.history.borrow()).expect("sim consistent");
+
+    // Real time:
+    let sys = RtSystem::builder()
+        .term(Dur::from_millis(400))
+        .file("/f", b"v1".as_ref())
+        .clients(2)
+        .start();
+    let f = sys.lookup("/f").unwrap();
+    sys.client(1).read(f).unwrap();
+    sys.client(0).write(f, b"v2".as_ref()).unwrap();
+    let data = sys.client(1).read(f).unwrap();
+    assert_eq!(&data[..], b"v2");
+    sys.shutdown();
+}
+
+#[test]
+fn adaptive_terms_beat_fixed_terms_on_mixed_workloads() {
+    // A workload with both read-mostly and write-hot files: the adaptive
+    // policy should not pay more write delay than a long fixed term, and
+    // not more extension traffic than a zero term.
+    use leases::workload::{FileClass, FileSpec, Trace, TraceOp, TraceRecord};
+    let mut records = Vec::new();
+    for s in 1..600u64 {
+        // File 1: read-mostly by both clients.
+        records.push(TraceRecord {
+            at: Time::from_millis(s * 500),
+            client: (s % 2) as u32,
+            op: TraceOp::Read { file: 1 },
+        });
+        // File 2: write-hot, ping-ponged between clients.
+        if s % 4 == 0 {
+            records.push(TraceRecord {
+                at: Time::from_millis(s * 500 + 100),
+                client: ((s / 4) % 2) as u32,
+                op: TraceOp::Write { file: 2 },
+            });
+            records.push(TraceRecord {
+                at: Time::from_millis(s * 500 + 200),
+                client: ((s / 4 + 1) % 2) as u32,
+                op: TraceOp::Read { file: 2 },
+            });
+        }
+    }
+    let trace = Trace::new(
+        vec![
+            FileSpec {
+                id: 1,
+                class: FileClass::Regular,
+                path: None,
+            },
+            FileSpec {
+                id: 2,
+                class: FileClass::Regular,
+                path: None,
+            },
+        ],
+        records,
+    );
+    let run = |term: TermSpec| {
+        let cfg = SystemConfig {
+            term,
+            warmup: Dur::from_secs(30),
+            ..SystemConfig::default()
+        };
+        run_trace(&cfg, &trace)
+    };
+    let fixed30 = run(TermSpec::Fixed(Dur::from_secs(30)));
+    let adaptive = run(TermSpec::Adaptive {
+        theta: 0.1,
+        min: Dur::from_secs(1),
+        max: Dur::from_secs(60),
+    });
+    assert!(adaptive.write_delay.mean <= fixed30.write_delay.mean + 1e-9);
+    assert_eq!(adaptive.op_failures, 0);
+}
+
+#[test]
+fn zero_term_equals_check_on_every_read() {
+    let trace = PoissonWorkload::v_rates(2, 1, Dur::from_secs(120), 9).generate();
+    let cfg = SystemConfig {
+        term: TermSpec::Fixed(Dur::ZERO),
+        ..SystemConfig::default()
+    };
+    let r = run_trace(&cfg, &trace);
+    assert_eq!(r.hits, 0);
+    // Exactly one request-reply pair per read.
+    assert_eq!(r.consistency_msgs, 2 * r.remote_reads);
+}
