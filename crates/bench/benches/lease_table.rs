@@ -61,5 +61,80 @@ fn prune(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, grant, holders_query, prune);
+fn svc(c: &mut Criterion) {
+    use lease_clock::Dur;
+    use lease_svc::{shard_of, TimerWheel};
+
+    // Sharded vs single-table grant throughput: the same 10k grants routed
+    // by file-id hash into k independent tables — what the sharded service
+    // does — against one monolithic table.
+    let mut group = c.benchmark_group("svc/sharded_grant");
+    for &k in &[1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter_batched(
+                || (0..k).map(|_| LeaseTable::<u64>::new()).collect::<Vec<_>>(),
+                |mut tables| {
+                    for i in 0..10_000u64 {
+                        let r = i % 512;
+                        tables[shard_of(&r, k)].grant(
+                            r,
+                            ClientId((i % 64) as u32),
+                            Time(i + 1_000_000),
+                        );
+                    }
+                    black_box(tables.iter().map(|t| t.len()).sum::<usize>())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+
+    // Expiry dispatch: advancing the hierarchical timer wheel through 10k
+    // scattered deadlines vs repeatedly pruning the table's expiry index.
+    c.bench_function("svc/expiry/wheel_advance", |b| {
+        b.iter_batched(
+            || {
+                let mut w = TimerWheel::new(Dur(1_000), Time::ZERO);
+                for i in 0..10_000u64 {
+                    w.schedule(Time(1_000 + i * 7_919), i);
+                }
+                w
+            },
+            |mut w| {
+                let mut fired = 0usize;
+                let mut now = 0u64;
+                while !w.is_empty() {
+                    now += 1_000_000;
+                    fired += w.advance(Time(now)).len();
+                }
+                black_box(fired)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("svc/expiry/table_scan_prune", |b| {
+        b.iter_batched(
+            || {
+                let mut t = LeaseTable::<u64>::new();
+                for i in 0..10_000u64 {
+                    t.grant(i, ClientId(0), Time(1_000 + i * 7_919));
+                }
+                t
+            },
+            |mut t| {
+                let mut fired = 0usize;
+                let mut now = 0u64;
+                while !t.is_empty() {
+                    now += 1_000_000;
+                    fired += t.prune(Time(now));
+                }
+                black_box(fired)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, grant, holders_query, prune, svc);
 criterion_main!(benches);

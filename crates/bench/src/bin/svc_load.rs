@@ -1,0 +1,221 @@
+//! Closed-loop load generator for the `lease-svc` runtime.
+//!
+//! For each shard count (1, 2, 4, 8 by default) this spawns a sharded
+//! lease service over in-memory storage, drives it with closed-loop
+//! client threads issuing fetches plus an occasional write (which
+//! exercises the approval round trip, including cross-shard write-id
+//! translation), and reports sustained grants/sec and p50/p95/p99 op
+//! latency.
+//!
+//! Environment knobs:
+//!
+//! | variable             | meaning                              | default   |
+//! |----------------------|--------------------------------------|-----------|
+//! | `LEASE_LOAD_MS`      | measured window per configuration    | 1000      |
+//! | `LEASE_LOAD_CLIENTS` | closed-loop client threads           | 4         |
+//! | `LEASE_LOAD_FILES`   | distinct resources                   | 256       |
+//! | `LEASE_LOAD_SHARDS`  | comma-separated shard counts         | 1,2,4,8   |
+//!
+//! On a single hardware thread the shard counts should land within noise
+//! of each other (the workers time-slice one core); the sweep exists to
+//! show scaling on real multi-core hosts and to bound the sharding
+//! overhead on this one.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lease_clock::Dur;
+use lease_core::{
+    ClientId, LeaseServer, MemStorage, ReqId, ServerConfig, Storage, ToClient, ToServer,
+};
+use lease_svc::{ClientSink, LeaseService, SvcConfig, SvcHandle, SvcHooks};
+
+type R = u64;
+type D = u64;
+
+/// Delivers shard output onto per-client reply channels.
+struct ChannelSink {
+    txs: Vec<Sender<ToClient<R, D>>>,
+}
+
+impl ClientSink<R, D> for ChannelSink {
+    fn deliver(&self, to: ClientId, msg: ToClient<R, D>) {
+        let _ = self.txs[to.0 as usize].send(msg);
+    }
+}
+
+/// One closed-loop client: send an op, wait for its reply, repeat.
+/// Returns per-op latencies in nanoseconds.
+fn client_loop(
+    id: ClientId,
+    handle: SvcHandle<R, D>,
+    rx: Receiver<ToClient<R, D>>,
+    files: u64,
+    stop: Arc<AtomicBool>,
+) -> Vec<u64> {
+    // Deterministic per-client LCG so runs are comparable.
+    let mut rng: u64 =
+        0x9e37_79b9_7f4a_7c15 ^ (u64::from(id.0)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let mut next_req: u64 = 1;
+    let mut latencies = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let resource = (rng >> 33) % files;
+        let req = ReqId(next_req);
+        next_req += 1;
+        let msg = if next_req.is_multiple_of(32) {
+            ToServer::Write {
+                req,
+                resource,
+                data: next_req,
+            }
+        } else {
+            ToServer::Fetch {
+                req,
+                resource,
+                cached: None,
+                also_extend: Vec::new(),
+            }
+        };
+        let t0 = Instant::now();
+        if handle.send(id, msg).is_err() {
+            break;
+        }
+        // Closed loop: wait for this op's reply, approving any write
+        // callbacks that arrive meanwhile (other clients' writes cannot
+        // commit without our approval).
+        loop {
+            let m = match rx.recv_timeout(Duration::from_secs(5)) {
+                Ok(m) => m,
+                Err(_) => return latencies,
+            };
+            match m {
+                // A fetch may be answered in parts (the cross-shard split,
+                // or a write-blocked target); done once the target resource
+                // is granted.
+                ToClient::Grants { req: r, grants }
+                    if r == req && grants.iter().any(|g| g.resource == resource) =>
+                {
+                    break;
+                }
+                ToClient::WriteDone { req: r, .. } if r == req => break,
+                ToClient::ApprovalRequest { write_id, .. } => {
+                    let _ = handle.send(id, ToServer::Approve { write_id });
+                }
+                _ => {}
+            }
+        }
+        latencies.push(t0.elapsed().as_nanos() as u64);
+    }
+    // Grace drain: peers may still be waiting on approvals from us for
+    // their final in-flight write.
+    let grace = Instant::now();
+    while grace.elapsed() < Duration::from_millis(100) {
+        if let Ok(ToClient::ApprovalRequest { write_id, .. }) =
+            rx.recv_timeout(Duration::from_millis(20))
+        {
+            let _ = handle.send(id, ToServer::Approve { write_id });
+        }
+    }
+    latencies
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_config(shards: usize, clients: u32, files: u64, window: Duration) {
+    let mut txs = Vec::new();
+    let mut rxs = Vec::new();
+    for _ in 0..clients {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let service = LeaseService::spawn(
+        SvcConfig {
+            shards,
+            ..SvcConfig::default()
+        },
+        Arc::new(ChannelSink { txs }),
+        SvcHooks::default(),
+        |_| {
+            // Every shard preloads the full set; the router only sends a
+            // shard its own partition, so the copies never disagree.
+            let mut store: MemStorage<R, D> = MemStorage::new();
+            for r in 0..files {
+                store.insert(r, r);
+            }
+            (
+                LeaseServer::new(ServerConfig::fixed(Dur::from_secs(5))),
+                Box::new(store) as Box<dyn Storage<R, D> + Send>,
+            )
+        },
+    );
+    let handle = service.handle();
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let workers: Vec<_> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(i, rx)| {
+            let handle = handle.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || client_loop(ClientId(i as u32), handle, rx, files, stop))
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = t0.elapsed();
+    let mut lats: Vec<u64> = Vec::new();
+    for w in workers {
+        lats.extend(w.join().expect("client thread"));
+    }
+    let grants = service
+        .stats()
+        .map(|s| s.counters.grants)
+        .unwrap_or_default();
+    service.shutdown();
+    lats.sort_unstable();
+    println!(
+        "shards={shards:<2} ops={:>8} ops/s={:>8.0} grants/s={:>8.0} p50={:>5}us p95={:>5}us p99={:>5}us",
+        lats.len(),
+        lats.len() as f64 / elapsed.as_secs_f64(),
+        grants as f64 / elapsed.as_secs_f64(),
+        percentile(&lats, 0.50) / 1_000,
+        percentile(&lats, 0.95) / 1_000,
+        percentile(&lats, 0.99) / 1_000,
+    );
+}
+
+fn main() {
+    let window = Duration::from_millis(env_u64("LEASE_LOAD_MS", 1_000));
+    let clients = env_u64("LEASE_LOAD_CLIENTS", 4) as u32;
+    let files = env_u64("LEASE_LOAD_FILES", 256);
+    let shard_list = std::env::var("LEASE_LOAD_SHARDS").unwrap_or_else(|_| "1,2,4,8".into());
+    println!(
+        "svc_load: {clients} closed-loop clients, {files} files, {}ms window per config",
+        window.as_millis()
+    );
+    for s in shard_list
+        .split(',')
+        .filter_map(|s| s.trim().parse::<usize>().ok())
+    {
+        run_config(s.max(1), clients, files, window);
+    }
+}

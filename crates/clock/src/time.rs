@@ -119,7 +119,7 @@ impl Dur {
     ///
     /// Negative and NaN inputs map to zero; overly large inputs to [`Dur::MAX`].
     pub fn from_secs_f64(secs: f64) -> Dur {
-        if !(secs > 0.0) {
+        if secs.is_nan() || secs <= 0.0 {
             return Dur::ZERO;
         }
         let nanos = secs * 1e9;
@@ -268,9 +268,9 @@ impl fmt::Debug for Dur {
         let ns = self.0;
         if ns == u64::MAX {
             write!(f, "inf")
-        } else if ns >= 1_000_000_000 && ns % 1_000_000 == 0 {
+        } else if ns >= 1_000_000_000 && ns.is_multiple_of(1_000_000) {
             let ms = ns / 1_000_000;
-            if ms % 1000 == 0 {
+            if ms.is_multiple_of(1000) {
                 write!(f, "{}s", ms / 1000)
             } else {
                 write!(f, "{}.{:03}s", ms / 1000, ms % 1000)

@@ -135,10 +135,13 @@ impl<R: Resource> TermPolicy<R> for CompensatedTerm<R> {
     }
 }
 
+/// The decision function of a [`ClosurePolicy`].
+pub type TermFn<R> = Box<dyn FnMut(&R, ClientId, &ResourceStats) -> Dur + Send>;
+
 /// An arbitrary policy from a closure, for experiments.
 pub struct ClosurePolicy<R>(
     /// The decision function.
-    pub Box<dyn FnMut(&R, ClientId, &ResourceStats) -> Dur + Send>,
+    pub TermFn<R>,
 );
 
 impl<R: Resource> TermPolicy<R> for ClosurePolicy<R> {

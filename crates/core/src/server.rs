@@ -175,6 +175,27 @@ pub struct ServerCounters {
     pub relinquish_rx: u64,
 }
 
+impl ServerCounters {
+    /// Adds `other`'s counts into `self` — aggregation across independent
+    /// server instances (e.g. the shards of a partitioned deployment).
+    pub fn merge(&mut self, other: &ServerCounters) {
+        self.fetch_rx += other.fetch_rx;
+        self.renew_rx += other.renew_rx;
+        self.grants += other.grants;
+        self.grants_with_data += other.grants_with_data;
+        self.grants_no_data += other.grants_no_data;
+        self.writes_rx += other.writes_rx;
+        self.writes_immediate += other.writes_immediate;
+        self.writes_deferred += other.writes_deferred;
+        self.approval_multicasts += other.approval_multicasts;
+        self.approvals_rx += other.approvals_rx;
+        self.installed_multicasts += other.installed_multicasts;
+        self.dedup_hits += other.dedup_hits;
+        self.errors += other.errors;
+        self.relinquish_rx += other.relinquish_rx;
+    }
+}
+
 #[derive(Debug, Clone)]
 struct PendingWrite<D> {
     id: WriteId,

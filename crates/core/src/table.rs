@@ -122,6 +122,13 @@ impl<R: Resource> LeaseTable<R> {
         removed
     }
 
+    /// The earliest expiry of any live record, pruned or not — the next
+    /// instant at which [`LeaseTable::prune`] could remove something.
+    /// Lets a driver arm one timer instead of scanning the table.
+    pub fn next_expiry(&self) -> Option<Time> {
+        self.index.iter().next().map(|&(expiry, _, _)| expiry)
+    }
+
     /// Drops everything (server crash: the table is volatile soft state).
     pub fn clear(&mut self) {
         self.holders.clear();
@@ -210,6 +217,17 @@ mod tests {
         assert_eq!(tab.prune(t(10)), 2); // C1@5 and 2/C1@10 (expiry <= now)
         assert_eq!(tab.len(), 1);
         assert_eq!(tab.holders_at(1, t(0)), vec![C2]);
+    }
+
+    #[test]
+    fn next_expiry_tracks_index_head() {
+        let mut tab = LeaseTable::new();
+        assert_eq!(tab.next_expiry(), None);
+        tab.grant(1u64, C1, t(10));
+        tab.grant(2, C2, t(5));
+        assert_eq!(tab.next_expiry(), Some(t(5)));
+        tab.prune(t(5));
+        assert_eq!(tab.next_expiry(), Some(t(10)));
     }
 
     #[test]

@@ -128,7 +128,7 @@ proptest! {
         let mut last_seen = [0u64, 0];
         let mut op_floor: std::collections::HashMap<OpId, u64> = Default::default();
 
-        let mut sink_client =
+        let sink_client =
             |cid: usize,
              outs: Vec<ClientOutput<u64, u64>>,
              to_server: &mut Vec<(ClientId, ToServer<u64, u64>)>,
@@ -204,7 +204,7 @@ proptest! {
                     sink_client(c, outs, &mut to_server, &mut last_seen, &mut op_floor);
                 }
                 DriveOp::Tick { ms } => {
-                    now = now + Dur::from_millis(ms as u64);
+                    now += Dur::from_millis(ms as u64);
                 }
             }
             // Invariant: a client's valid-lease cached version is never

@@ -126,7 +126,7 @@ impl<M: Clone> Medium<M> for SimNet {
             }
             let mut arrive = send_done + self.prop_between(from, to);
             if !self.jitter.is_zero() {
-                arrive = arrive + Dur(rng.below(self.jitter.as_nanos().max(1)));
+                arrive += Dur(rng.below(self.jitter.as_nanos().max(1)));
             }
             let at = self.occupy_cpu(to, arrive);
             self.deliveries += 1;

@@ -12,7 +12,7 @@ use lease_core::{
     OpOutcome, ToClient, Version,
 };
 
-use crate::server::{Res, ServerCmd};
+use crate::server::{Res, ServerPort};
 
 /// An error from a real-time cache operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,7 +111,7 @@ pub(crate) fn spawn_client(
     mut cache: LeaseClient<Res, Bytes>,
     cmd_rx: Receiver<ClientCmd>,
     net_rx: Receiver<ToClient<Res, Bytes>>,
-    server_tx: Sender<ServerCmd>,
+    port: ServerPort,
     clock: WallClock,
 ) -> JoinHandle<()> {
     let id = cache.id();
@@ -139,14 +139,14 @@ pub(crate) fn spawn_client(
                 timers: &mut BinaryHeap<Reverse<(Time, u64)>>,
                 live: &mut HashMap<u64, Time>,
                 waiting: &mut HashMap<OpId, Sender<OpReply>>,
-                server_tx: &Sender<ServerCmd>,
+                port: &ServerPort,
                 id: lease_core::ClientId,
                 key: &impl Fn(ClientTimer) -> u64,
             ) {
                 for o in outs {
                     match o {
                         ClientOutput::Send(msg) => {
-                            let _ = server_tx.send(ServerCmd::Msg(id, msg));
+                            port.send(id, msg);
                         }
                         ClientOutput::SetTimer { at, timer } => {
                             let k = key(timer);
@@ -176,7 +176,7 @@ pub(crate) fn spawn_client(
             }
 
             let outs = cache.start(clock.now());
-            apply(outs, &mut timers, &mut live_timers, &mut waiting, &server_tx, id, &key);
+            apply(outs, &mut timers, &mut live_timers, &mut waiting, &port, id, &key);
 
             loop {
                 // Fire due timers (skipping cancelled ones).
@@ -191,7 +191,7 @@ pub(crate) fn spawn_client(
                     }
                     live_timers.remove(&k);
                     let outs = cache.handle(clock.now(), ClientInput::Timer(timer_of(k)));
-                    apply(outs, &mut timers, &mut live_timers, &mut waiting, &server_tx, id, &key);
+                    apply(outs, &mut timers, &mut live_timers, &mut waiting, &port, id, &key);
                 }
                 let wait = timers
                     .peek()
@@ -210,7 +210,7 @@ pub(crate) fn spawn_client(
                                 clock.now(),
                                 ClientInput::Op { op, kind: Op::Read(r) },
                             );
-                            apply(outs, &mut timers, &mut live_timers, &mut waiting, &server_tx, id, &key);
+                            apply(outs, &mut timers, &mut live_timers, &mut waiting, &port, id, &key);
                         }
                         Ok(ClientCmd::Write(r, data, reply)) => {
                             let op = OpId(next_op);
@@ -220,7 +220,7 @@ pub(crate) fn spawn_client(
                                 clock.now(),
                                 ClientInput::Op { op, kind: Op::Write(r, data) },
                             );
-                            apply(outs, &mut timers, &mut live_timers, &mut waiting, &server_tx, id, &key);
+                            apply(outs, &mut timers, &mut live_timers, &mut waiting, &port, id, &key);
                         }
                         Ok(ClientCmd::Stats(reply)) => {
                             let _ = reply.send(cache.counters);
@@ -230,7 +230,7 @@ pub(crate) fn spawn_client(
                     recv(net_rx) -> msg => match msg {
                         Ok(m) => {
                             let outs = cache.handle(clock.now(), ClientInput::Msg(m));
-                            apply(outs, &mut timers, &mut live_timers, &mut waiting, &server_tx, id, &key);
+                            apply(outs, &mut timers, &mut live_timers, &mut waiting, &port, id, &key);
                         }
                         Err(_) => break,
                     },

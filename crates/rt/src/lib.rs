@@ -4,9 +4,11 @@
 //!
 //! The state machines in `lease-core` are sans-IO, so the same code that
 //! runs under the deterministic simulator runs here under wall clocks: the
-//! server and each client cache are OS threads, the "network" is a pair of
-//! crossbeam channels per host, timers are `recv_timeout` deadlines, and
-//! the primary copies live in a real `lease-store` file store.
+//! server side runs on the sharded `lease-svc` runtime (the lease table
+//! partitioned by file-id hash across worker threads, expirations driven
+//! by its timer wheel), each client cache is an OS thread, the "network"
+//! is a pair of crossbeam channels per host, and the primary copies live
+//! in a real `lease-store` file store shared by every shard.
 //!
 //! This is the deployment a downstream user would embed: short leases over
 //! real time, write-through to a durable store, approval callbacks between

@@ -1,39 +1,30 @@
-//! The server thread.
+//! The server side: storage backend and `lease-svc` runtime adapters.
+//!
+//! The seed ran one server state machine on one dedicated thread behind
+//! one channel. The real-time deployment now runs on the sharded
+//! `lease-svc` runtime instead: the pieces here adapt it to this crate's
+//! world — the durable [`StoreBackend`] shared by every shard, the
+//! [`RtSink`] that delivers shard output over per-client channels (with
+//! the fault-injection cut switch), and the [`ServerPort`] client threads
+//! use to submit protocol messages into the service.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use lease_clock::{Clock, Time, WallClock};
-use lease_core::{
-    ClientId, LeaseServer, ServerCounters, ServerInput, ServerOutput, ServerTimer, Storage,
-    ToClient, ToServer, Version,
-};
+use crossbeam::channel::Sender;
+use lease_clock::{Clock, WallClock};
+use lease_core::{ClientId, ServerCounters, Storage, ToClient, ToServer, Version};
 use lease_store::{FileId, Store};
+use lease_svc::{ClientSink, SvcHandle};
 
 /// The resource key in the real-time system: the store's file id, as u64.
 pub type Res = u64;
 
-/// Messages into the server thread.
-pub enum ServerCmd {
-    /// A protocol message from a client.
-    Msg(ClientId, ToServer<Res, Bytes>),
-    /// An administrative write (install).
-    LocalWrite(Res, Bytes),
-    /// Ask for counters.
-    Stats(Sender<ServerStats>),
-    /// Stop the thread.
-    Shutdown,
-}
-
 /// Observable server statistics.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerStats {
-    /// Protocol counters.
+    /// Protocol counters, merged across every shard.
     pub counters: ServerCounters,
     /// Committed writes in the store.
     pub writes_committed: u64,
@@ -119,6 +110,25 @@ impl Storage<Res, Bytes> for StoreBackend {
     }
 }
 
+/// The one durable backend, shared by every shard worker. Resources are
+/// partitioned by shard, so two shards never write the same file; the
+/// mutex only serializes unrelated accesses.
+pub(crate) struct SharedBackend(pub Arc<Mutex<StoreBackend>>);
+
+impl Storage<Res, Bytes> for SharedBackend {
+    fn read(&self, resource: &Res) -> Option<(Bytes, Version)> {
+        self.0.lock().unwrap().read(resource)
+    }
+
+    fn version(&self, resource: &Res) -> Option<Version> {
+        self.0.lock().unwrap().version(resource)
+    }
+
+    fn write(&mut self, resource: &Res, data: Bytes) -> Version {
+        self.0.lock().unwrap().write(resource, data)
+    }
+}
+
 /// Per-client outbound link, with a kill switch for fault injection.
 pub struct ClientLink {
     /// Channel into the client thread.
@@ -127,120 +137,35 @@ pub struct ClientLink {
     pub cut: Arc<AtomicBool>,
 }
 
-pub(crate) fn spawn_server(
-    mut server: LeaseServer<Res, Bytes>,
-    mut backend: StoreBackend,
-    rx: Receiver<ServerCmd>,
-    links: Vec<ClientLink>,
-    clock: WallClock,
-) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name("lease-server".into())
-        .spawn(move || {
-            let mut timers: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
-            let key = |t: ServerTimer| match t {
-                ServerTimer::InstalledTick => 0u64,
-                ServerTimer::WriteDeadline(w) => w.0 + 1,
-            };
-            let timer_of = |k: u64| {
-                if k == 0 {
-                    ServerTimer::InstalledTick
-                } else {
-                    ServerTimer::WriteDeadline(lease_core::WriteId(k - 1))
-                }
-            };
-            fn apply(
-                outs: Vec<ServerOutput<Res, Bytes>>,
-                timers: &mut BinaryHeap<Reverse<(Time, u64)>>,
-                links: &[ClientLink],
-                backend: &mut StoreBackend,
-                key: &impl Fn(ServerTimer) -> u64,
-            ) {
-                for o in outs {
-                    match o {
-                        ServerOutput::Send { to, msg } => {
-                            let link = &links[to.0 as usize];
-                            if !link.cut.load(Ordering::Relaxed) {
-                                let _ = link.tx.send(msg);
-                            }
-                        }
-                        ServerOutput::Multicast { to, msg } => {
-                            for c in to {
-                                let link = &links[c.0 as usize];
-                                if !link.cut.load(Ordering::Relaxed) {
-                                    let _ = link.tx.send(msg.clone());
-                                }
-                            }
-                        }
-                        ServerOutput::SetTimer { at, timer } => {
-                            timers.push(Reverse((at, key(timer))));
-                        }
-                        ServerOutput::PersistMaxTerm(d) => {
-                            backend
-                                .store
-                                .put_slot("max_lease_term", d.as_nanos().to_le_bytes().to_vec());
-                        }
-                        ServerOutput::PersistLease { .. } => {
-                            // The RT deployment uses MaxTerm recovery.
-                        }
-                        ServerOutput::Committed { .. } => {}
-                    }
-                }
-            }
+/// Delivers shard output to client threads over their channels.
+pub(crate) struct RtSink {
+    pub links: Vec<ClientLink>,
+}
 
-            let outs = server.start(clock.now(), &backend);
-            apply(outs, &mut timers, &links, &mut backend, &key);
+impl ClientSink<Res, Bytes> for RtSink {
+    fn deliver(&self, to: ClientId, msg: ToClient<Res, Bytes>) {
+        let link = &self.links[to.0 as usize];
+        if !link.cut.load(Ordering::Relaxed) {
+            let _ = link.tx.send(msg);
+        }
+    }
+}
 
-            loop {
-                // Fire due timers.
-                let now = clock.now();
-                while let Some(Reverse((at, k))) = timers.peek().copied() {
-                    if at > now {
-                        break;
-                    }
-                    timers.pop();
-                    let outs =
-                        server.handle(clock.now(), ServerInput::Timer(timer_of(k)), &mut backend);
-                    apply(outs, &mut timers, &links, &mut backend, &key);
-                }
-                // Wait for the next message or timer deadline.
-                let wait = timers
-                    .peek()
-                    .map(|Reverse((at, _))| {
-                        std::time::Duration::from(at.saturating_since(clock.now()))
-                    })
-                    .unwrap_or(std::time::Duration::from_millis(50));
-                match rx.recv_timeout(wait) {
-                    Ok(ServerCmd::Msg(from, msg)) => {
-                        if links[from.0 as usize].cut.load(Ordering::Relaxed) {
-                            continue; // Fault injection: drop inbound too.
-                        }
-                        let outs = server.handle(
-                            clock.now(),
-                            ServerInput::Msg { from, msg },
-                            &mut backend,
-                        );
-                        apply(outs, &mut timers, &links, &mut backend, &key);
-                    }
-                    Ok(ServerCmd::LocalWrite(resource, data)) => {
-                        let outs = server.handle(
-                            clock.now(),
-                            ServerInput::LocalWrite { resource, data },
-                            &mut backend,
-                        );
-                        apply(outs, &mut timers, &links, &mut backend, &key);
-                    }
-                    Ok(ServerCmd::Stats(reply)) => {
-                        let _ = reply.send(ServerStats {
-                            counters: server.counters,
-                            writes_committed: backend.store.writes_committed(),
-                        });
-                    }
-                    Ok(ServerCmd::Shutdown) => break,
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-        })
-        .expect("spawn server thread")
+/// What client threads hold instead of a channel to a server thread: the
+/// sharded service handle, plus the cut switches so fault injection drops
+/// inbound traffic too.
+#[derive(Clone)]
+pub(crate) struct ServerPort {
+    pub svc: SvcHandle<Res, Bytes>,
+    pub cuts: Arc<Vec<Arc<AtomicBool>>>,
+}
+
+impl ServerPort {
+    /// Submits one client message, unless the client is cut.
+    pub fn send(&self, from: ClientId, msg: ToServer<Res, Bytes>) {
+        if self.cuts[from.0 as usize].load(Ordering::Relaxed) {
+            return; // Fault injection: drop inbound too.
+        }
+        let _ = self.svc.send(from, msg);
+    }
 }

@@ -1,18 +1,21 @@
-//! Assembling a real-time lease system.
+//! Assembling a real-time lease system on the `lease-svc` runtime.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{unbounded, Sender};
 use lease_clock::{Clock, Dur, WallClock};
-use lease_core::{ClientConfig, ClientId, LeaseClient, LeaseServer, ServerConfig};
+use lease_core::{ClientConfig, ClientId, LeaseClient, LeaseServer, ServerConfig, Storage};
 use lease_store::{DirId, FileKind, Perms, Store};
+use lease_svc::{shard_of, LeaseService, SvcConfig, SvcHandle, SvcHooks};
 
 use crate::client::{spawn_client, ClientCmd, RtClientHandle};
-use crate::server::{spawn_server, ClientLink, Res, ServerCmd, ServerStats, StoreBackend};
+use crate::server::{
+    ClientLink, Res, RtSink, ServerPort, ServerStats, SharedBackend, StoreBackend,
+};
 
 /// Builder for an [`RtSystem`].
 pub struct RtSystemBuilder {
@@ -21,6 +24,7 @@ pub struct RtSystemBuilder {
     retry_interval: Dur,
     max_retries: u32,
     clients: u32,
+    shards: usize,
     files: Vec<(String, Bytes, FileKind)>,
     installed_tick: Option<(Dur, Dur)>,
 }
@@ -53,6 +57,14 @@ impl RtSystemBuilder {
     /// Number of client caches.
     pub fn clients(mut self, n: u32) -> Self {
         self.clients = n;
+        self
+    }
+
+    /// Lease-service shard count (default 1). Resources are partitioned
+    /// by file-id hash; the protocol is per-datum, so any count preserves
+    /// semantics.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
         self
     }
 
@@ -111,27 +123,11 @@ impl RtSystemBuilder {
             }
         }
 
-        let mut sc: ServerConfig<Res> = ServerConfig::fixed(self.term);
-        if let Some((tick, term)) = self.installed_tick {
-            sc.installed_tick = tick;
-            sc.installed_term = term;
-        }
-        let mut server: LeaseServer<Res, Bytes> = LeaseServer::new(sc);
-        if self.installed_tick.is_some() {
-            for r in installed_resources {
-                server.add_installed(r);
-            }
-            server.set_installed_group((0..self.clients).map(ClientId).collect());
-        }
-
-        let (server_tx, server_rx) = unbounded::<ServerCmd>();
+        // Per-client links first: the service's sink needs every one.
         let mut links = Vec::new();
-        let mut client_handles = Vec::new();
-        let mut threads: Vec<JoinHandle<()>> = Vec::new();
         let mut cuts = Vec::new();
-        let mut client_cmd_txs: Vec<Sender<ClientCmd>> = Vec::new();
-
-        for i in 0..self.clients {
+        let mut net_rxs = Vec::new();
+        for _ in 0..self.clients {
             let (net_tx, net_rx) = unbounded();
             let cut = Arc::new(AtomicBool::new(false));
             links.push(ClientLink {
@@ -139,9 +135,73 @@ impl RtSystemBuilder {
                 cut: cut.clone(),
             });
             cuts.push(cut);
+            net_rxs.push(net_rx);
+        }
+
+        // The sharded lease service, every shard sharing the one durable
+        // backend (resources are partitioned, so writers never collide).
+        let backend = Arc::new(Mutex::new(StoreBackend::new(store, clock.clone())));
+        let hooks = SvcHooks {
+            persist_max_term: Some(Arc::new({
+                let backend = backend.clone();
+                move |d: Dur| {
+                    backend
+                        .lock()
+                        .unwrap()
+                        .store
+                        .put_slot("max_lease_term", d.as_nanos().to_le_bytes().to_vec());
+                }
+            })),
+        };
+        let shards = self.shards;
+        let installed_group: Vec<ClientId> = (0..self.clients).map(ClientId).collect();
+        let service = LeaseService::spawn(
+            SvcConfig {
+                shards,
+                ..SvcConfig::default()
+            },
+            Arc::new(RtSink { links }),
+            hooks,
+            |i| {
+                let mut sc: ServerConfig<Res> = ServerConfig::fixed(self.term);
+                let mine: Vec<Res> = installed_resources
+                    .iter()
+                    .copied()
+                    .filter(|r| shard_of(r, shards) == i)
+                    .collect();
+                if let Some((tick, term)) = self.installed_tick {
+                    if !mine.is_empty() {
+                        sc.installed_tick = tick;
+                        sc.installed_term = term;
+                    }
+                }
+                let mut server: LeaseServer<Res, Bytes> = LeaseServer::new(sc);
+                if self.installed_tick.is_some() {
+                    for r in &mine {
+                        server.add_installed(*r);
+                    }
+                    server.set_installed_group(installed_group.clone());
+                }
+                (
+                    server,
+                    Box::new(SharedBackend(backend.clone())) as Box<dyn Storage<Res, Bytes> + Send>,
+                )
+            },
+        );
+        let svc = service.handle();
+
+        // Client threads submit through the service handle.
+        let port = ServerPort {
+            svc: svc.clone(),
+            cuts: Arc::new(cuts.clone()),
+        };
+        let mut client_handles = Vec::new();
+        let mut threads: Vec<JoinHandle<()>> = Vec::new();
+        let mut client_cmd_txs: Vec<Sender<ClientCmd>> = Vec::new();
+        for (i, net_rx) in net_rxs.into_iter().enumerate() {
             let (cmd_tx, cmd_rx) = unbounded();
             let cache = LeaseClient::new(
-                ClientId(i),
+                ClientId(i as u32),
                 ClientConfig {
                     epsilon: self.epsilon,
                     retry_interval: self.retry_interval,
@@ -155,18 +215,17 @@ impl RtSystemBuilder {
                 cache,
                 cmd_rx,
                 net_rx,
-                server_tx.clone(),
+                port.clone(),
                 clock.clone(),
             ));
             client_handles.push(RtClientHandle { tx: cmd_tx.clone() });
             client_cmd_txs.push(cmd_tx);
         }
 
-        let backend = StoreBackend::new(store, clock.clone());
-        threads.push(spawn_server(server, backend, server_rx, links, clock));
-
         RtSystem {
-            server_tx,
+            service: Some(service),
+            svc,
+            backend,
             client_handles,
             client_cmd_txs,
             cuts,
@@ -177,9 +236,12 @@ impl RtSystemBuilder {
     }
 }
 
-/// A running real-time lease system: one server thread, N client threads.
+/// A running real-time lease system: N shard workers under the
+/// `lease-svc` runtime, M client threads.
 pub struct RtSystem {
-    server_tx: Sender<ServerCmd>,
+    service: Option<LeaseService<Res, Bytes>>,
+    svc: SvcHandle<Res, Bytes>,
+    backend: Arc<Mutex<StoreBackend>>,
     client_handles: Vec<RtClientHandle>,
     client_cmd_txs: Vec<Sender<ClientCmd>>,
     cuts: Vec<Arc<AtomicBool>>,
@@ -197,6 +259,7 @@ impl RtSystem {
             retry_interval: Dur::from_millis(50),
             max_retries: 40,
             clients: 1,
+            shards: 1,
             files: Vec::new(),
             installed_tick: None,
         }
@@ -220,19 +283,19 @@ impl RtSystem {
             from: from.into(),
             to: to.into(),
         };
-        let _ = self.server_tx.send(ServerCmd::LocalWrite(dir, op.encode()));
+        let _ = self.svc.local_write(dir, op.encode());
     }
 
     /// Removes a file entry from a directory (a name-binding write).
     pub fn unlink(&self, dir: Res, name: &str) {
         let op = crate::naming::NameOp::Unlink { name: name.into() };
-        let _ = self.server_tx.send(ServerCmd::LocalWrite(dir, op.encode()));
+        let _ = self.svc.local_write(dir, op.encode());
     }
 
     /// Creates an empty regular file in a directory (a name-binding write).
     pub fn create(&self, dir: Res, name: &str) {
         let op = crate::naming::NameOp::Create { name: name.into() };
-        let _ = self.server_tx.send(ServerCmd::LocalWrite(dir, op.encode()));
+        let _ = self.svc.local_write(dir, op.encode());
     }
 
     /// The handle for client `i`.
@@ -248,16 +311,16 @@ impl RtSystem {
 
     /// Performs an administrative write (installing a new version, §4).
     pub fn install(&self, resource: Res, data: impl Into<Bytes>) {
-        let _ = self
-            .server_tx
-            .send(ServerCmd::LocalWrite(resource, data.into()));
+        let _ = self.svc.local_write(resource, data.into());
     }
 
-    /// Server statistics snapshot.
+    /// Server statistics snapshot, merged across shards.
     pub fn server_stats(&self) -> Option<ServerStats> {
-        let (tx, rx) = bounded(1);
-        self.server_tx.send(ServerCmd::Stats(tx)).ok()?;
-        rx.recv_timeout(std::time::Duration::from_secs(5)).ok()
+        let stats = self.service.as_ref()?.stats()?;
+        Some(ServerStats {
+            counters: stats.counters,
+            writes_committed: self.backend.lock().unwrap().store.writes_committed(),
+        })
     }
 
     /// Stops every thread and waits for them.
@@ -265,9 +328,11 @@ impl RtSystem {
         for tx in &self.client_cmd_txs {
             let _ = tx.send(ClientCmd::Shutdown);
         }
-        let _ = self.server_tx.send(ServerCmd::Shutdown);
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        if let Some(service) = self.service.take() {
+            service.shutdown();
         }
     }
 }

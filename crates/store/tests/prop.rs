@@ -1,5 +1,6 @@
 //! Property tests: the store against a flat model of the namespace.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use bytes::Bytes;
@@ -56,21 +57,27 @@ proptest! {
                 FsOp::Create(n) => {
                     let nm = name(n);
                     let r = store.create_file(DirId::ROOT, &nm, FileKind::Regular, Perms::rw(), t);
-                    if model.contains_key(&nm) {
-                        prop_assert_eq!(r.unwrap_err(), StoreError::Exists);
-                    } else {
-                        ids.insert(nm.clone(), r.unwrap());
-                        model.insert(nm, Model::File(Vec::new(), 0));
+                    match model.entry(nm) {
+                        Entry::Occupied(_) => {
+                            prop_assert_eq!(r.unwrap_err(), StoreError::Exists);
+                        }
+                        Entry::Vacant(e) => {
+                            ids.insert(e.key().clone(), r.unwrap());
+                            e.insert(Model::File(Vec::new(), 0));
+                        }
                     }
                 }
                 FsOp::Mkdir(n) => {
                     let nm = name(n);
                     let r = store.mkdir(DirId::ROOT, &nm, t);
-                    if model.contains_key(&nm) {
-                        prop_assert_eq!(r.unwrap_err(), StoreError::Exists);
-                    } else {
-                        prop_assert!(r.is_ok());
-                        model.insert(nm, Model::Dir);
+                    match model.entry(nm) {
+                        Entry::Occupied(_) => {
+                            prop_assert_eq!(r.unwrap_err(), StoreError::Exists);
+                        }
+                        Entry::Vacant(e) => {
+                            prop_assert!(r.is_ok());
+                            e.insert(Model::Dir);
+                        }
                     }
                 }
                 FsOp::Write(n, data) => {

@@ -1,0 +1,579 @@
+//! The sharded lease service: router, client handle, and lifecycle.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use lease_clock::{Dur, WallClock};
+use lease_core::{
+    ClientId, LeaseServer, Resource, ServerCounters, ServerInput, Storage, ToClient, ToServer,
+    WriteId,
+};
+
+use crate::shard::{spawn_shard, ShardCtx, ShardMsg};
+
+/// Where shard workers deliver protocol messages bound for clients.
+///
+/// The service owns routing *into* shards; delivery back out is the
+/// embedder's transport (channels in `lease-rt`, a socket in a real
+/// deployment), so it is abstracted behind this one call.
+pub trait ClientSink<R, D>: Send + Sync {
+    /// Delivers `msg` to client `to`. Must not block indefinitely: a
+    /// blocked sink stalls the shard worker that called it.
+    fn deliver(&self, to: ClientId, msg: ToClient<R, D>);
+}
+
+/// Tuning knobs for a [`LeaseService`].
+#[derive(Debug, Clone, Copy)]
+pub struct SvcConfig {
+    /// Shard worker count. Resources are partitioned by key hash.
+    pub shards: usize,
+    /// Bounded mailbox capacity per shard; a full mailbox is the service's
+    /// backpressure signal ([`SvcHandle::send`] blocks,
+    /// [`SvcHandle::try_send`] refuses).
+    pub mailbox: usize,
+    /// Max messages drained per wakeup, amortizing timer/wheel work.
+    pub batch: usize,
+    /// Timer-wheel quantum. Timers fire at most one tick late, never
+    /// early.
+    pub wheel_tick: Dur,
+    /// Max sleep when no timer is pending.
+    pub idle_wait: Dur,
+}
+
+impl Default for SvcConfig {
+    fn default() -> SvcConfig {
+        SvcConfig {
+            shards: 1,
+            mailbox: 1024,
+            batch: 64,
+            wheel_tick: Dur::from_millis(1),
+            idle_wait: Dur::from_millis(50),
+        }
+    }
+}
+
+/// Side-effect hooks a deployment can install on every shard.
+#[derive(Clone, Default)]
+pub struct SvcHooks {
+    /// Called when a shard needs its maximum granted term made durable
+    /// (MaxTerm crash recovery, §5). `None` drops the persistence output.
+    pub persist_max_term: Option<Arc<dyn Fn(Dur) + Send + Sync>>,
+}
+
+/// The shard that owns `resource`: a stable hash of the key, mod `shards`.
+///
+/// Embedders that pre-partition state (e.g. installed files per shard)
+/// must use the same function the router uses.
+pub fn shard_of<R: Hash>(resource: &R, shards: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    resource.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// Why a send into the service failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvcError {
+    /// A shard mailbox is full (only from [`SvcHandle::try_send`]).
+    Backpressure,
+    /// The service has shut down.
+    Closed,
+}
+
+impl std::fmt::Display for SvcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SvcError::Backpressure => write!(f, "shard mailbox full"),
+            SvcError::Closed => write!(f, "service closed"),
+        }
+    }
+}
+
+impl std::error::Error for SvcError {}
+
+/// Merged counters across shards, with the per-shard breakdown.
+#[derive(Debug, Clone)]
+pub struct SvcStats {
+    /// All shards merged.
+    pub counters: ServerCounters,
+    /// One entry per shard, in shard order.
+    pub per_shard: Vec<ServerCounters>,
+}
+
+/// A cloneable, backpressure-aware handle into the service.
+///
+/// The handle is the cross-shard coordinator: it routes every message to
+/// the shard that owns its resource, splitting batched requests along
+/// shard boundaries and translating write ids so approvals triggered by
+/// one shard's multicast find their way back to it from any client.
+pub struct SvcHandle<R: Resource, D> {
+    txs: Arc<[Sender<ShardMsg<R, D>>]>,
+}
+
+impl<R: Resource, D> Clone for SvcHandle<R, D> {
+    fn clone(&self) -> Self {
+        SvcHandle {
+            txs: self.txs.clone(),
+        }
+    }
+}
+
+impl<R: Resource, D: Clone> SvcHandle<R, D> {
+    /// The shard count.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Routes `msg` to its shard(s), blocking while a target mailbox is
+    /// full — the backpressure path for closed-loop clients.
+    pub fn send(&self, from: ClientId, msg: ToServer<R, D>) -> Result<(), SvcError> {
+        for (s, part) in self.route(msg) {
+            self.txs[s]
+                .send(ShardMsg::Input(ServerInput::Msg { from, msg: part }))
+                .map_err(|_| SvcError::Closed)?;
+        }
+        Ok(())
+    }
+
+    /// Like [`SvcHandle::send`] but refuses instead of blocking when a
+    /// mailbox is full. A split message may be partially delivered before
+    /// the refusal; that is safe because the client retransmits the whole
+    /// request and the server deduplicates.
+    pub fn try_send(&self, from: ClientId, msg: ToServer<R, D>) -> Result<(), SvcError> {
+        for (s, part) in self.route(msg) {
+            self.txs[s]
+                .try_send(ShardMsg::Input(ServerInput::Msg { from, msg: part }))
+                .map_err(|e| match e {
+                    TrySendError::Full(_) => SvcError::Backpressure,
+                    TrySendError::Disconnected(_) => SvcError::Closed,
+                })?;
+        }
+        Ok(())
+    }
+
+    /// An administrative write originating at the server (install, §4).
+    pub fn local_write(&self, resource: R, data: D) -> Result<(), SvcError> {
+        let s = shard_of(&resource, self.txs.len());
+        self.txs[s]
+            .send(ShardMsg::Input(ServerInput::LocalWrite { resource, data }))
+            .map_err(|_| SvcError::Closed)
+    }
+
+    /// Splits one wire message into per-shard sub-messages.
+    ///
+    /// * `Fetch` goes to the target's shard; piggybacked `also_extend`
+    ///   entries for other shards are re-expressed as `Renew` under the
+    ///   same request id (the client treats grants lacking its fetch
+    ///   target as partial replies).
+    /// * `Renew` and `Relinquish` partition by resource.
+    /// * `Approve` carries a service-global write id minted by a shard
+    ///   (`global = local * nshards + shard`) and routes straight back.
+    fn route(&self, msg: ToServer<R, D>) -> Vec<(usize, ToServer<R, D>)> {
+        let n = self.txs.len();
+        if n == 1 {
+            return vec![(0, msg)];
+        }
+        match msg {
+            ToServer::Fetch {
+                req,
+                resource,
+                cached,
+                also_extend,
+            } => {
+                let primary = shard_of(&resource, n);
+                let mut per = split(also_extend, n, |(r, _)| r);
+                let mut out = vec![(
+                    primary,
+                    ToServer::Fetch {
+                        req,
+                        resource,
+                        cached,
+                        also_extend: std::mem::take(&mut per[primary]),
+                    },
+                )];
+                for (s, resources) in per.into_iter().enumerate() {
+                    if !resources.is_empty() {
+                        out.push((s, ToServer::Renew { req, resources }));
+                    }
+                }
+                out
+            }
+            ToServer::Renew { req, resources } => split(resources, n, |(r, _)| r)
+                .into_iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(s, resources)| (s, ToServer::Renew { req, resources }))
+                .collect(),
+            ToServer::Write {
+                req,
+                resource,
+                data,
+            } => {
+                let s = shard_of(&resource, n);
+                vec![(
+                    s,
+                    ToServer::Write {
+                        req,
+                        resource,
+                        data,
+                    },
+                )]
+            }
+            ToServer::Approve { write_id } => vec![(
+                (write_id.0 % n as u64) as usize,
+                ToServer::Approve {
+                    write_id: WriteId(write_id.0 / n as u64),
+                },
+            )],
+            ToServer::Relinquish { resources } => split(resources, n, |r| r)
+                .into_iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(s, resources)| (s, ToServer::Relinquish { resources }))
+                .collect(),
+        }
+    }
+}
+
+/// Partitions `items` into `n` buckets by the shard of `key(item)`.
+fn split<T, R: Hash>(items: Vec<T>, n: usize, key: impl Fn(&T) -> &R) -> Vec<Vec<T>> {
+    let mut per: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+    for it in items {
+        let s = shard_of(key(&it), n);
+        per[s].push(it);
+    }
+    per
+}
+
+/// A running sharded lease service: N shard worker threads, each owning
+/// the slice of the lease table whose resources hash to it.
+pub struct LeaseService<R: Resource, D> {
+    handle: SvcHandle<R, D>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<R: Resource, D: Clone + Send + 'static> LeaseService<R, D> {
+    /// Spawns the shard workers.
+    ///
+    /// `make_shard(i)` builds shard `i`'s state machine and storage; use
+    /// [`shard_of`] to pre-partition any per-resource server state (e.g.
+    /// installed files). The state machines are unmodified `lease-core`
+    /// servers — the service only partitions and schedules them.
+    pub fn spawn<F>(
+        cfg: SvcConfig,
+        sink: Arc<dyn ClientSink<R, D>>,
+        hooks: SvcHooks,
+        mut make_shard: F,
+    ) -> LeaseService<R, D>
+    where
+        F: FnMut(usize) -> (LeaseServer<R, D>, Box<dyn Storage<R, D> + Send>),
+    {
+        assert!(cfg.shards >= 1, "a service needs at least one shard");
+        let clock = WallClock::new();
+        let mut txs = Vec::with_capacity(cfg.shards);
+        let mut threads = Vec::with_capacity(cfg.shards);
+        for i in 0..cfg.shards {
+            let (tx, rx) = bounded(cfg.mailbox.max(1));
+            let (server, storage) = make_shard(i);
+            let ctx = ShardCtx {
+                index: i as u64,
+                nshards: cfg.shards as u64,
+                batch: cfg.batch.max(1),
+                tick: cfg.wheel_tick,
+                idle_wait: cfg.idle_wait,
+                sink: sink.clone(),
+                hooks: hooks.clone(),
+            };
+            threads.push(spawn_shard(server, storage, rx, ctx, clock.clone()));
+            txs.push(tx);
+        }
+        LeaseService {
+            handle: SvcHandle { txs: txs.into() },
+            threads,
+        }
+    }
+
+    /// A handle for submitting client traffic.
+    pub fn handle(&self) -> SvcHandle<R, D> {
+        self.handle.clone()
+    }
+
+    /// Snapshots and merges every shard's counters.
+    pub fn stats(&self) -> Option<SvcStats> {
+        let mut replies = Vec::with_capacity(self.handle.txs.len());
+        for tx in self.handle.txs.iter() {
+            let (stx, srx) = bounded(1);
+            tx.send(ShardMsg::Stats(stx)).ok()?;
+            replies.push(srx);
+        }
+        let mut counters = ServerCounters::default();
+        let mut per_shard = Vec::with_capacity(replies.len());
+        for rx in replies {
+            let c = rx.recv_timeout(std::time::Duration::from_secs(5)).ok()?;
+            counters.merge(&c);
+            per_shard.push(c);
+        }
+        Some(SvcStats {
+            counters,
+            per_shard,
+        })
+    }
+
+    /// Stops every shard worker and waits for them.
+    pub fn shutdown(mut self) {
+        for tx in self.handle.txs.iter() {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::{unbounded, Receiver};
+    use lease_core::{Grant, MemStorage, ReqId, ServerConfig};
+
+    type Msg = (ClientId, ToClient<u64, String>);
+
+    struct ChanSink(Sender<Msg>);
+    impl ClientSink<u64, String> for ChanSink {
+        fn deliver(&self, to: ClientId, msg: ToClient<u64, String>) {
+            let _ = self.0.send((to, msg));
+        }
+    }
+
+    fn service(shards: usize, resources: u64) -> (LeaseService<u64, String>, Receiver<Msg>) {
+        let (tx, rx) = unbounded();
+        let svc = LeaseService::spawn(
+            SvcConfig {
+                shards,
+                ..SvcConfig::default()
+            },
+            Arc::new(ChanSink(tx)),
+            SvcHooks::default(),
+            |_| {
+                let mut store = MemStorage::new();
+                for r in 0..resources {
+                    store.insert(r, format!("v{r}"));
+                }
+                (
+                    LeaseServer::new(ServerConfig::fixed(Dur::from_secs(10))),
+                    Box::new(store) as Box<dyn Storage<u64, String> + Send>,
+                )
+            },
+        );
+        (svc, rx)
+    }
+
+    fn recv(rx: &Receiver<Msg>) -> Msg {
+        rx.recv_timeout(std::time::Duration::from_secs(5))
+            .expect("reply")
+    }
+
+    #[test]
+    fn fetches_are_granted_across_shards() {
+        let (svc, rx) = service(4, 16);
+        let h = svc.handle();
+        for r in 0..16u64 {
+            h.send(
+                ClientId(0),
+                ToServer::Fetch {
+                    req: ReqId(r),
+                    resource: r,
+                    cached: None,
+                    also_extend: vec![],
+                },
+            )
+            .unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            let (to, msg) = recv(&rx);
+            assert_eq!(to, ClientId(0));
+            match msg {
+                ToClient::Grants { grants, .. } => {
+                    for Grant { resource, data, .. } in grants {
+                        assert_eq!(data.as_deref(), Some(format!("v{resource}").as_str()));
+                        seen.insert(resource);
+                    }
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert_eq!(seen.len(), 16);
+        let stats = svc.stats().unwrap();
+        assert_eq!(stats.counters.fetch_rx, 16);
+        assert_eq!(stats.per_shard.len(), 4);
+        // The merged view is exactly the sum of the shards.
+        let sum: u64 = stats.per_shard.iter().map(|c| c.fetch_rx).sum();
+        assert_eq!(sum, stats.counters.fetch_rx);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn batched_extension_splits_into_renewals() {
+        let (svc, rx) = service(4, 8);
+        let h = svc.handle();
+        // Take leases on every resource first, remembering versions.
+        let mut versions = std::collections::HashMap::new();
+        for r in 0..8u64 {
+            h.send(
+                ClientId(0),
+                ToServer::Fetch {
+                    req: ReqId(r),
+                    resource: r,
+                    cached: None,
+                    also_extend: vec![],
+                },
+            )
+            .unwrap();
+        }
+        for _ in 0..8 {
+            let (_, msg) = recv(&rx);
+            let ToClient::Grants { grants, .. } = msg else {
+                panic!("expected grants, got {msg:?}");
+            };
+            for g in grants {
+                versions.insert(g.resource, g.version);
+            }
+        }
+        // One fetch piggybacking extension of all the others: the router
+        // splits the batch across every shard that holds a piece.
+        h.send(
+            ClientId(0),
+            ToServer::Fetch {
+                req: ReqId(100),
+                resource: 0,
+                cached: Some(versions[&0]),
+                also_extend: (1..8u64).map(|r| (r, versions[&r])).collect(),
+            },
+        )
+        .unwrap();
+        let mut extended = std::collections::HashSet::new();
+        while extended.len() < 8 {
+            let (_, msg) = recv(&rx);
+            match msg {
+                ToClient::Grants { req, grants } => {
+                    assert_eq!(req, ReqId(100));
+                    for g in grants {
+                        extended.insert(g.resource);
+                    }
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        let stats = svc.stats().unwrap();
+        assert_eq!(stats.counters.fetch_rx, 9);
+        assert!(stats.counters.renew_rx >= 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn write_approval_round_trips_through_global_write_ids() {
+        let (svc, rx) = service(4, 8);
+        let h = svc.handle();
+        // Client 1 takes a lease on every resource, so every write below
+        // needs its approval — wherever the resource's shard is.
+        for r in 0..8u64 {
+            h.send(
+                ClientId(1),
+                ToServer::Fetch {
+                    req: ReqId(r),
+                    resource: r,
+                    cached: None,
+                    also_extend: vec![],
+                },
+            )
+            .unwrap();
+            recv(&rx);
+        }
+        for r in 0..8u64 {
+            h.send(
+                ClientId(0),
+                ToServer::Write {
+                    req: ReqId(100 + r),
+                    resource: r,
+                    data: format!("w{r}"),
+                },
+            )
+            .unwrap();
+            // The approval request reaches client 1 with a global id...
+            let (to, msg) = recv(&rx);
+            assert_eq!(to, ClientId(1));
+            let ToClient::ApprovalRequest {
+                write_id, resource, ..
+            } = msg
+            else {
+                panic!("expected approval request, got {msg:?}");
+            };
+            assert_eq!(resource, r);
+            // ...which routes the approval back to the owning shard.
+            h.send(ClientId(1), ToServer::Approve { write_id }).unwrap();
+            let (to, msg) = recv(&rx);
+            assert_eq!(to, ClientId(0));
+            let ToClient::WriteDone { resource, .. } = msg else {
+                panic!("expected write done, got {msg:?}");
+            };
+            assert_eq!(resource, r);
+        }
+        let stats = svc.stats().unwrap();
+        assert_eq!(stats.counters.writes_rx, 8);
+        assert_eq!(stats.counters.approvals_rx, 8);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn backpressure_is_reported_not_dropped() {
+        // A 1-slot mailbox feeding a shard whose sink quickly jams: once
+        // the worker blocks delivering a reply and the mailbox is full,
+        // try_send must refuse rather than block or drop.
+        let (tx, rx) = bounded(1);
+        let svc = LeaseService::spawn(
+            SvcConfig {
+                shards: 1,
+                mailbox: 1,
+                ..SvcConfig::default()
+            },
+            Arc::new(ChanSink(tx)),
+            SvcHooks::default(),
+            |_| {
+                let mut store = MemStorage::new();
+                for r in 0..16u64 {
+                    store.insert(r, String::new());
+                }
+                (
+                    LeaseServer::new(ServerConfig::fixed(Dur::from_secs(10))),
+                    Box::new(store) as Box<dyn Storage<u64, String> + Send>,
+                )
+            },
+        );
+        let h = svc.handle();
+        let fetch = |r| ToServer::Fetch {
+            req: ReqId(r),
+            resource: r,
+            cached: None,
+            also_extend: vec![],
+        };
+        let mut refused = false;
+        for r in 0..1000u64 {
+            if h.try_send(ClientId(0), fetch(r)) == Err(SvcError::Backpressure) {
+                refused = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(
+            refused,
+            "a 1-slot mailbox behind a jammed sink never refused"
+        );
+        // Unjam the sink so the worker can drain and shut down.
+        let drainer = std::thread::spawn(move || while rx.recv().is_ok() {});
+        svc.shutdown();
+        drainer.join().unwrap();
+    }
+}

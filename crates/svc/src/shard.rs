@@ -1,0 +1,216 @@
+//! One shard worker: a thread owning a slice of the lease table.
+//!
+//! Each worker runs an unmodified `lease-core` [`LeaseServer`] over the
+//! resources that hash to its shard. It drains its mailbox in batches (one
+//! wakeup amortizes many grants/extends/approvals), drives the core's
+//! timers and the table's expiry pruning from a hierarchical
+//! [`TimerWheel`], and rewrites write ids on outbound approval requests so
+//! that approvals can be routed back to the owning shard from anywhere.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use lease_clock::{Clock, Dur, Time, WallClock};
+use lease_core::{
+    LeaseServer, Resource, ServerCounters, ServerInput, ServerOutput, ServerTimer, Storage,
+    ToClient, WriteId,
+};
+
+use crate::service::{ClientSink, SvcHooks};
+use crate::wheel::TimerWheel;
+
+/// Messages into one shard worker.
+pub(crate) enum ShardMsg<R, D> {
+    /// A routed protocol input.
+    Input(ServerInput<R, D>),
+    /// Snapshot this shard's counters.
+    Stats(Sender<ServerCounters>),
+    /// Stop the worker.
+    Shutdown,
+}
+
+/// The timer-wheel key space of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum WheelKey {
+    /// Prune the lease table (armed at the table's earliest expiry).
+    Prune,
+    /// A core server timer: 0 = InstalledTick, k+1 = WriteDeadline(k).
+    Timer(u64),
+}
+
+fn key_of(t: ServerTimer) -> WheelKey {
+    match t {
+        ServerTimer::InstalledTick => WheelKey::Timer(0),
+        ServerTimer::WriteDeadline(w) => WheelKey::Timer(w.0 + 1),
+    }
+}
+
+fn timer_of(k: u64) -> ServerTimer {
+    if k == 0 {
+        ServerTimer::InstalledTick
+    } else {
+        ServerTimer::WriteDeadline(WriteId(k - 1))
+    }
+}
+
+/// Everything a worker needs besides its state machine and storage.
+pub(crate) struct ShardCtx<R: Resource, D> {
+    pub index: u64,
+    pub nshards: u64,
+    pub batch: usize,
+    pub tick: Dur,
+    pub idle_wait: Dur,
+    pub sink: Arc<dyn ClientSink<R, D>>,
+    pub hooks: SvcHooks,
+}
+
+/// Rewrites a shard-local write id into the service-global namespace
+/// (`global = local * nshards + shard`) so [`crate::SvcHandle`] can route
+/// the matching `Approve` straight back to this shard.
+fn globalize<R, D>(mut msg: ToClient<R, D>, ctx: &ShardCtx<R, D>) -> ToClient<R, D>
+where
+    R: Resource,
+{
+    if let ToClient::ApprovalRequest { write_id, .. } = &mut msg {
+        *write_id = WriteId(write_id.0 * ctx.nshards + ctx.index);
+    }
+    msg
+}
+
+fn apply<R, D>(
+    outs: Vec<ServerOutput<R, D>>,
+    wheel: &mut TimerWheel<WheelKey>,
+    armed: &mut HashMap<WheelKey, Time>,
+    ctx: &ShardCtx<R, D>,
+) where
+    R: Resource,
+    D: Clone,
+{
+    for o in outs {
+        match o {
+            ServerOutput::Send { to, msg } => ctx.sink.deliver(to, globalize(msg, ctx)),
+            ServerOutput::Multicast { to, msg } => {
+                let msg = globalize(msg, ctx);
+                for c in to {
+                    ctx.sink.deliver(c, msg.clone());
+                }
+            }
+            ServerOutput::SetTimer { at, timer } => {
+                let k = key_of(timer);
+                // Re-arming a key supersedes: the stale wheel entry is
+                // dropped when it fires and no longer matches `armed`.
+                armed.insert(k, at);
+                wheel.schedule(at, k);
+            }
+            ServerOutput::PersistMaxTerm(d) => {
+                if let Some(f) = &ctx.hooks.persist_max_term {
+                    f(d);
+                }
+            }
+            ServerOutput::PersistLease { .. } => {
+                // The service recovers via MaxTerm, like lease-rt.
+            }
+            ServerOutput::Committed { .. } => {}
+        }
+    }
+}
+
+/// Keeps one `Prune` entry armed at the table's earliest expiry, so
+/// expirations cost a wheel fire instead of periodic table walks.
+fn schedule_prune(
+    wheel: &mut TimerWheel<WheelKey>,
+    armed: &mut HashMap<WheelKey, Time>,
+    next: Option<Time>,
+) {
+    let Some(t) = next else { return };
+    match armed.get(&WheelKey::Prune) {
+        Some(&p) if p <= t => {}
+        _ => {
+            armed.insert(WheelKey::Prune, t);
+            wheel.schedule(t, WheelKey::Prune);
+        }
+    }
+}
+
+pub(crate) fn spawn_shard<R, D>(
+    mut server: LeaseServer<R, D>,
+    mut storage: Box<dyn Storage<R, D> + Send>,
+    rx: Receiver<ShardMsg<R, D>>,
+    ctx: ShardCtx<R, D>,
+    clock: WallClock,
+) -> JoinHandle<()>
+where
+    R: Resource,
+    D: Clone + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("lease-shard-{}", ctx.index))
+        .spawn(move || {
+            let mut wheel: TimerWheel<WheelKey> = TimerWheel::new(ctx.tick, clock.now());
+            let mut armed: HashMap<WheelKey, Time> = HashMap::new();
+            let outs = server.start(clock.now(), &*storage);
+            apply(outs, &mut wheel, &mut armed, &ctx);
+
+            let mut batch: Vec<ShardMsg<R, D>> = Vec::with_capacity(ctx.batch);
+            'worker: loop {
+                // Fire due wheel entries, skipping superseded ones.
+                for (at, k) in wheel.advance(clock.now()) {
+                    if armed.get(&k) != Some(&at) {
+                        continue;
+                    }
+                    armed.remove(&k);
+                    match k {
+                        WheelKey::Prune => {
+                            server.prune(clock.now());
+                        }
+                        WheelKey::Timer(enc) => {
+                            let outs = server.handle(
+                                clock.now(),
+                                ServerInput::Timer(timer_of(enc)),
+                                &mut *storage,
+                            );
+                            apply(outs, &mut wheel, &mut armed, &ctx);
+                        }
+                    }
+                }
+                schedule_prune(&mut wheel, &mut armed, server.table().next_expiry());
+
+                // Sleep until the next wheel deadline (capped), then drain
+                // a batch so one wakeup amortizes many messages.
+                let wait = std::time::Duration::from(
+                    wheel
+                        .next_deadline()
+                        .map(|at| at.saturating_since(clock.now()))
+                        .map_or(ctx.idle_wait, |d| d.min(ctx.idle_wait)),
+                );
+                match rx.recv_timeout(wait) {
+                    Ok(m) => {
+                        batch.push(m);
+                        while batch.len() < ctx.batch {
+                            match rx.try_recv() {
+                                Ok(m) => batch.push(m),
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+                for m in batch.drain(..) {
+                    match m {
+                        ShardMsg::Input(input) => {
+                            let outs = server.handle(clock.now(), input, &mut *storage);
+                            apply(outs, &mut wheel, &mut armed, &ctx);
+                        }
+                        ShardMsg::Stats(reply) => {
+                            let _ = reply.send(server.counters);
+                        }
+                        ShardMsg::Shutdown => break 'worker,
+                    }
+                }
+            }
+        })
+        .expect("spawn shard worker")
+}

@@ -1,0 +1,324 @@
+//! A hierarchical timer wheel (Varghese & Lauck style).
+//!
+//! The seed runtime kept server timers in a binary heap and found lease
+//! expirations by scanning the table index. The wheel replaces both:
+//! scheduling and firing are O(1) amortized per timer regardless of how
+//! many are pending, which is what lets a shard worker carry millions of
+//! leases without its expiry path growing with table size.
+//!
+//! Semantics:
+//!
+//! * Timers never fire early. An entry scheduled at `at` is placed on the
+//!   tick boundary at or after `at` (round up) and [`TimerWheel::advance`]
+//!   only releases ticks fully covered by `now` (round down), so an entry
+//!   fires at most one tick late and never before `at` — firing a write
+//!   deadline before the blocking lease expired would break the protocol.
+//! * `advance` returns the due batch sorted by `(at, key)`, so timers with
+//!   distinct deadlines fire in deadline order and ties break by key —
+//!   exactly the order a naive scan of an expiry-ordered index produces
+//!   (the property test in `tests/wheel_prop.rs` pins this down).
+//! * The wheel does not cancel. Callers keep a `key -> latest deadline`
+//!   map and drop entries whose deadline no longer matches when they fire
+//!   (lazy cancellation); re-scheduling a key simply supersedes it.
+
+use lease_clock::{Dur, Time};
+
+/// Slots per level. With 4 levels the horizon is `64^4` ticks; anything
+/// farther out parks in an overflow list and is re-examined on cascade.
+const SLOTS: usize = 64;
+/// Hierarchy depth.
+const LEVELS: usize = 4;
+/// log2(SLOTS), for slot arithmetic.
+const SLOT_BITS: u32 = 6;
+
+#[derive(Debug, Clone)]
+struct Entry<K> {
+    /// The requested deadline (not quantized; used for ordering).
+    at: Time,
+    /// Deadline rounded up to a tick count.
+    tick: u64,
+    /// Insertion order, the final tie-break.
+    seq: u64,
+    key: K,
+}
+
+/// A hierarchical timer wheel over keys of type `K`.
+///
+/// `K: Ord` only so the due batch can be deterministically ordered; the
+/// wheel itself never compares keys.
+#[derive(Debug, Clone)]
+pub struct TimerWheel<K> {
+    tick_ns: u64,
+    /// The last tick fully covered by `advance`.
+    now_tick: u64,
+    /// `levels[l][s]`: entries due in slot `s` of level `l`. Level 0 slots
+    /// span one tick, level `l` slots span `64^l` ticks.
+    levels: Vec<Vec<Vec<Entry<K>>>>,
+    /// Entries beyond the wheel horizon.
+    overflow: Vec<Entry<K>>,
+    /// Entries already due when scheduled (or cascaded onto `now_tick`).
+    due: Vec<Entry<K>>,
+    len: usize,
+    /// Entries currently in level 0 — lets `advance` skip whole empty
+    /// blocks instead of stepping tick by tick.
+    len0: usize,
+    seq: u64,
+}
+
+impl<K: Ord> TimerWheel<K> {
+    /// A wheel with the given tick quantum, started at `now`.
+    ///
+    /// Panics if `tick` is zero.
+    pub fn new(tick: Dur, now: Time) -> TimerWheel<K> {
+        assert!(tick.0 > 0, "timer wheel tick must be non-zero");
+        TimerWheel {
+            tick_ns: tick.0,
+            now_tick: now.0 / tick.0,
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            overflow: Vec::new(),
+            due: Vec::new(),
+            len: 0,
+            len0: 0,
+            seq: 0,
+        }
+    }
+
+    /// Pending entries (including already-due ones not yet collected).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `key` to fire once `advance` is called with a time at or
+    /// after `at`. Scheduling in the past fires on the next `advance`.
+    pub fn schedule(&mut self, at: Time, key: K) {
+        let tick = at.0.div_ceil(self.tick_ns);
+        let e = Entry {
+            at,
+            tick,
+            seq: self.seq,
+            key,
+        };
+        self.seq += 1;
+        self.len += 1;
+        self.place(e);
+    }
+
+    fn place(&mut self, e: Entry<K>) {
+        let delta = e.tick.saturating_sub(self.now_tick);
+        if delta == 0 {
+            self.due.push(e);
+            return;
+        }
+        for l in 0..LEVELS {
+            // Level `l` covers deadlines up to `64^(l+1)` ticks out.
+            if delta < 1u64 << (SLOT_BITS * (l as u32 + 1)) {
+                let slot = ((e.tick >> (SLOT_BITS * l as u32)) % SLOTS as u64) as usize;
+                self.levels[l][slot].push(e);
+                if l == 0 {
+                    self.len0 += 1;
+                }
+                return;
+            }
+        }
+        self.overflow.push(e);
+    }
+
+    /// Collects every entry due at or before `now`, sorted by
+    /// `(at, key, seq)`.
+    pub fn advance(&mut self, now: Time) -> Vec<(Time, K)> {
+        let target = now.0 / self.tick_ns;
+        let mut out = std::mem::take(&mut self.due);
+        while self.now_tick < target {
+            if self.len == out.len() {
+                // Nothing on the wheel: jump straight to the target.
+                self.now_tick = target;
+                break;
+            }
+            if self.len0 == 0 {
+                // No tick-granular entries: jump a whole block to the
+                // next cascade boundary (or to the target).
+                let next_wrap = self.now_tick - self.now_tick % SLOTS as u64 + SLOTS as u64;
+                if next_wrap > target {
+                    self.now_tick = target;
+                    break;
+                }
+                self.now_tick = next_wrap;
+                self.cascade(&mut out);
+                continue;
+            }
+            self.now_tick += 1;
+            let s0 = (self.now_tick % SLOTS as u64) as usize;
+            self.len0 -= self.levels[0][s0].len();
+            out.append(&mut self.levels[0][s0]);
+            if s0 == 0 {
+                self.cascade(&mut out);
+            }
+        }
+        self.len -= out.len();
+        out.sort_by(|a, b| (a.at, &a.key, a.seq).cmp(&(b.at, &b.key, b.seq)));
+        out.into_iter().map(|e| (e.at, e.key)).collect()
+    }
+
+    /// Redistributes the expiring slot of each higher level whose block
+    /// boundary `now_tick` just crossed, innermost first.
+    fn cascade(&mut self, out: &mut Vec<Entry<K>>) {
+        for l in 1..LEVELS {
+            let shift = SLOT_BITS * l as u32;
+            if !self.now_tick.is_multiple_of(1u64 << shift) {
+                return;
+            }
+            let slot = ((self.now_tick >> shift) % SLOTS as u64) as usize;
+            for e in std::mem::take(&mut self.levels[l][slot]) {
+                if e.tick <= self.now_tick {
+                    out.push(e);
+                } else {
+                    self.place(e);
+                }
+            }
+        }
+        // Every level wrapped: overflow entries may now be in range.
+        for e in std::mem::take(&mut self.overflow) {
+            if e.tick <= self.now_tick {
+                out.push(e);
+            } else {
+                self.place(e);
+            }
+        }
+    }
+
+    /// A lower bound on when the next entry fires: exact within the
+    /// innermost level, otherwise the next cascade boundary (the caller
+    /// wakes, cascades, and asks again). `None` when nothing is pending.
+    pub fn next_deadline(&self) -> Option<Time> {
+        if let Some(min) = self.due.iter().map(|e| e.at).min() {
+            return Some(min);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        for off in 1..SLOTS as u64 {
+            let slot = ((self.now_tick + off) % SLOTS as u64) as usize;
+            if let Some(min) = self.levels[0][slot].iter().map(|e| e.at).min() {
+                return Some(min);
+            }
+        }
+        // Beyond level 0: wake at the next level-0 wrap and re-check.
+        let next_wrap = (self.now_tick - self.now_tick % SLOTS as u64) + SLOTS as u64;
+        Some(Time(next_wrap.saturating_mul(self.tick_ns)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> TimerWheel<u32> {
+        TimerWheel::new(Dur(1000), Time::ZERO)
+    }
+
+    #[test]
+    fn fires_in_deadline_order_never_early() {
+        let mut w = wheel();
+        w.schedule(Time(5500), 1);
+        w.schedule(Time(2500), 2);
+        w.schedule(Time(2500), 0);
+        assert!(w.advance(Time(2499)).is_empty());
+        // 2500 rounds up to tick 3: not due until now covers tick 3.
+        assert!(w.advance(Time(2999)).is_empty());
+        assert_eq!(
+            w.advance(Time(3000)),
+            vec![(Time(2500), 0), (Time(2500), 2)]
+        );
+        assert_eq!(w.advance(Time(10_000)), vec![(Time(5500), 1)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_deadlines_fire_immediately() {
+        let mut w = wheel();
+        let _ = w.advance(Time(50_000));
+        w.schedule(Time(10), 9);
+        assert_eq!(w.advance(Time(50_000)), vec![(Time(10), 9)]);
+    }
+
+    #[test]
+    fn cascades_across_levels_and_overflow() {
+        let mut w = wheel();
+        // One entry per level, plus one past the horizon.
+        let deadlines = [
+            Time(63 * 1000),                  // level 0
+            Time(300 * 1000),                 // level 1
+            Time(5000 * 1000),                // level 2
+            Time(300_000 * 1000),             // level 3
+            Time(64u64.pow(4) * 1000 + 1000), // overflow
+        ];
+        for (i, at) in deadlines.iter().enumerate() {
+            w.schedule(*at, i as u32);
+        }
+        let mut fired = Vec::new();
+        let mut now = Time::ZERO;
+        while !w.is_empty() {
+            now = w.next_deadline().expect("pending");
+            fired.extend(w.advance(now));
+        }
+        assert_eq!(
+            fired,
+            deadlines
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(i, at)| (at, i as u32))
+                .collect::<Vec<_>>()
+        );
+        assert!(now >= deadlines[4]);
+    }
+
+    #[test]
+    fn next_deadline_is_a_usable_wakeup_bound() {
+        let mut w = wheel();
+        assert_eq!(w.next_deadline(), None);
+        w.schedule(Time(7300), 1);
+        // Exact when the entry sits in level 0.
+        assert_eq!(w.next_deadline(), Some(Time(7300)));
+        w.schedule(Time(1_000_000), 2);
+        let _ = w.advance(Time(8000));
+        // Far entry: bound is the next wrap, never past the deadline.
+        let d = w.next_deadline().unwrap();
+        assert!(d <= Time(1_000_000));
+    }
+
+    #[test]
+    fn many_random_timers_fire_exactly_once_in_order() {
+        // Cheap LCG so the test is deterministic without dev-deps.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut w = wheel();
+        let mut expect = Vec::new();
+        for i in 0..5000u32 {
+            let at = Time(next() % 2_000_000);
+            w.schedule(at, i);
+            expect.push((at, i));
+        }
+        let mut fired = Vec::new();
+        let mut now = 0u64;
+        while !w.is_empty() {
+            now += 1 + next() % 100_000;
+            fired.extend(w.advance(Time(now)));
+        }
+        expect.sort();
+        assert_eq!(fired.len(), expect.len());
+        assert_eq!(fired, expect);
+    }
+}

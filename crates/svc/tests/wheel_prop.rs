@@ -1,0 +1,116 @@
+//! Property: driven by the same randomized grant/extend/relinquish
+//! sequence, the timer wheel fires exactly the lease expirations a naive
+//! scan of the lease table finds — the same set, in the same order.
+//!
+//! The wheel is what lets a shard worker drop the table walk; this test is
+//! the license for that substitution. The table's expiry index is ordered
+//! `(expiry, resource, client)`, so a naive scan yields expired records in
+//! exactly that order; the wheel returns its due batch sorted by
+//! `(deadline, key)`, which must coincide. The wheel runs with a 1-unit
+//! tick so quantization cannot blur the comparison; lazy cancellation
+//! (extend supersedes, relinquish orphans) is exercised by keeping the
+//! caller-side `armed` map the shard workers use.
+
+use std::collections::HashMap;
+
+use lease_clock::{Dur, Time};
+use lease_core::{ClientId, LeaseTable};
+use lease_svc::TimerWheel;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Grant (or extend: the table never shortens) a lease.
+    Grant {
+        resource: u64,
+        client: u32,
+        expiry: u64,
+    },
+    /// Voluntarily release a lease.
+    Relinquish { resource: u64, client: u32 },
+    /// Advance time and compare what expires.
+    Advance { by: u64 },
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u64..8, 0u32..4, 1u64..500).prop_map(|(resource, client, expiry)| Step::Grant {
+            resource,
+            client,
+            expiry
+        }),
+        (0u64..8, 0u32..4).prop_map(|(resource, client)| Step::Relinquish { resource, client }),
+        (1u64..120).prop_map(|by| Step::Advance { by }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wheel_matches_naive_scan(steps in proptest::collection::vec(step(), 1..120)) {
+        let mut table: LeaseTable<u64> = LeaseTable::new();
+        let mut wheel: TimerWheel<(u64, ClientId)> = TimerWheel::new(Dur(1), Time::ZERO);
+        let mut armed: HashMap<(u64, ClientId), Time> = HashMap::new();
+        let mut now = Time::ZERO;
+
+        for s in steps {
+            match s {
+                Step::Grant { resource, client, expiry } => {
+                    let client = ClientId(client);
+                    // Expiries are relative to now and never in the past.
+                    let expiry = Time(now.0 + expiry);
+                    table.grant(resource, client, expiry);
+                    // What the table actually holds (a shorter grant is
+                    // ignored); arm the wheel to match.
+                    let actual = table
+                        .expiry_of(resource, client, now)
+                        .expect("just granted in the future");
+                    if armed.get(&(resource, client)) != Some(&actual) {
+                        armed.insert((resource, client), actual);
+                        wheel.schedule(actual, (resource, client));
+                    }
+                }
+                Step::Relinquish { resource, client } => {
+                    let client = ClientId(client);
+                    table.release(resource, client);
+                    // Lazy cancellation: the wheel entry stays and is
+                    // dropped when it fires without a matching arm.
+                    armed.remove(&(resource, client));
+                }
+                Step::Advance { by } => {
+                    now = Time(now.0 + by);
+                    // The naive path: scan the expiry-ordered index.
+                    let expired_by_scan: Vec<(Time, u64, ClientId)> = table
+                        .iter()
+                        .filter(|&(_, _, e)| e <= now)
+                        .map(|(r, c, e)| (e, r, c))
+                        .collect();
+                    table.prune(now);
+                    // The wheel path: collect due entries, drop stale ones.
+                    let mut fired = Vec::new();
+                    for (at, key) in wheel.advance(now) {
+                        if armed.get(&key) == Some(&at) {
+                            armed.remove(&key);
+                            fired.push((at, key.0, key.1));
+                        }
+                    }
+                    prop_assert_eq!(fired, expired_by_scan);
+                }
+            }
+        }
+
+        // Drain everything left so the final state agrees too.
+        now = Time(now.0 + 1_000_000);
+        let remaining_by_scan: Vec<(Time, u64, ClientId)> =
+            table.iter().map(|(r, c, e)| (e, r, c)).collect();
+        let mut fired = Vec::new();
+        for (at, key) in wheel.advance(now) {
+            if armed.get(&key) == Some(&at) {
+                armed.remove(&key);
+                fired.push((at, key.0, key.1));
+            }
+        }
+        prop_assert_eq!(fired, remaining_by_scan);
+        prop_assert!(armed.is_empty());
+        prop_assert!(wheel.is_empty());
+    }
+}

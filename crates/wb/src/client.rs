@@ -857,7 +857,7 @@ mod tests {
         let released = out.iter().find_map(|o| match o {
             WbClientOutput::Send(WbToServer::Release {
                 reservation, dirty, ..
-            }) => Some((*reservation, dirty.clone())),
+            }) => Some((*reservation, *dirty)),
             _ => None,
         });
         assert_eq!(released, Some((Some(5), Some((Version(2), 10)))));

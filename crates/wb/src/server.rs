@@ -535,7 +535,7 @@ mod tests {
             WbServerOutput::Send {
                 to,
                 msg: WbToClient::Granted { version, data, .. },
-            } => Some((*to, *version, data.clone())),
+            } => Some((*to, *version, *data)),
             _ => None,
         });
         assert_eq!(g, Some((C1, resv.first, Some(999))));

@@ -50,7 +50,7 @@ impl BurstyWorkload {
     pub fn generate(&self) -> Trace {
         assert!(self.s >= 1);
         assert!(self.duty() > 0.0, "ON period must be positive");
-        let groups = (self.n + self.s - 1) / self.s;
+        let groups = self.n.div_ceil(self.s);
         let files: Vec<FileSpec> = (0..groups as u64)
             .map(|id| FileSpec {
                 id,

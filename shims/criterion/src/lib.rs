@@ -1,0 +1,232 @@
+//! In-tree shim for `criterion` (the build environment is offline).
+//!
+//! API-compatible with the subset the workspace's benches use. Instead of
+//! criterion's full statistical machinery it runs each benchmark on a time
+//! budget (`LEASE_BENCH_MS` per benchmark, default 300 ms after a short
+//! warm-up) and prints mean and min ns/iteration. Good enough to compare
+//! implementations on one machine, which is what `EXPERIMENTS.md` records.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup cost is amortized in [`Bencher::iter_batched`].
+/// The shim runs setup once per measured batch regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine state: many iterations per batch are fine.
+    SmallInput,
+    /// Large routine state: fewer iterations per batch.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying just a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("LEASE_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Collects timing for one benchmark body.
+pub struct Bencher {
+    /// (total time measured, iterations, best single batch ns/iter)
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let deadline = Instant::now() + budget();
+        // Calibrate a batch size aiming at ~1ms per batch.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.samples.push((dt, batch));
+            if Instant::now() >= deadline {
+                break;
+            }
+            if dt < Duration::from_millis(1) && batch < u64::MAX / 2 {
+                batch *= 2;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`] but rebuilds input with `setup` outside the
+    /// measured region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + budget();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push((t0.elapsed(), 1));
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        let total: Duration = self.samples.iter().map(|(d, _)| *d).sum();
+        let iters: u64 = self.samples.iter().map(|(_, n)| *n).sum();
+        if iters == 0 {
+            println!("{name}: no samples");
+            return;
+        }
+        let mean = total.as_nanos() as f64 / iters as f64;
+        let min = self
+            .samples
+            .iter()
+            .map(|(d, n)| d.as_nanos() as f64 / *n as f64)
+            .fold(f64::INFINITY, f64::min);
+        println!("{name}: mean {mean:.1} ns/iter, min {min:.1} ns/iter ({iters} iters)");
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b); // warm-up + measurement happen inside iter()
+        b.report(&name.into());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group; ids are printed as `group/id`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into()));
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Ends the group (printing happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        std::env::set_var("LEASE_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("smoke/iter", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,425 @@
+//! In-tree shim for `serde_derive` (the build environment is offline, so
+//! `syn`/`quote` are unavailable; the item is parsed by hand from the raw
+//! token stream and the impls are emitted as source text).
+//!
+//! Supported grammar — which is exactly what this workspace uses:
+//! non-generic `struct`s (named, tuple, unit) and non-generic `enum`s
+//! (unit, tuple, and struct variants), with `#[serde(skip)]` honoured on
+//! named struct fields. Anything else panics with a clear message rather
+//! than silently generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (see the `serde` shim's `Value` data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- model --
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Body {
+    Unit,
+    /// Tuple struct/variant: field count and per-field skip flags (unused
+    /// for now, but parsed so `#[serde(skip)]` misuse is at least visible).
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// --------------------------------------------------------------- parser --
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_at(&toks, &mut i).expect("expected `struct` or `enum`");
+    let name = ident_at(&toks, &mut i).expect("expected item name");
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => panic!("unexpected token after `struct {name}`: {other:?}"),
+            };
+            Item::Struct { name, body }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = toks.get(i) else {
+                panic!("expected enum body for `{name}`");
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        other => panic!("serde shim derive supports struct/enum, got `{other}`"),
+    }
+}
+
+/// Advances past attributes (`#[...]`) and a visibility qualifier; returns
+/// whether any skipped attribute was `#[serde(skip)]`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                    skip |= attr_is_serde_skip(g.stream());
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn ident_at(toks: &[TokenTree], i: &mut usize) -> Option<String> {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Some(id.to_string())
+        }
+        _ => None,
+    }
+}
+
+/// Skips a type (or any expression) up to a top-level `,`, tracking angle
+/// brackets so `HashMap<K, V>` does not split early.
+fn skip_to_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = skip_attrs_and_vis(&toks, &mut i);
+        let Some(name) = ident_at(&toks, &mut i) else {
+            panic!("expected field name, got {:?}", toks.get(i));
+        };
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_to_comma(&toks, &mut i);
+        i += 1; // the comma (or one past the end)
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_to_comma(&toks, &mut i);
+        i += 1;
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let Some(name) = ident_at(&toks, &mut i) else {
+            panic!("expected variant name, got {:?}", toks.get(i));
+        };
+        let vbody = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Body::Unit,
+        };
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("expected `,` after variant `{name}`, got {other:?}"),
+        }
+        variants.push(Variant { name, body: vbody });
+    }
+    variants
+}
+
+// -------------------------------------------------------------- codegen --
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let body_src = match body {
+                Body::Unit => "serde::Value::Null".to_string(),
+                Body::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Body::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", elems.join(", "))
+                }
+                Body::Named(fields) => named_to_map(fields, |f| format!("&self.{f}")),
+            };
+            impl_serialize(name, &body_src)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_to_map(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn named_to_map(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut src = String::from("serde::Value::Map(vec![");
+    for f in fields.iter().filter(|f| !f.skip) {
+        let a = access(&f.name);
+        src.push_str(&format!(
+            "(\"{}\".to_string(), serde::Serialize::to_value({a})),",
+            f.name
+        ));
+    }
+    src.push_str("])");
+    src
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let body_src = match body {
+                Body::Unit => format!("Ok({name})"),
+                Body::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+                }
+                Body::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| {
+                            format!(
+                                "serde::Deserialize::from_value(__xs.get({k}).ok_or_else(|| \
+                                 serde::Error::msg(\"tuple struct {name} too short\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let serde::Value::Seq(__xs) = __v else {{\n\
+                             return Err(serde::Error::msg(\"expected sequence for {name}\"));\n\
+                         }};\n\
+                         Ok({name}({}))",
+                        elems.join(", ")
+                    )
+                }
+                Body::Named(fields) => {
+                    format!("Ok({name} {{ {} }})", named_from_map(name, fields, "__v"))
+                }
+            };
+            impl_deserialize(name, &body_src)
+        }
+        Item::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => {
+                        str_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"))
+                    }
+                    Body::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!("{name}::{vn}(serde::Deserialize::from_value(__inner)?)")
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "serde::Deserialize::from_value(__xs.get({k}).ok_or_else(|| \
+                                         serde::Error::msg(\"variant {vn} too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{ let serde::Value::Seq(__xs) = __inner else {{\n\
+                                     return Err(serde::Error::msg(\"expected sequence for {name}::{vn}\"));\n\
+                                 }};\n\
+                                 {name}::{vn}({}) }}",
+                                elems.join(", ")
+                            )
+                        };
+                        map_arms.push_str(&format!("\"{vn}\" => return Ok({build}),\n"));
+                    }
+                    Body::Named(fields) => {
+                        let build = format!(
+                            "{name}::{vn} {{ {} }}",
+                            named_from_map(&format!("{name}::{vn}"), fields, "__inner")
+                        );
+                        map_arms.push_str(&format!("\"{vn}\" => return Ok({build}),\n"));
+                    }
+                }
+            }
+            let body_src = format!(
+                "if let serde::Value::Str(__s) = __v {{\n\
+                     match __s.as_str() {{\n\
+                         {str_arms}\
+                         __other => return Err(serde::Error::msg(format!(\
+                             \"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 if let serde::Value::Map(__m) = __v {{\n\
+                     if __m.len() == 1 {{\n\
+                         let (__k, __inner) = &__m[0];\n\
+                         match __k.as_str() {{\n\
+                             {map_arms}\
+                             __other => return Err(serde::Error::msg(format!(\
+                                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(serde::Error::msg(\"expected variant string or map for {name}\"))"
+            );
+            impl_deserialize(name, &body_src)
+        }
+    }
+}
+
+fn named_from_map(ctx: &str, fields: &[Field], src: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{}: ::core::default::Default::default(),", f.name));
+        } else {
+            out.push_str(&format!(
+                "{}: serde::Deserialize::from_value({src}.get(\"{}\").ok_or_else(|| \
+                 serde::Error::msg(\"missing field `{}` in {ctx}\"))?)?,",
+                f.name, f.name, f.name
+            ));
+        }
+    }
+    out
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

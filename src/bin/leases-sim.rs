@@ -67,6 +67,7 @@ commands:
   run     simulate one configuration and report load/delay/consistency
   model   print the analytic model's curves (section 3.1)
   sweep   run a trace across a set of lease terms
+  help    print this message
 
 common options:
   --kind vtrace|poisson|bursty   workload generator (default vtrace)

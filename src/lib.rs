@@ -22,7 +22,8 @@
 //! | [`vsys`] | `lease-vsys` | the assembled distributed file system on the simulator, with measurements and history recording |
 //! | [`baselines`] | `lease-baselines` | §6 comparison protocols: Andrew callbacks, NFS TTL, check-on-read |
 //! | [`faults`] | `lease-faults` | the single-copy consistency oracle and staleness analysis |
-//! | [`rt`] | `lease-rt` | real-time deployment: threads, channels, wall clocks, a real file store |
+//! | [`svc`] | `lease-svc` | service runtime: the lease table sharded across single-threaded workers with batched mailboxes and a hierarchical timer wheel |
+//! | [`rt`] | `lease-rt` | real-time deployment on the service runtime: threads, channels, wall clocks, a real file store |
 //! | [`wb`] | `lease-wb` | the non-write-through extension: exclusive write tokens, local buffering, write-back, lost-write semantics |
 //!
 //! # Quickstart
@@ -66,6 +67,7 @@ pub use lease_net as net;
 pub use lease_rt as rt;
 pub use lease_sim as sim;
 pub use lease_store as store;
+pub use lease_svc as svc;
 pub use lease_vsys as vsys;
 pub use lease_wb as wb;
 pub use lease_workload as workload;

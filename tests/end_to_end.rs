@@ -182,6 +182,10 @@ fn zero_term_equals_check_on_every_read() {
     };
     let r = run_trace(&cfg, &trace);
     assert_eq!(r.hits, 0);
-    // Exactly one request-reply pair per read.
-    assert_eq!(r.consistency_msgs, 2 * r.remote_reads);
+    // One request-reply pair per read — except that a read's no-data reply
+    // can race the same client's own write (which drops the cache entry as
+    // its implicit approval), forcing one refetch pair for that read. Each
+    // write can strand at most one reply this way.
+    assert!(r.consistency_msgs >= 2 * r.remote_reads);
+    assert!(r.consistency_msgs <= 2 * (r.remote_reads + r.writes));
 }
