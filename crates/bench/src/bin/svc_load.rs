@@ -154,7 +154,7 @@ fn run_config(shards: usize, clients: u32, files: u64, window: Duration) {
         },
         Arc::new(ChannelSink { txs }),
         SvcHooks::default(),
-        |_| {
+        move |_| {
             // Every shard preloads the full set; the router only sends a
             // shard its own partition, so the copies never disagree.
             let mut store: MemStorage<R, D> = MemStorage::new();

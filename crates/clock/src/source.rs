@@ -105,6 +105,48 @@ impl Clock for ManualClock {
     }
 }
 
+/// A clock viewed through a [`ClockModel`](crate::ClockModel): the inner
+/// clock supplies *true* time, the model maps it to the host's (possibly
+/// skewed, drifting, or stepping) local reading.
+///
+/// This is how the §5 clock-failure modes are injected into real-time
+/// deployments: give one host a `ModelClock` over the shared wall clock
+/// and its protocol code experiences a fast or slow clock while every
+/// observer (and the consistency oracle) keeps the true timeline.
+///
+/// # Examples
+///
+/// ```
+/// use lease_clock::{Clock, ClockModel, ManualClock, ModelClock, Time};
+///
+/// let truth = ManualClock::new(Time::from_secs(10));
+/// let fast = ModelClock::new(truth.clone(), ClockModel::drifting(1_000_000.0));
+/// assert_eq!(fast.now(), Time::from_secs(20)); // 2x speed
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelClock<C> {
+    inner: C,
+    model: crate::ClockModel,
+}
+
+impl<C: Clock> ModelClock<C> {
+    /// Views `inner` through `model`.
+    pub fn new(inner: C, model: crate::ClockModel) -> ModelClock<C> {
+        ModelClock { inner, model }
+    }
+
+    /// The model applied to the inner clock.
+    pub fn model(&self) -> &crate::ClockModel {
+        &self.model
+    }
+}
+
+impl<C: Clock> Clock for ModelClock<C> {
+    fn now(&self) -> Time {
+        self.model.local(self.inner.now())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

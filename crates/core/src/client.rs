@@ -32,10 +32,20 @@ use crate::types::{ClientId, OpId, ReqId, Resource, Version};
 pub struct ClientConfig {
     /// Clock-skew/drift allowance ε subtracted from every term.
     pub epsilon: Dur,
-    /// Retransmission interval for outstanding requests.
+    /// Base retransmission interval for outstanding requests (the first
+    /// retry fires this long after the original send; [`Backoff`] scales
+    /// subsequent ones).
     pub retry_interval: Dur,
     /// Retransmissions before an op fails with [`OpError::Timeout`].
     pub max_retries: u32,
+    /// How retry intervals grow across attempts; the default is a fixed
+    /// interval (multiplier 1, no jitter).
+    pub backoff: Backoff,
+    /// Wall-time budget per operation: once this much time has passed since
+    /// the op was first sent, the next retry opportunity fails it with
+    /// [`OpError::Timeout`] even if retransmissions remain. `None` = only
+    /// the retry budget bounds the op.
+    pub op_deadline: Option<Dur>,
     /// Piggyback extension of all held leases on every fetch (§3.1: batch
     /// extensions).
     pub batch_extensions: bool,
@@ -52,11 +62,102 @@ impl Default for ClientConfig {
             epsilon: Dur::from_millis(100),
             retry_interval: Dur::from_millis(500),
             max_retries: 20,
+            backoff: Backoff::default(),
+            op_deadline: None,
             batch_extensions: true,
             anticipatory: None,
             capacity: 0,
         }
     }
+}
+
+/// Exponential-backoff shape for request retransmissions.
+///
+/// The nominal interval before retry `attempt` (1-based) is
+/// `base * multiplier^(attempt-1)`, capped at `cap`. Jitter then subtracts a
+/// deterministic pseudo-random fraction of up to `jitter * nominal`, so the
+/// actual interval always lies in `[nominal * (1 - jitter), nominal]`.
+/// Jitter is derived by hashing a caller-supplied salt — the state machine
+/// stays sans-IO and seed-stable, yet distinct clients desynchronize their
+/// retry storms.
+///
+/// # Examples
+///
+/// ```
+/// use lease_clock::Dur;
+/// use lease_core::Backoff;
+///
+/// let b = Backoff { multiplier: 2.0, cap: Dur::from_secs(1), jitter: 0.0 };
+/// let base = Dur::from_millis(100);
+/// assert_eq!(b.nominal(base, 1), Dur::from_millis(100));
+/// assert_eq!(b.nominal(base, 3), Dur::from_millis(400));
+/// assert_eq!(b.nominal(base, 20), Dur::from_secs(1)); // capped
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Backoff {
+    /// Growth factor per retry; values ≤ 1.0 mean a fixed interval.
+    pub multiplier: f64,
+    /// Upper bound on the nominal interval.
+    pub cap: Dur,
+    /// Fraction of the nominal interval that jitter may subtract, in
+    /// `[0, 1]`; 0 disables jitter.
+    pub jitter: f64,
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff {
+            multiplier: 1.0,
+            cap: Dur::MAX,
+            jitter: 0.0,
+        }
+    }
+}
+
+impl Backoff {
+    /// An exponential schedule: doubling, capped at `cap`, with 25% jitter.
+    pub fn exponential(cap: Dur) -> Backoff {
+        Backoff {
+            multiplier: 2.0,
+            cap,
+            jitter: 0.25,
+        }
+    }
+
+    /// The nominal (pre-jitter) interval before retry `attempt` (1-based;
+    /// attempt 0 is treated as the first retry).
+    pub fn nominal(&self, base: Dur, attempt: u32) -> Dur {
+        let mut d = base;
+        if self.multiplier > 1.0 {
+            for _ in 1..attempt.max(1) {
+                if d >= self.cap {
+                    break;
+                }
+                d = d.mul_f64(self.multiplier);
+            }
+        }
+        d.min(self.cap)
+    }
+
+    /// The jittered interval before retry `attempt`: the nominal interval
+    /// minus a salt-determined fraction of up to `jitter * nominal`.
+    pub fn interval(&self, base: Dur, attempt: u32, salt: u64) -> Dur {
+        let nominal = self.nominal(base, attempt);
+        if self.jitter <= 0.0 {
+            return nominal;
+        }
+        // 53 uniform mantissa bits in [0, 1), derived from the salt.
+        let unit = (splitmix64(salt) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        nominal.saturating_sub(nominal.mul_f64(self.jitter.min(1.0) * unit))
+    }
+}
+
+/// SplitMix64 finalizer: a well-mixed 64-bit hash of the input.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// An application-level cache operation.
@@ -758,10 +859,25 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
         let Some(pending) = self.requests.get_mut(&req) else {
             return; // Completed; stale timer.
         };
+        let mut attempt = 0;
         let exhausted = match pending {
-            Pending::Fetch { retries, .. } | Pending::Write { retries, .. } => {
+            Pending::Fetch {
+                retries,
+                first_sent,
+                ..
+            }
+            | Pending::Write {
+                retries,
+                first_sent,
+                ..
+            } => {
                 *retries += 1;
-                *retries > self.cfg.max_retries
+                attempt = *retries;
+                let over_deadline = self
+                    .cfg
+                    .op_deadline
+                    .is_some_and(|d| now.saturating_since(*first_sent) >= d);
+                *retries > self.cfg.max_retries || over_deadline
             }
             Pending::Renew { .. } => true, // Renewals are not retried.
         };
@@ -802,8 +918,16 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
             Pending::Renew { .. } => unreachable!("renewals are not retried"),
         };
         out.push(ClientOutput::Send(msg));
+        // Arm the next retry on the backoff schedule; the salt folds in the
+        // client, request, and attempt so concurrent retriers desynchronize
+        // while each individual schedule stays deterministic.
+        let salt = (u64::from(self.id.0) << 48) ^ (req.0 << 8) ^ u64::from(attempt);
         out.push(ClientOutput::SetTimer {
-            at: now + self.cfg.retry_interval,
+            at: now
+                + self
+                    .cfg
+                    .backoff
+                    .interval(self.cfg.retry_interval, attempt, salt),
             timer: ClientTimer::Retry(req),
         });
     }

@@ -81,8 +81,8 @@ pub mod table;
 pub mod types;
 
 pub use client::{
-    ClientConfig, ClientCounters, ClientInput, ClientOutput, ClientTimer, LeaseClient, Op, OpError,
-    OpOutcome, OpResult,
+    Backoff, ClientConfig, ClientCounters, ClientInput, ClientOutput, ClientTimer, LeaseClient, Op,
+    OpError, OpOutcome, OpResult,
 };
 pub use msg::{ErrorReason, Grant, ToClient, ToServer};
 pub use policy::{AdaptiveTerm, ClosurePolicy, CompensatedTerm, FixedTerm, TermPolicy};

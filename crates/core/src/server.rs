@@ -49,6 +49,14 @@ pub struct ServerConfig<R: Resource> {
     pub dedup_capacity: usize,
     /// Smoothing constant for per-resource statistics.
     pub stats_tau: Dur,
+    /// Refuse new grants (drop Fetch/Renew without reply) while the
+    /// post-crash recovery window is open, instead of only stalling writes.
+    ///
+    /// §5 requires only that *writes* wait out the maximum term after a
+    /// restart, so this defaults to `false`; deployments turn it on so a
+    /// freshly restarted shard sheds read load until its lease knowledge is
+    /// trustworthy again, letting client backoff spread the re-fetch storm.
+    pub defer_grants_in_recovery: bool,
 }
 
 impl<R: Resource> ServerConfig<R> {
@@ -61,6 +69,7 @@ impl<R: Resource> ServerConfig<R> {
             installed_term: Dur::from_secs(60),
             dedup_capacity: 64,
             stats_tau: Dur::from_secs(30),
+            defer_grants_in_recovery: false,
         }
     }
 }
@@ -173,6 +182,10 @@ pub struct ServerCounters {
     pub errors: u64,
     /// Relinquish messages received.
     pub relinquish_rx: u64,
+    /// Fetch/Renew requests dropped because the post-crash recovery window
+    /// was still open (only with
+    /// [`ServerConfig::defer_grants_in_recovery`]).
+    pub recovery_refusals: u64,
 }
 
 impl ServerCounters {
@@ -193,6 +206,7 @@ impl ServerCounters {
         self.dedup_hits += other.dedup_hits;
         self.errors += other.errors;
         self.relinquish_rx += other.relinquish_rx;
+        self.recovery_refusals += other.recovery_refusals;
     }
 }
 
@@ -386,6 +400,23 @@ impl<R: Resource, D: Clone> LeaseServer<R, D> {
         store: &mut dyn Storage<R, D>,
         out: &mut Vec<ServerOutput<R, D>>,
     ) {
+        // Grant refusal during the §5 recovery window: a just-restarted
+        // server does not know which leases its predecessor granted, so
+        // (when configured) it answers no lease traffic at all until the
+        // maximum term has drained. Dropping silently — rather than
+        // replying with an error — leaves the client's retry/backoff
+        // machinery to re-ask after the window, exactly as if the request
+        // had been lost in transit.
+        if self.cfg.defer_grants_in_recovery
+            && matches!(msg, ToServer::Fetch { .. } | ToServer::Renew { .. })
+        {
+            if let Some(rec) = self.recovering_until {
+                if now < rec {
+                    self.counters.recovery_refusals += 1;
+                    return;
+                }
+            }
+        }
         match msg {
             ToServer::Fetch {
                 req,

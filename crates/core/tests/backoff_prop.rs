@@ -1,0 +1,84 @@
+//! Property tests for the client's retransmission backoff policy.
+
+use lease_clock::Dur;
+use lease_core::Backoff;
+use proptest::prelude::*;
+
+proptest! {
+    /// The nominal (pre-jitter) interval never decreases with the attempt
+    /// number and never exceeds the cap.
+    #[test]
+    fn nominal_is_monotone_and_capped(
+        base_ms in 1u64..2_000,
+        cap_ms in 1u64..60_000,
+        multiplier in 1.0f64..4.0,
+        attempts in 1u32..40,
+    ) {
+        let b = Backoff { multiplier, cap: Dur::from_millis(cap_ms), jitter: 0.0 };
+        let base = Dur::from_millis(base_ms);
+        let mut prev = Dur::ZERO;
+        for attempt in 1..=attempts {
+            let d = b.nominal(base, attempt);
+            prop_assert!(d >= prev, "attempt {attempt}: {d:?} < {prev:?}");
+            prop_assert!(d <= Dur::from_millis(cap_ms).max(base),
+                "attempt {attempt}: {d:?} above cap");
+            prev = d;
+        }
+    }
+
+    /// With jitter, every drawn interval lies in
+    /// `[nominal * (1 - jitter), nominal]`, and jitter-free draws equal
+    /// the nominal exactly.
+    #[test]
+    fn jitter_is_bounded_below_the_nominal(
+        base_ms in 1u64..2_000,
+        cap_ms in 10u64..60_000,
+        multiplier in 1.0f64..4.0,
+        jitter in 0.0f64..1.0,
+        attempt in 1u32..30,
+        salt in any::<u64>(),
+    ) {
+        let b = Backoff { multiplier, cap: Dur::from_millis(cap_ms), jitter };
+        let base = Dur::from_millis(base_ms);
+        let nominal = b.nominal(base, attempt);
+        let drawn = b.interval(base, attempt, salt);
+        prop_assert!(drawn <= nominal, "{drawn:?} > nominal {nominal:?}");
+        let floor = nominal.saturating_sub(nominal.mul_f64(jitter));
+        // Allow a nanosecond of float rounding slack at the floor.
+        prop_assert!(
+            drawn.as_nanos() + 1 >= floor.as_nanos(),
+            "{drawn:?} below jitter floor {floor:?}"
+        );
+
+        let plain = Backoff { jitter: 0.0, ..b };
+        prop_assert_eq!(plain.interval(base, attempt, salt), nominal);
+    }
+
+    /// The draw is a pure function of (policy, base, attempt, salt):
+    /// replaying a schedule replays its intervals.
+    #[test]
+    fn intervals_are_deterministic(
+        base_ms in 1u64..2_000,
+        attempt in 1u32..30,
+        salt in any::<u64>(),
+    ) {
+        let b = Backoff::exponential(Dur::from_secs(5));
+        prop_assert_eq!(
+            b.interval(Dur::from_millis(base_ms), attempt, salt),
+            b.interval(Dur::from_millis(base_ms), attempt, salt)
+        );
+    }
+}
+
+/// The stock exponential policy doubles up to its cap.
+#[test]
+fn exponential_doubles_then_caps() {
+    let b = Backoff::exponential(Dur::from_millis(800));
+    let base = Dur::from_millis(100);
+    assert_eq!(b.nominal(base, 1), Dur::from_millis(100));
+    assert_eq!(b.nominal(base, 2), Dur::from_millis(200));
+    assert_eq!(b.nominal(base, 3), Dur::from_millis(400));
+    assert_eq!(b.nominal(base, 4), Dur::from_millis(800));
+    assert_eq!(b.nominal(base, 5), Dur::from_millis(800), "capped");
+    assert_eq!(b.nominal(base, 30), Dur::from_millis(800), "stays capped");
+}

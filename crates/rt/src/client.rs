@@ -1,26 +1,29 @@
 //! The client-cache thread and its application-facing handle.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use lease_clock::{Clock, Time, WallClock};
+use lease_clock::{Clock, Time};
 use lease_core::{
-    ClientCounters, ClientInput, ClientOutput, ClientTimer, LeaseClient, Op, OpError, OpId,
-    OpOutcome, ToClient, Version,
+    ClientCounters, ClientId, ClientInput, ClientOutput, ClientTimer, LeaseClient, Op, OpError,
+    OpId, OpOutcome, ToClient, ToServer, Version,
 };
+use lease_vsys::HistoryEvent;
 
-use crate::server::{Res, ServerPort};
+use crate::record::Recorder;
+use crate::server::{PortVerdict, Res, ServerPort, RETRY_AFTER};
 
 /// An error from a real-time cache operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RtError {
     /// The resource does not exist at the server.
     NoSuchResource,
-    /// The server was unreachable until the retry budget ran out. For a
-    /// write, the outcome is unknown.
+    /// The server was unreachable until the retry budget (or the per-op
+    /// deadline) ran out. For a write, the outcome is unknown.
     Timeout,
     /// The system has shut down.
     Closed,
@@ -107,130 +110,259 @@ impl RtClientHandle {
     }
 }
 
+/// Timer-key encoding: timers live in one heap keyed by u64.
+fn key(t: ClientTimer) -> u64 {
+    match t {
+        ClientTimer::Renewal => 1u64,
+        ClientTimer::Retry(r) => r.0 + 2,
+    }
+}
+
+fn timer_of(k: u64) -> ClientTimer {
+    if k == 1 {
+        ClientTimer::Renewal
+    } else {
+        ClientTimer::Retry(lease_core::ReqId(k - 2))
+    }
+}
+
+/// What the worker remembers about an operation in flight, so the reply
+/// can be routed and the completion recorded.
+struct Waiting {
+    reply: Sender<OpReply>,
+    resource: Res,
+    is_write: bool,
+}
+
+/// One client cache's event loop state.
+struct Worker {
+    id: ClientId,
+    cache: LeaseClient<Res, Bytes>,
+    port: ServerPort,
+    /// This host's clock — possibly a skewed chaos model.
+    clock: Arc<dyn Clock>,
+    /// The perfect observer (true time), if history is being recorded.
+    recorder: Option<Arc<Recorder>>,
+    timers: BinaryHeap<Reverse<(Time, u64)>>,
+    live_timers: HashMap<u64, Time>,
+    waiting: HashMap<OpId, Waiting>,
+    /// Messages the service refused under backpressure, with the true
+    /// time at which to resubmit them.
+    resend: VecDeque<(Time, ToServer<Res, Bytes>)>,
+    next_op: u64,
+}
+
+impl Worker {
+    fn record(&self, ev: HistoryEvent) {
+        if let Some(rec) = &self.recorder {
+            rec.push(ev);
+        }
+    }
+
+    /// True time for history stamps; falls back to the local clock when
+    /// nothing records (the value is then never read).
+    fn true_now(&self) -> Time {
+        self.recorder
+            .as_ref()
+            .map_or_else(|| self.clock.now(), |r| r.now())
+    }
+
+    fn submit(&mut self, msg: ToServer<Res, Bytes>) {
+        match self.port.send(self.id, msg) {
+            PortVerdict::Sent | PortVerdict::Dropped => {}
+            PortVerdict::RetryAfter(msg) => {
+                self.resend.push_back((self.true_now() + RETRY_AFTER, msg));
+            }
+        }
+    }
+
+    /// Resubmits backpressured messages whose pause has elapsed.
+    fn flush_resend(&mut self) {
+        for _ in 0..self.resend.len() {
+            match self.resend.front() {
+                Some((at, _)) if *at <= self.true_now() => {
+                    let (_, msg) = self.resend.pop_front().expect("front exists");
+                    self.submit(msg);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn apply(&mut self, outs: Vec<ClientOutput<Res, Bytes>>) {
+        for o in outs {
+            match o {
+                ClientOutput::Send(msg) => self.submit(msg),
+                ClientOutput::SetTimer { at, timer } => {
+                    let k = key(timer);
+                    self.live_timers.insert(k, at);
+                    self.timers.push(Reverse((at, k)));
+                }
+                ClientOutput::CancelTimer(timer) => {
+                    self.live_timers.remove(&key(timer));
+                }
+                ClientOutput::Done { op, result } => {
+                    let Some(w) = self.waiting.remove(&op) else {
+                        continue;
+                    };
+                    let mapped = match result {
+                        Ok(OpOutcome::Read {
+                            data,
+                            version,
+                            from_cache,
+                        }) => {
+                            self.record(HistoryEvent::ReadDone {
+                                client: self.id,
+                                op,
+                                resource: w.resource,
+                                version,
+                                at: self.true_now(),
+                                from_cache,
+                            });
+                            Ok((data, version, from_cache))
+                        }
+                        Ok(OpOutcome::Write { version }) => {
+                            self.record(HistoryEvent::WriteDone {
+                                client: self.id,
+                                op,
+                                resource: w.resource,
+                                version,
+                                at: self.true_now(),
+                            });
+                            Ok((Bytes::new(), version, false))
+                        }
+                        Err(OpError::NoSuchResource) => Err(RtError::NoSuchResource),
+                        Err(OpError::Timeout) => Err(RtError::Timeout),
+                    };
+                    debug_assert_eq!(
+                        matches!(mapped, Ok((_, _, false)) if w.is_write),
+                        w.is_write && mapped.is_ok()
+                    );
+                    let _ = w.reply.send(mapped);
+                }
+            }
+        }
+    }
+
+    fn start_op(&mut self, resource: Res, data: Option<Bytes>, reply: Sender<OpReply>) {
+        let op = OpId(self.next_op);
+        self.next_op += 1;
+        let is_write = data.is_some();
+        self.waiting.insert(
+            op,
+            Waiting {
+                reply,
+                resource,
+                is_write,
+            },
+        );
+        let ev_at = self.true_now();
+        let kind = match data {
+            Some(d) => {
+                self.record(HistoryEvent::WriteStart {
+                    client: self.id,
+                    op,
+                    resource,
+                    at: ev_at,
+                });
+                Op::Write(resource, d)
+            }
+            None => {
+                self.record(HistoryEvent::ReadStart {
+                    client: self.id,
+                    op,
+                    resource,
+                    at: ev_at,
+                });
+                Op::Read(resource)
+            }
+        };
+        let outs = self
+            .cache
+            .handle(self.clock.now(), ClientInput::Op { op, kind });
+        self.apply(outs);
+    }
+
+    /// Fires due timers (skipping cancelled ones) and returns how long to
+    /// wait for the next one.
+    fn run_timers(&mut self) -> std::time::Duration {
+        let now = self.clock.now();
+        while let Some(Reverse((at, k))) = self.timers.peek().copied() {
+            if at > now {
+                break;
+            }
+            self.timers.pop();
+            if self.live_timers.get(&k) != Some(&at) {
+                continue; // Cancelled or superseded.
+            }
+            self.live_timers.remove(&k);
+            let outs = self
+                .cache
+                .handle(self.clock.now(), ClientInput::Timer(timer_of(k)));
+            self.apply(outs);
+        }
+        let mut wait = self
+            .timers
+            .peek()
+            .map(|Reverse((at, _))| {
+                std::time::Duration::from(at.saturating_since(self.clock.now()))
+            })
+            .unwrap_or(std::time::Duration::from_millis(20));
+        if !self.resend.is_empty() {
+            // Wake in time for the next backpressure resubmission.
+            wait = wait.min(std::time::Duration::from(RETRY_AFTER));
+        }
+        wait
+    }
+}
+
 pub(crate) fn spawn_client(
-    mut cache: LeaseClient<Res, Bytes>,
+    cache: LeaseClient<Res, Bytes>,
     cmd_rx: Receiver<ClientCmd>,
     net_rx: Receiver<ToClient<Res, Bytes>>,
     port: ServerPort,
-    clock: WallClock,
+    clock: Arc<dyn Clock>,
+    recorder: Option<Arc<Recorder>>,
 ) -> JoinHandle<()> {
     let id = cache.id();
     std::thread::Builder::new()
         .name(format!("lease-client-{}", id.0))
         .spawn(move || {
-            let mut timers: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
-            let mut live_timers: HashMap<u64, Time> = HashMap::new();
-            let mut waiting: HashMap<OpId, Sender<OpReply>> = HashMap::new();
-            let mut next_op = 0u64;
-            let key = |t: ClientTimer| match t {
-                ClientTimer::Renewal => 1u64,
-                ClientTimer::Retry(r) => r.0 + 2,
+            let mut w = Worker {
+                id,
+                cache,
+                port,
+                clock,
+                recorder,
+                timers: BinaryHeap::new(),
+                live_timers: HashMap::new(),
+                waiting: HashMap::new(),
+                resend: VecDeque::new(),
+                next_op: 0,
             };
-            let timer_of = |k: u64| {
-                if k == 1 {
-                    ClientTimer::Renewal
-                } else {
-                    ClientTimer::Retry(lease_core::ReqId(k - 2))
-                }
-            };
-
-            fn apply(
-                outs: Vec<ClientOutput<Res, Bytes>>,
-                timers: &mut BinaryHeap<Reverse<(Time, u64)>>,
-                live: &mut HashMap<u64, Time>,
-                waiting: &mut HashMap<OpId, Sender<OpReply>>,
-                port: &ServerPort,
-                id: lease_core::ClientId,
-                key: &impl Fn(ClientTimer) -> u64,
-            ) {
-                for o in outs {
-                    match o {
-                        ClientOutput::Send(msg) => {
-                            port.send(id, msg);
-                        }
-                        ClientOutput::SetTimer { at, timer } => {
-                            let k = key(timer);
-                            live.insert(k, at);
-                            timers.push(Reverse((at, k)));
-                        }
-                        ClientOutput::CancelTimer(timer) => {
-                            live.remove(&key(timer));
-                        }
-                        ClientOutput::Done { op, result } => {
-                            if let Some(reply) = waiting.remove(&op) {
-                                let mapped = match result {
-                                    Ok(OpOutcome::Read { data, version, from_cache }) => {
-                                        Ok((data, version, from_cache))
-                                    }
-                                    Ok(OpOutcome::Write { version }) => {
-                                        Ok((Bytes::new(), version, false))
-                                    }
-                                    Err(OpError::NoSuchResource) => Err(RtError::NoSuchResource),
-                                    Err(OpError::Timeout) => Err(RtError::Timeout),
-                                };
-                                let _ = reply.send(mapped);
-                            }
-                        }
-                    }
-                }
-            }
-
-            let outs = cache.start(clock.now());
-            apply(outs, &mut timers, &mut live_timers, &mut waiting, &port, id, &key);
+            let outs = w.cache.start(w.clock.now());
+            w.apply(outs);
 
             loop {
-                // Fire due timers (skipping cancelled ones).
-                let now = clock.now();
-                while let Some(Reverse((at, k))) = timers.peek().copied() {
-                    if at > now {
-                        break;
-                    }
-                    timers.pop();
-                    if live_timers.get(&k) != Some(&at) {
-                        continue; // Cancelled or superseded.
-                    }
-                    live_timers.remove(&k);
-                    let outs = cache.handle(clock.now(), ClientInput::Timer(timer_of(k)));
-                    apply(outs, &mut timers, &mut live_timers, &mut waiting, &port, id, &key);
-                }
-                let wait = timers
-                    .peek()
-                    .map(|Reverse((at, _))| {
-                        std::time::Duration::from(at.saturating_since(clock.now()))
-                    })
-                    .unwrap_or(std::time::Duration::from_millis(20));
+                w.flush_resend();
+                let wait = w.run_timers();
 
                 crossbeam::channel::select! {
                     recv(cmd_rx) -> cmd => match cmd {
-                        Ok(ClientCmd::Read(r, reply)) => {
-                            let op = OpId(next_op);
-                            next_op += 1;
-                            waiting.insert(op, reply);
-                            let outs = cache.handle(
-                                clock.now(),
-                                ClientInput::Op { op, kind: Op::Read(r) },
-                            );
-                            apply(outs, &mut timers, &mut live_timers, &mut waiting, &port, id, &key);
-                        }
+                        Ok(ClientCmd::Read(r, reply)) => w.start_op(r, None, reply),
                         Ok(ClientCmd::Write(r, data, reply)) => {
-                            let op = OpId(next_op);
-                            next_op += 1;
-                            waiting.insert(op, reply);
-                            let outs = cache.handle(
-                                clock.now(),
-                                ClientInput::Op { op, kind: Op::Write(r, data) },
-                            );
-                            apply(outs, &mut timers, &mut live_timers, &mut waiting, &port, id, &key);
+                            w.start_op(r, Some(data), reply);
                         }
                         Ok(ClientCmd::Stats(reply)) => {
-                            let _ = reply.send(cache.counters);
+                            let _ = reply.send(w.cache.counters);
                         }
                         Ok(ClientCmd::Shutdown) | Err(_) => break,
                     },
                     recv(net_rx) -> msg => match msg {
                         Ok(m) => {
-                            let outs = cache.handle(clock.now(), ClientInput::Msg(m));
-                            apply(outs, &mut timers, &mut live_timers, &mut waiting, &port, id, &key);
+                            let now = w.clock.now();
+                            let outs = w.cache.handle(now, ClientInput::Msg(m));
+                            w.apply(outs);
                         }
                         Err(_) => break,
                     },

@@ -37,10 +37,13 @@
 
 pub mod client;
 pub mod naming;
+pub mod record;
 pub mod server;
 pub mod system;
 
 pub use client::{RtClientHandle, RtError};
+pub use lease_svc::chaos::FaultPlan;
 pub use naming::{Binding, NameOp};
+pub use record::Recorder;
 pub use server::ServerStats;
 pub use system::{RtSystem, RtSystemBuilder};

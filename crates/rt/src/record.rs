@@ -1,0 +1,58 @@
+//! History recording: the real-time runtime's perfect observer.
+//!
+//! The simulator gets its consistency verdicts by logging every operation
+//! into a `lease_vsys::History` and handing it to
+//! `lease_faults::check_history`. This module closes the same loop for
+//! real-time runs: client threads log operation start/completion and the
+//! storage backend logs commits, all timestamped by one shared *true*
+//! wall clock — even when chaos gives individual hosts skewed
+//! [`ModelClock`](lease_clock::ModelClock)s. The checker may use a perfect
+//! observer even though the protocol cannot; that asymmetry is exactly
+//! what lets the oracle catch a fast server clock breaking §5's
+//! assumptions while the protocol itself never notices.
+
+use std::sync::Mutex;
+
+use lease_clock::{Clock, Time, WallClock};
+use lease_vsys::{History, HistoryEvent};
+
+/// A thread-safe, true-time-stamped history log.
+///
+/// Cheap to share: one mutex-guarded append per recorded event. Every
+/// timestamp comes from the one true [`WallClock`] the recorder owns, so
+/// events from differently-skewed hosts still land on a single timeline.
+pub struct Recorder {
+    truth: WallClock,
+    events: Mutex<History>,
+}
+
+impl Recorder {
+    /// Creates a recorder observing through `truth`.
+    pub(crate) fn new(truth: WallClock) -> Recorder {
+        Recorder {
+            truth,
+            events: Mutex::new(History::new()),
+        }
+    }
+
+    /// The current true time (not any host's skewed view).
+    pub fn now(&self) -> Time {
+        self.truth.now()
+    }
+
+    /// Appends one event.
+    pub fn push(&self, ev: HistoryEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(ev);
+    }
+
+    /// A copy of everything recorded so far, in append order.
+    pub fn snapshot(&self) -> History {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}

@@ -5,29 +5,38 @@
 //! `lease-svc` runtime instead: the pieces here adapt it to this crate's
 //! world — the durable [`StoreBackend`] shared by every shard, the
 //! [`RtSink`] that delivers shard output over per-client channels (with
-//! the fault-injection cut switch), and the [`ServerPort`] client threads
-//! use to submit protocol messages into the service.
+//! cut switches and seeded chaos faults), and the [`ServerPort`] client
+//! threads use to submit protocol messages into the service.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use bytes::Bytes;
 use crossbeam::channel::Sender;
-use lease_clock::{Clock, WallClock};
+use lease_clock::{Clock, Dur, Time, WallClock};
 use lease_core::{ClientId, ServerCounters, Storage, ToClient, ToServer, Version};
 use lease_store::{FileId, Store};
-use lease_svc::{ClientSink, SvcHandle};
+use lease_svc::{chaos::Delivery, ClientSink, FaultPlan, LinkChaos, SvcError, SvcHandle};
+use lease_vsys::HistoryEvent;
+
+use crate::record::Recorder;
 
 /// The resource key in the real-time system: the store's file id, as u64.
 pub type Res = u64;
 
+/// How long a client thread waits before resubmitting a message the
+/// service refused under backpressure.
+pub(crate) const RETRY_AFTER: Dur = Dur::from_millis(2);
+
 /// Observable server statistics.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerStats {
     /// Protocol counters, merged across every shard.
     pub counters: ServerCounters,
     /// Committed writes in the store.
     pub writes_committed: u64,
+    /// Crash/restart count per shard.
+    pub shard_restarts: Vec<u64>,
 }
 
 /// Adapts `lease_store::Store` to the protocol's storage interface.
@@ -35,12 +44,18 @@ pub struct StoreBackend {
     /// The underlying durable store.
     pub store: Store,
     clock: WallClock,
+    /// Logs every committed version for the consistency oracle.
+    pub(crate) recorder: Option<Arc<Recorder>>,
 }
 
 impl StoreBackend {
     /// Wraps a store.
     pub fn new(store: Store, clock: WallClock) -> StoreBackend {
-        StoreBackend { store, clock }
+        StoreBackend {
+            store,
+            clock,
+            recorder: None,
+        }
     }
 }
 
@@ -70,62 +85,137 @@ impl Storage<Res, Bytes> for StoreBackend {
 
     fn write(&mut self, resource: &Res, data: Bytes) -> Version {
         let now = self.clock.now();
-        if self.store.file(FileId(*resource)).is_some() {
+        let before = self.version(resource);
+        let committed = if self.store.file(FileId(*resource)).is_some() {
             let v = self
                 .store
                 .install(FileId(*resource), data, now)
                 .expect("file exists");
-            return Version(v.0);
-        }
-        // A write to a directory resource carries an encoded namespace
-        // mutation; it lands here only after the lease protocol collected
-        // every binding-holder's approval.
-        let dir = lease_store::DirId(*resource);
-        if let Some(op) = crate::naming::NameOp::decode(&data) {
-            let apply = match op {
-                crate::naming::NameOp::Rename { from, to } => {
-                    self.store.rename(dir, &from, dir, &to, now).map(|_| ())
+            Version(v.0)
+        } else {
+            // A write to a directory resource carries an encoded namespace
+            // mutation; it lands here only after the lease protocol
+            // collected every binding-holder's approval.
+            let dir = lease_store::DirId(*resource);
+            if let Some(op) = crate::naming::NameOp::decode(&data) {
+                let apply = match op {
+                    crate::naming::NameOp::Rename { from, to } => {
+                        self.store.rename(dir, &from, dir, &to, now).map(|_| ())
+                    }
+                    crate::naming::NameOp::Unlink { name } => {
+                        self.store.unlink(dir, &name, now).map(|_| ())
+                    }
+                    crate::naming::NameOp::Create { name } => self
+                        .store
+                        .create_file(
+                            dir,
+                            &name,
+                            lease_store::FileKind::Regular,
+                            lease_store::Perms::rw(),
+                            now,
+                        )
+                        .map(|_| ()),
+                };
+                if apply.is_err() {
+                    // The op no longer applies (e.g. name vanished while
+                    // the write waited for approvals): bump the version
+                    // anyway so callers revalidate, by touching and
+                    // undoing nothing.
                 }
-                crate::naming::NameOp::Unlink { name } => {
-                    self.store.unlink(dir, &name, now).map(|_| ())
-                }
-                crate::naming::NameOp::Create { name } => self
-                    .store
-                    .create_file(
-                        dir,
-                        &name,
-                        lease_store::FileKind::Regular,
-                        lease_store::Perms::rw(),
-                        now,
-                    )
-                    .map(|_| ()),
-            };
-            if apply.is_err() {
-                // The op no longer applies (e.g. name vanished while the
-                // write waited for approvals): bump the version anyway so
-                // callers revalidate, by touching and undoing nothing.
+            }
+            Version(self.store.dir_version(dir).map(|v| v.0).unwrap_or(0))
+        };
+        // Only a version that actually advanced is a commit on the
+        // oracle's timeline (a no-op name mutation leaves it unchanged).
+        if before != Some(committed) {
+            if let Some(rec) = &self.recorder {
+                rec.push(HistoryEvent::Commit {
+                    resource: *resource,
+                    version: committed,
+                    writer: None,
+                    at: rec.now(),
+                });
             }
         }
-        Version(self.store.dir_version(dir).map(|v| v.0).unwrap_or(0))
+        committed
     }
 }
 
 /// The one durable backend, shared by every shard worker. Resources are
 /// partitioned by shard, so two shards never write the same file; the
 /// mutex only serializes unrelated accesses.
+///
+/// The lock recovers from poisoning: the store is only ever mutated
+/// through committed writes, which either complete before a panic or were
+/// never observable, so a holder dying mid-critical-section (a supervised
+/// shard crash) must not cascade into whole-server failure.
 pub(crate) struct SharedBackend(pub Arc<Mutex<StoreBackend>>);
+
+/// Locks a possibly-poisoned backend mutex, accepting the poison: the
+/// data under it is consistent by construction (see [`SharedBackend`]).
+pub(crate) fn lock_backend(m: &Mutex<StoreBackend>) -> MutexGuard<'_, StoreBackend> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 impl Storage<Res, Bytes> for SharedBackend {
     fn read(&self, resource: &Res) -> Option<(Bytes, Version)> {
-        self.0.lock().unwrap().read(resource)
+        lock_backend(&self.0).read(resource)
     }
 
     fn version(&self, resource: &Res) -> Option<Version> {
-        self.0.lock().unwrap().version(resource)
+        lock_backend(&self.0).version(resource)
     }
 
     fn write(&mut self, resource: &Res, data: Bytes) -> Version {
-        self.0.lock().unwrap().write(resource, data)
+        lock_backend(&self.0).write(resource, data)
+    }
+}
+
+/// Seeded chaos applied to the client↔server transport: per-link
+/// deterministic drop/delay/duplicate dice plus plan-relative cut windows,
+/// generalizing the boolean cut switches.
+pub(crate) struct ChaosNet {
+    plan: FaultPlan,
+    truth: WallClock,
+    /// Server→client fault dice, one stream per client.
+    s2c: Vec<LinkChaos>,
+    /// Client→server fault dice, one stream per client.
+    c2s: Vec<LinkChaos>,
+}
+
+/// Stream-id bit distinguishing the client→server direction.
+const C2S_STREAM: u64 = 1 << 32;
+
+impl ChaosNet {
+    pub fn new(plan: FaultPlan, truth: WallClock, clients: usize) -> ChaosNet {
+        let s2c = (0..clients).map(|i| plan.link(i as u64)).collect();
+        let c2s = (0..clients)
+            .map(|i| plan.link(i as u64 | C2S_STREAM))
+            .collect();
+        ChaosNet {
+            plan,
+            truth,
+            s2c,
+            c2s,
+        }
+    }
+
+    /// Elapsed run time on the true clock (plans are start-relative).
+    fn elapsed(&self) -> Dur {
+        self.truth.now().saturating_since(Time::ZERO)
+    }
+
+    /// Whether a plan cut window covers `client` right now.
+    pub fn cut(&self, client: usize) -> bool {
+        self.plan.cut_active(client, self.elapsed())
+    }
+
+    pub fn s2c(&self, client: usize) -> Delivery {
+        self.s2c[client].next()
+    }
+
+    pub fn c2s(&self, client: usize) -> Delivery {
+        self.c2s[client].next()
     }
 }
 
@@ -140,32 +230,99 @@ pub struct ClientLink {
 /// Delivers shard output to client threads over their channels.
 pub(crate) struct RtSink {
     pub links: Vec<ClientLink>,
+    pub chaos: Option<Arc<ChaosNet>>,
 }
 
 impl ClientSink<Res, Bytes> for RtSink {
     fn deliver(&self, to: ClientId, msg: ToClient<Res, Bytes>) {
         let link = &self.links[to.0 as usize];
-        if !link.cut.load(Ordering::Relaxed) {
-            let _ = link.tx.send(msg);
+        if link.cut.load(Ordering::Relaxed) {
+            return;
         }
+        if let Some(chaos) = &self.chaos {
+            if chaos.cut(to.0 as usize) {
+                return;
+            }
+            match chaos.s2c(to.0 as usize) {
+                Delivery::Drop => return,
+                Delivery::Deliver { delay, copies } => {
+                    if !delay.is_zero() || copies != 1 {
+                        // Delayed (or duplicated) delivery must not block
+                        // the shard worker: hand it to a short-lived
+                        // sleeper thread. Send failures just mean the
+                        // client is gone.
+                        let tx = link.tx.clone();
+                        std::thread::spawn(move || {
+                            std::thread::sleep(std::time::Duration::from(delay));
+                            for _ in 0..copies {
+                                let _ = tx.send(msg.clone());
+                            }
+                        });
+                        return;
+                    }
+                }
+            }
+        }
+        let _ = link.tx.send(msg);
     }
 }
 
+/// What became of a client's submission attempt.
+pub(crate) enum PortVerdict {
+    /// Handed to the service (or scheduled for chaotic delivery).
+    Sent,
+    /// Dropped: the link is cut, chaos ate it, or the service is gone.
+    /// The client's retransmission machinery recovers.
+    Dropped,
+    /// The service pushed back; resubmit the returned message after
+    /// [`RETRY_AFTER`] instead of surfacing an error.
+    RetryAfter(ToServer<Res, Bytes>),
+}
+
 /// What client threads hold instead of a channel to a server thread: the
-/// sharded service handle, plus the cut switches so fault injection drops
-/// inbound traffic too.
+/// sharded service handle, the cut switches, and the chaos dice for the
+/// inbound direction.
 #[derive(Clone)]
 pub(crate) struct ServerPort {
     pub svc: SvcHandle<Res, Bytes>,
     pub cuts: Arc<Vec<Arc<AtomicBool>>>,
+    pub chaos: Option<Arc<ChaosNet>>,
 }
 
 impl ServerPort {
-    /// Submits one client message, unless the client is cut.
-    pub fn send(&self, from: ClientId, msg: ToServer<Res, Bytes>) {
+    /// Submits one client message, unless faults interfere. Never blocks
+    /// on a saturated shard: backpressure degrades into
+    /// [`PortVerdict::RetryAfter`].
+    pub fn send(&self, from: ClientId, msg: ToServer<Res, Bytes>) -> PortVerdict {
         if self.cuts[from.0 as usize].load(Ordering::Relaxed) {
-            return; // Fault injection: drop inbound too.
+            return PortVerdict::Dropped; // Fault injection: drop inbound too.
         }
-        let _ = self.svc.send(from, msg);
+        if let Some(chaos) = &self.chaos {
+            if chaos.cut(from.0 as usize) {
+                return PortVerdict::Dropped;
+            }
+            match chaos.c2s(from.0 as usize) {
+                Delivery::Drop => return PortVerdict::Dropped,
+                Delivery::Deliver { delay, copies } => {
+                    if !delay.is_zero() || copies != 1 {
+                        // Late (or duplicated) submission happens off the
+                        // client thread; the blocking send is fine there.
+                        let svc = self.svc.clone();
+                        std::thread::spawn(move || {
+                            std::thread::sleep(std::time::Duration::from(delay));
+                            for _ in 0..copies {
+                                let _ = svc.send(from, msg.clone());
+                            }
+                        });
+                        return PortVerdict::Sent;
+                    }
+                }
+            }
+        }
+        match self.svc.try_send(from, msg.clone()) {
+            Ok(()) => PortVerdict::Sent,
+            Err(SvcError::Backpressure) => PortVerdict::RetryAfter(msg),
+            Err(_) => PortVerdict::Dropped,
+        }
     }
 }

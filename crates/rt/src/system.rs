@@ -6,15 +6,23 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Sender};
-use lease_clock::{Clock, Dur, WallClock};
-use lease_core::{ClientConfig, ClientId, LeaseClient, LeaseServer, ServerConfig, Storage};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use lease_clock::{Clock, Dur, ModelClock, Time, WallClock};
+use lease_core::{
+    Backoff, ClientConfig, ClientId, LeaseClient, LeaseServer, ServerConfig, Storage,
+};
 use lease_store::{DirId, FileKind, Perms, Store};
-use lease_svc::{shard_of, LeaseService, SvcConfig, SvcHandle, SvcHooks};
+use lease_svc::{
+    chaos::silence_injected_kills, shard_of, FaultPlan, LeaseService, SvcConfig, SvcHandle,
+    SvcHooks,
+};
+use lease_vsys::{History, HistoryEvent};
 
 use crate::client::{spawn_client, ClientCmd, RtClientHandle};
+use crate::record::Recorder;
 use crate::server::{
-    ClientLink, Res, RtSink, ServerPort, ServerStats, SharedBackend, StoreBackend,
+    lock_backend, ChaosNet, ClientLink, Res, RtSink, ServerPort, ServerStats, SharedBackend,
+    StoreBackend,
 };
 
 /// Builder for an [`RtSystem`].
@@ -23,10 +31,13 @@ pub struct RtSystemBuilder {
     epsilon: Dur,
     retry_interval: Dur,
     max_retries: u32,
+    backoff: Backoff,
+    op_deadline: Option<Dur>,
     clients: u32,
     shards: usize,
     files: Vec<(String, Bytes, FileKind)>,
     installed_tick: Option<(Dur, Dur)>,
+    chaos: Option<FaultPlan>,
 }
 
 impl RtSystemBuilder {
@@ -42,7 +53,7 @@ impl RtSystemBuilder {
         self
     }
 
-    /// Client retransmission interval.
+    /// Client retransmission interval (the backoff base).
     pub fn retry_interval(mut self, d: Dur) -> Self {
         self.retry_interval = d;
         self
@@ -51,6 +62,21 @@ impl RtSystemBuilder {
     /// Client retry budget.
     pub fn max_retries(mut self, n: u32) -> Self {
         self.max_retries = n;
+        self
+    }
+
+    /// Retransmission backoff policy (multiplier, cap, jitter) applied on
+    /// top of [`RtSystemBuilder::retry_interval`].
+    pub fn backoff(mut self, b: Backoff) -> Self {
+        self.backoff = b;
+        self
+    }
+
+    /// Per-operation deadline: a pending op fails with `Timeout` once this
+    /// much has elapsed since its first transmission, even if retries
+    /// remain.
+    pub fn op_deadline(mut self, d: Dur) -> Self {
+        self.op_deadline = Some(d);
         self
     }
 
@@ -88,9 +114,24 @@ impl RtSystemBuilder {
         self
     }
 
+    /// Installs a seeded chaos plan: shard kills, message drop / delay /
+    /// duplication, cut windows, and skewed clocks, all replayed
+    /// deterministically from the plan's seed.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Builds and starts every thread.
     pub fn start(self) -> RtSystem {
-        let clock = WallClock::new();
+        // One true clock: history timestamps, chaos schedules and every
+        // host's (possibly skewed) model clock all derive from it.
+        let truth = WallClock::new();
+        let recorder = Arc::new(Recorder::new(truth.clone()));
+        if self.chaos.is_some() {
+            silence_injected_kills();
+        }
+
         let mut store = Store::new();
         let mut names = HashMap::new();
         let mut dirs: HashMap<String, u64> = HashMap::new();
@@ -114,9 +155,9 @@ impl RtSystemBuilder {
                 Perms::rw()
             };
             let id = store
-                .create_file(dir, name, *kind, perms, clock.now())
+                .create_file(dir, name, *kind, perms, truth.now())
                 .unwrap();
-            store.write(id, data.clone(), clock.now()).unwrap();
+            store.write(id, data.clone(), truth.now()).unwrap();
             names.insert(path.clone(), id.0);
             if *kind == FileKind::Installed {
                 installed_resources.push(id.0);
@@ -140,43 +181,95 @@ impl RtSystemBuilder {
 
         // The sharded lease service, every shard sharing the one durable
         // backend (resources are partitioned, so writers never collide).
-        let backend = Arc::new(Mutex::new(StoreBackend::new(store, clock.clone())));
+        let mut raw_backend = StoreBackend::new(store, truth.clone());
+        raw_backend.recorder = Some(recorder.clone());
+        let backend = Arc::new(Mutex::new(raw_backend));
+
+        // Seed the oracle's commit timeline: every pre-created resource
+        // already carries a version > 1 (create + write each bump it), so
+        // without a synthetic commit the checker would flag the first read
+        // as returning an unknown version.
+        {
+            let b = lock_backend(&backend);
+            for r in names.values().chain(dirs.values()) {
+                if let Some(v) = b.version(r) {
+                    recorder.push(HistoryEvent::Commit {
+                        resource: *r,
+                        version: v,
+                        writer: None,
+                        at: recorder.now(),
+                    });
+                }
+            }
+        }
+
+        let chaos_net = self.chaos.as_ref().map(|p| {
+            Arc::new(ChaosNet::new(
+                p.clone(),
+                truth.clone(),
+                self.clients as usize,
+            ))
+        });
+        let server_clock: Arc<dyn Clock> =
+            match self.chaos.as_ref().and_then(|p| p.server_clock.clone()) {
+                Some(model) => Arc::new(ModelClock::new(truth.clone(), model)),
+                None => Arc::new(truth.clone()),
+            };
         let hooks = SvcHooks {
             persist_max_term: Some(Arc::new({
                 let backend = backend.clone();
                 move |d: Dur| {
-                    backend
-                        .lock()
-                        .unwrap()
+                    lock_backend(&backend)
                         .store
                         .put_slot("max_lease_term", d.as_nanos().to_le_bytes().to_vec());
                 }
             })),
+            recover_max_term: Some(Arc::new({
+                let backend = backend.clone();
+                move || {
+                    lock_backend(&backend)
+                        .store
+                        .get_slot("max_lease_term")
+                        .and_then(|b| <[u8; 8]>::try_from(b).ok())
+                        .map(|b| Dur(u64::from_le_bytes(b)))
+                }
+            })),
+            on_restart: None,
+            clock: Some(server_clock),
         };
         let shards = self.shards;
+        let term = self.term;
+        let installed_tick = self.installed_tick;
         let installed_group: Vec<ClientId> = (0..self.clients).map(ClientId).collect();
+        let factory_backend = backend.clone();
         let service = LeaseService::spawn(
             SvcConfig {
                 shards,
                 ..SvcConfig::default()
             },
-            Arc::new(RtSink { links }),
+            Arc::new(RtSink {
+                links,
+                chaos: chaos_net.clone(),
+            }),
             hooks,
-            |i| {
-                let mut sc: ServerConfig<Res> = ServerConfig::fixed(self.term);
+            move |i| {
+                let mut sc: ServerConfig<Res> = ServerConfig::fixed(term);
+                // §5: a restarted server also refuses *grants* until the
+                // recovery window passes, not just writes.
+                sc.defer_grants_in_recovery = true;
                 let mine: Vec<Res> = installed_resources
                     .iter()
                     .copied()
                     .filter(|r| shard_of(r, shards) == i)
                     .collect();
-                if let Some((tick, term)) = self.installed_tick {
+                if let Some((tick, iterm)) = installed_tick {
                     if !mine.is_empty() {
                         sc.installed_tick = tick;
-                        sc.installed_term = term;
+                        sc.installed_term = iterm;
                     }
                 }
                 let mut server: LeaseServer<Res, Bytes> = LeaseServer::new(sc);
-                if self.installed_tick.is_some() {
+                if installed_tick.is_some() {
                     for r in &mine {
                         server.add_installed(*r);
                     }
@@ -184,19 +277,52 @@ impl RtSystemBuilder {
                 }
                 (
                     server,
-                    Box::new(SharedBackend(backend.clone())) as Box<dyn Storage<Res, Bytes> + Send>,
+                    Box::new(SharedBackend(factory_backend.clone()))
+                        as Box<dyn Storage<Res, Bytes> + Send>,
                 )
             },
         );
         let svc = service.handle();
 
+        // The chaos driver replays the plan's shard kills at their
+        // plan-relative instants on the true clock.
+        let mut threads: Vec<JoinHandle<()>> = Vec::new();
+        let mut chaos_stop = None;
+        if let Some(plan) = &self.chaos {
+            if !plan.kills.is_empty() {
+                let mut kills = plan.kills.clone();
+                kills.sort_by_key(|(at, _)| *at);
+                let (stop_tx, stop_rx) = bounded::<()>(0);
+                chaos_stop = Some(stop_tx);
+                let svc = svc.clone();
+                let truth = truth.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("lease-chaos".into())
+                        .spawn(move || {
+                            for (at, shard) in kills {
+                                let elapsed = truth.now().saturating_since(Time::ZERO);
+                                let wait = std::time::Duration::from(at.saturating_sub(elapsed));
+                                match stop_rx.recv_timeout(wait) {
+                                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                                        let _ = svc.kill_shard(shard);
+                                    }
+                                    _ => return, // Shutdown.
+                                }
+                            }
+                        })
+                        .expect("spawn chaos driver"),
+                );
+            }
+        }
+
         // Client threads submit through the service handle.
         let port = ServerPort {
             svc: svc.clone(),
             cuts: Arc::new(cuts.clone()),
+            chaos: chaos_net,
         };
         let mut client_handles = Vec::new();
-        let mut threads: Vec<JoinHandle<()>> = Vec::new();
         let mut client_cmd_txs: Vec<Sender<ClientCmd>> = Vec::new();
         for (i, net_rx) in net_rxs.into_iter().enumerate() {
             let (cmd_tx, cmd_rx) = unbounded();
@@ -206,17 +332,25 @@ impl RtSystemBuilder {
                     epsilon: self.epsilon,
                     retry_interval: self.retry_interval,
                     max_retries: self.max_retries,
+                    backoff: self.backoff,
+                    op_deadline: self.op_deadline,
                     batch_extensions: true,
                     anticipatory: None,
                     capacity: 0,
                 },
             );
+            let client_clock: Arc<dyn Clock> =
+                match self.chaos.as_ref().and_then(|p| p.client_clock(i)) {
+                    Some(model) => Arc::new(ModelClock::new(truth.clone(), model)),
+                    None => Arc::new(truth.clone()),
+                };
             threads.push(spawn_client(
                 cache,
                 cmd_rx,
                 net_rx,
                 port.clone(),
-                clock.clone(),
+                client_clock,
+                Some(recorder.clone()),
             ));
             client_handles.push(RtClientHandle { tx: cmd_tx.clone() });
             client_cmd_txs.push(cmd_tx);
@@ -226,28 +360,33 @@ impl RtSystemBuilder {
             service: Some(service),
             svc,
             backend,
+            recorder,
             client_handles,
             client_cmd_txs,
             cuts,
             names,
             dirs,
             threads,
+            chaos_stop,
         }
     }
 }
 
 /// A running real-time lease system: N shard workers under the
-/// `lease-svc` runtime, M client threads.
+/// `lease-svc` runtime, M client threads, and (optionally) a chaos driver
+/// replaying a seeded fault plan.
 pub struct RtSystem {
     service: Option<LeaseService<Res, Bytes>>,
     svc: SvcHandle<Res, Bytes>,
     backend: Arc<Mutex<StoreBackend>>,
+    recorder: Arc<Recorder>,
     client_handles: Vec<RtClientHandle>,
     client_cmd_txs: Vec<Sender<ClientCmd>>,
     cuts: Vec<Arc<AtomicBool>>,
     names: HashMap<String, Res>,
     dirs: HashMap<String, Res>,
     threads: Vec<JoinHandle<()>>,
+    chaos_stop: Option<Sender<()>>,
 }
 
 impl RtSystem {
@@ -258,10 +397,13 @@ impl RtSystem {
             epsilon: Dur::from_millis(10),
             retry_interval: Dur::from_millis(50),
             max_retries: 40,
+            backoff: Backoff::default(),
+            op_deadline: None,
             clients: 1,
             shards: 1,
             files: Vec::new(),
             installed_tick: None,
+            chaos: None,
         }
     }
 
@@ -309,22 +451,40 @@ impl RtSystem {
         self.cuts[i].store(cut, Ordering::Relaxed);
     }
 
+    /// Kills shard `shard`'s worker (a supervised crash): it restarts
+    /// through §5 MaxTerm recovery, refusing grants and deferring writes
+    /// for the persisted maximum term.
+    pub fn kill_shard(&self, shard: usize) {
+        silence_injected_kills();
+        let _ = self.svc.kill_shard(shard);
+    }
+
     /// Performs an administrative write (installing a new version, §4).
     pub fn install(&self, resource: Res, data: impl Into<Bytes>) {
         let _ = self.svc.local_write(resource, data.into());
     }
 
-    /// Server statistics snapshot, merged across shards.
+    /// Server statistics snapshot, merged across shards. `None` when a
+    /// shard is down or unresponsive.
     pub fn server_stats(&self) -> Option<ServerStats> {
-        let stats = self.service.as_ref()?.stats()?;
+        let stats = self.service.as_ref()?.stats().ok()?;
         Some(ServerStats {
             counters: stats.counters,
-            writes_committed: self.backend.lock().unwrap().store.writes_committed(),
+            writes_committed: lock_backend(&self.backend).store.writes_committed(),
+            shard_restarts: stats.restarts,
         })
+    }
+
+    /// Everything the perfect observer saw so far: operation starts and
+    /// completions from every client, commits from the store, all on one
+    /// true-time axis. Feed it to `lease_faults::check_history`.
+    pub fn history(&self) -> History {
+        self.recorder.snapshot()
     }
 
     /// Stops every thread and waits for them.
     pub fn shutdown(mut self) {
+        self.chaos_stop.take(); // Dropping it stops the chaos driver.
         for tx in &self.client_cmd_txs {
             let _ = tx.send(ClientCmd::Shutdown);
         }

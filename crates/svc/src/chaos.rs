@@ -1,0 +1,298 @@
+//! Deterministic, seeded fault plans for chaos-testing the runtime.
+//!
+//! The simulator (`lease-vsys`) gets determinism for free — one event
+//! queue, one RNG. The real-time runtime does not, so this module makes
+//! its fault *decisions* deterministic even though thread interleavings
+//! are not: every per-link coin flip is a pure function of `(seed, stream,
+//! counter)`, kills fire at plan-relative instants, and clock faults are
+//! `lease-clock` models applied to whole hosts. Re-running a seed replays
+//! the same fault pattern modulo scheduling noise, and sweeping seeds
+//! explores distinct patterns — the rt analogue of the simulator's seeded
+//! fault plans, generalizing the boolean cut switches the transport
+//! started with.
+//!
+//! The plan is deliberately transport-agnostic: `lease-rt` consults
+//! [`LinkChaos`] on every client↔server delivery and a driver thread
+//! replays [`FaultPlan::kills`] through
+//! [`SvcHandle::kill_shard`](crate::SvcHandle::kill_shard), while the
+//! clock models ride into the service via
+//! [`SvcHooks::clock`](crate::SvcHooks) and into clients via their clock
+//! parameter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+
+use lease_clock::{ClockModel, Dur};
+
+use crate::shard::INJECTED_KILL;
+
+/// A seeded schedule of faults to inject into one run.
+///
+/// All instants are relative to the start of the run. The default plan is
+/// fault-free; builders add one fault class at a time.
+///
+/// # Examples
+///
+/// ```
+/// use lease_clock::Dur;
+/// use lease_svc::chaos::FaultPlan;
+///
+/// let plan = FaultPlan::new(42)
+///     .kill(Dur::from_millis(300), 0)
+///     .drop_messages(0.05)
+///     .delay_messages(Dur::from_millis(10));
+/// let link = plan.link(7);
+/// // Deterministic: the same seed and stream give the same decisions.
+/// assert_eq!(link.next(), FaultPlan::new(42).drop_messages(0.05)
+///     .delay_messages(Dur::from_millis(10)).link(7).next());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Root seed; every derived decision stream mixes it in.
+    pub seed: u64,
+    /// `(when, shard)`: panic shard `shard`'s worker at `when`.
+    pub kills: Vec<(Dur, usize)>,
+    /// Probability a delivered message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a delivered message is delivered twice.
+    pub dup_prob: f64,
+    /// Extra latency per delivery, uniform in `[0, delay_max]`.
+    pub delay_max: Dur,
+    /// `(from, until, client)`: windows in which `client`'s link is cut in
+    /// both directions — the generalization of the boolean cut switch.
+    pub cuts: Vec<(Dur, Dur, usize)>,
+    /// Clock model the server's shards read through, if any.
+    pub server_clock: Option<ClockModel>,
+    /// Per-client clock models as `(client index, model)` pairs.
+    pub client_clocks: Vec<(usize, ClockModel)>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds a shard kill at `when`.
+    pub fn kill(mut self, when: Dur, shard: usize) -> FaultPlan {
+        self.kills.push((when, shard));
+        self
+    }
+
+    /// Sets the message-drop probability.
+    pub fn drop_messages(mut self, p: f64) -> FaultPlan {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the message-duplication probability.
+    pub fn duplicate_messages(mut self, p: f64) -> FaultPlan {
+        self.dup_prob = p;
+        self
+    }
+
+    /// Sets the maximum injected delivery delay.
+    pub fn delay_messages(mut self, max: Dur) -> FaultPlan {
+        self.delay_max = max;
+        self
+    }
+
+    /// Cuts `client`'s link (both directions) during `[from, until)`.
+    pub fn cut(mut self, from: Dur, until: Dur, client: usize) -> FaultPlan {
+        self.cuts.push((from, until, client));
+        self
+    }
+
+    /// Subjects the server's shards to `model`.
+    pub fn with_server_clock(mut self, model: ClockModel) -> FaultPlan {
+        self.server_clock = Some(model);
+        self
+    }
+
+    /// Subjects client `client` to `model`.
+    pub fn with_client_clock(mut self, client: usize, model: ClockModel) -> FaultPlan {
+        self.client_clocks.push((client, model));
+        self
+    }
+
+    /// Whether the plan injects any per-message faults at all (fast path
+    /// check for transports).
+    pub fn perturbs_messages(&self) -> bool {
+        self.drop_prob > 0.0 || self.dup_prob > 0.0 || !self.delay_max.is_zero()
+    }
+
+    /// The deterministic fault decider for one link. `stream` names the
+    /// link (e.g. `client_index` for server→client, `client_index | HI`
+    /// for client→server); distinct streams draw independent decisions.
+    pub fn link(&self, stream: u64) -> LinkChaos {
+        LinkChaos {
+            drop_prob: self.drop_prob,
+            dup_prob: self.dup_prob,
+            delay_max: self.delay_max,
+            key: mix(self.seed ^ mix(stream)),
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether some cut window covers `client` at `elapsed` since start.
+    pub fn cut_active(&self, client: usize, elapsed: Dur) -> bool {
+        self.cuts
+            .iter()
+            .any(|&(from, until, c)| c == client && elapsed >= from && elapsed < until)
+    }
+
+    /// The clock model for client `client`, if the plan sets one.
+    pub fn client_clock(&self, client: usize) -> Option<ClockModel> {
+        self.client_clocks
+            .iter()
+            .find(|(c, _)| *c == client)
+            .map(|(_, m)| m.clone())
+    }
+}
+
+/// What a transport should do with one message on a chaotic link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Drop the message silently.
+    Drop,
+    /// Deliver after `delay`, `copies` times (1 = normal, 2 = duplicated).
+    Deliver {
+        /// Injected extra latency.
+        delay: Dur,
+        /// How many copies to deliver.
+        copies: u32,
+    },
+}
+
+/// Deterministic per-link fault dice: decision `k` on stream `s` of seed
+/// `q` is the same in every run, regardless of thread interleaving on
+/// *other* links.
+#[derive(Debug)]
+pub struct LinkChaos {
+    drop_prob: f64,
+    dup_prob: f64,
+    delay_max: Dur,
+    key: u64,
+    counter: AtomicU64,
+}
+
+impl LinkChaos {
+    /// Decides the fate of the next message on this link.
+    pub fn next(&self) -> Delivery {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        // Independent sub-draws for each decision from one counter value.
+        if unit(mix(self.key ^ n.wrapping_mul(3))) < self.drop_prob {
+            return Delivery::Drop;
+        }
+        let copies = if unit(mix(self.key ^ n.wrapping_mul(3).wrapping_add(1))) < self.dup_prob {
+            2
+        } else {
+            1
+        };
+        let delay = if self.delay_max.is_zero() {
+            Dur::ZERO
+        } else {
+            self.delay_max
+                .mul_f64(unit(mix(self.key ^ n.wrapping_mul(3).wrapping_add(2))))
+        };
+        Delivery::Deliver { delay, copies }
+    }
+}
+
+/// SplitMix64 finalizer.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from 64 random bits.
+fn unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Installs a process-wide panic hook that swallows the panics
+/// [`SvcHandle::kill_shard`](crate::SvcHandle::kill_shard) injects —
+/// they are expected and supervised, and a chaos sweep would otherwise
+/// bury real output under backtraces. All other panics still reach the
+/// previous hook. Safe to call repeatedly; only the first call installs.
+pub fn silence_injected_kills() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains(INJECTED_KILL))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<&str>()
+                        .map(|s| s.contains(INJECTED_KILL))
+                })
+                .unwrap_or(false);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_decisions_are_deterministic_per_stream() {
+        let plan = FaultPlan::new(9)
+            .drop_messages(0.3)
+            .duplicate_messages(0.2)
+            .delay_messages(Dur::from_millis(50));
+        let a: Vec<Delivery> = {
+            let l = plan.link(1);
+            (0..256).map(|_| l.next()).collect()
+        };
+        let b: Vec<Delivery> = {
+            let l = plan.link(1);
+            (0..256).map(|_| l.next()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<Delivery> = {
+            let l = plan.link(2);
+            (0..256).map(|_| l.next()).collect()
+        };
+        assert_ne!(a, c, "distinct streams should diverge");
+        // Frequencies are in the right ballpark.
+        let drops = a.iter().filter(|d| **d == Delivery::Drop).count();
+        assert!((30..130).contains(&drops), "drops = {drops} of 256");
+    }
+
+    #[test]
+    fn delays_are_bounded() {
+        let plan = FaultPlan::new(5).delay_messages(Dur::from_millis(20));
+        let l = plan.link(0);
+        for _ in 0..1000 {
+            match l.next() {
+                Delivery::Deliver { delay, copies } => {
+                    assert!(delay <= Dur::from_millis(20));
+                    assert_eq!(copies, 1);
+                }
+                Delivery::Drop => panic!("no drops configured"),
+            }
+        }
+    }
+
+    #[test]
+    fn cut_windows_cover_half_open_ranges() {
+        let plan = FaultPlan::new(0).cut(Dur::from_millis(100), Dur::from_millis(200), 3);
+        assert!(!plan.cut_active(3, Dur::from_millis(99)));
+        assert!(plan.cut_active(3, Dur::from_millis(100)));
+        assert!(plan.cut_active(3, Dur::from_millis(199)));
+        assert!(!plan.cut_active(3, Dur::from_millis(200)));
+        assert!(!plan.cut_active(2, Dur::from_millis(150)));
+    }
+}

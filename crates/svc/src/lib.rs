@@ -25,6 +25,15 @@
 //!   partitioned).
 //! * **Backpressure** — mailboxes are bounded; [`SvcHandle::send`] blocks
 //!   and [`SvcHandle::try_send`] refuses when a shard is saturated.
+//! * **Supervision** — each shard worker runs under a supervisor that
+//!   catches panics and restarts the shard through §5 MaxTerm recovery on
+//!   the *same* mailbox; restart epochs are folded into global write ids
+//!   so approvals addressed to a dead incarnation are dropped, not
+//!   misapplied ([`SvcHandle::kill_shard`] injects such a crash on
+//!   purpose).
+//! * **Chaos** — seeded, deterministic fault plans ([`chaos::FaultPlan`])
+//!   describe shard kills, message drop/delay/duplication, link cuts, and
+//!   clock faults for transports and harnesses to replay.
 //!
 //! Protocol semantics are untouched: each shard runs the same
 //! `LeaseServer` the simulator and `lease-rt` run, so every consistency
@@ -72,11 +81,14 @@
 //! svc.shutdown();
 //! ```
 
+pub mod chaos;
 pub mod service;
 mod shard;
 pub mod wheel;
 
+pub use chaos::{Delivery, FaultPlan, LinkChaos};
 pub use service::{
     shard_of, ClientSink, LeaseService, SvcConfig, SvcError, SvcHandle, SvcHooks, SvcStats,
 };
+pub use shard::INJECTED_KILL;
 pub use wheel::TimerWheel;

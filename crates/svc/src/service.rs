@@ -2,11 +2,12 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Sender, TrySendError};
-use lease_clock::{Dur, WallClock};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender, TrySendError};
+use lease_clock::{Clock, Dur, WallClock};
 use lease_core::{
     ClientId, LeaseServer, Resource, ServerCounters, ServerInput, Storage, ToClient, ToServer,
     WriteId,
@@ -61,6 +62,20 @@ pub struct SvcHooks {
     /// Called when a shard needs its maximum granted term made durable
     /// (MaxTerm crash recovery, §5). `None` drops the persistence output.
     pub persist_max_term: Option<Arc<dyn Fn(Dur) + Send + Sync>>,
+    /// Called when a shard restarts after a crash to read back whatever
+    /// [`SvcHooks::persist_max_term`] made durable; the restarted server
+    /// defers writes (§5) for that long. `None` (or a `None` return)
+    /// restarts without a recovery window — only safe if no lease can have
+    /// been outstanding.
+    pub recover_max_term: Option<Arc<dyn Fn() -> Option<Dur> + Send + Sync>>,
+    /// Observation hook: a shard finished restarting after a crash;
+    /// arguments are the shard index and its new epoch. Chaos harnesses
+    /// record these to correlate fault schedules with history.
+    pub on_restart: Option<Arc<dyn Fn(usize, u64) + Send + Sync>>,
+    /// The clock shard workers read. `None` uses a fresh [`WallClock`];
+    /// chaos harnesses inject a skewed/drifting model clock here to subject
+    /// the *server* to the §5 clock-failure modes.
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
 /// The shard that owns `resource`: a stable hash of the key, mod `shards`.
@@ -73,13 +88,19 @@ pub fn shard_of<R: Hash>(resource: &R, shards: usize) -> usize {
     (h.finish() % shards as u64) as usize
 }
 
-/// Why a send into the service failed.
+/// Why a call into the service failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SvcError {
     /// A shard mailbox is full (only from [`SvcHandle::try_send`]).
     Backpressure,
     /// The service has shut down.
     Closed,
+    /// A shard worker is gone: its mailbox is disconnected, or it died
+    /// while holding a request. Distinct from [`SvcError::Timeout`] — the
+    /// shard will not answer, ever.
+    ShardDown(usize),
+    /// A shard did not answer within the deadline; it may merely be busy.
+    Timeout(usize),
 }
 
 impl std::fmt::Display for SvcError {
@@ -87,6 +108,8 @@ impl std::fmt::Display for SvcError {
         match self {
             SvcError::Backpressure => write!(f, "shard mailbox full"),
             SvcError::Closed => write!(f, "service closed"),
+            SvcError::ShardDown(s) => write!(f, "shard {s} is down"),
+            SvcError::Timeout(s) => write!(f, "shard {s} did not answer in time"),
         }
     }
 }
@@ -100,6 +123,10 @@ pub struct SvcStats {
     pub counters: ServerCounters,
     /// One entry per shard, in shard order.
     pub per_shard: Vec<ServerCounters>,
+    /// Crash/restart count per shard, in shard order. Counters in
+    /// [`SvcStats::per_shard`] reset when a shard restarts; this says how
+    /// often that happened.
+    pub restarts: Vec<u64>,
 }
 
 /// A cloneable, backpressure-aware handle into the service.
@@ -158,6 +185,17 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
         let s = shard_of(&resource, self.txs.len());
         self.txs[s]
             .send(ShardMsg::Input(ServerInput::LocalWrite { resource, data }))
+            .map_err(|_| SvcError::Closed)
+    }
+
+    /// Fault injection: panic shard `shard`'s worker. The supervisor
+    /// catches the panic and restarts the shard through §5 MaxTerm
+    /// recovery, so this models a server crash, not a shutdown.
+    pub fn kill_shard(&self, shard: usize) -> Result<(), SvcError> {
+        self.txs
+            .get(shard)
+            .ok_or(SvcError::ShardDown(shard))?
+            .send(ShardMsg::Kill)
             .map_err(|_| SvcError::Closed)
     }
 
@@ -247,11 +285,12 @@ fn split<T, R: Hash>(items: Vec<T>, n: usize, key: impl Fn(&T) -> &R) -> Vec<Vec
     per
 }
 
-/// A running sharded lease service: N shard worker threads, each owning
-/// the slice of the lease table whose resources hash to it.
+/// A running sharded lease service: N supervised shard worker threads,
+/// each owning the slice of the lease table whose resources hash to it.
 pub struct LeaseService<R: Resource, D> {
     handle: SvcHandle<R, D>,
     threads: Vec<JoinHandle<()>>,
+    restarts: Vec<Arc<AtomicU64>>,
 }
 
 impl<R: Resource, D: Clone + Send + 'static> LeaseService<R, D> {
@@ -260,23 +299,33 @@ impl<R: Resource, D: Clone + Send + 'static> LeaseService<R, D> {
     /// `make_shard(i)` builds shard `i`'s state machine and storage; use
     /// [`shard_of`] to pre-partition any per-resource server state (e.g.
     /// installed files). The state machines are unmodified `lease-core`
-    /// servers — the service only partitions and schedules them.
+    /// servers — the service only partitions, supervises, and schedules
+    /// them. The factory is retained for the life of the service: each
+    /// crash of shard `i` calls `make_shard(i)` again to build the
+    /// replacement incarnation, which then runs §5 MaxTerm recovery from
+    /// [`SvcHooks::recover_max_term`].
     pub fn spawn<F>(
         cfg: SvcConfig,
         sink: Arc<dyn ClientSink<R, D>>,
         hooks: SvcHooks,
-        mut make_shard: F,
+        make_shard: F,
     ) -> LeaseService<R, D>
     where
-        F: FnMut(usize) -> (LeaseServer<R, D>, Box<dyn Storage<R, D> + Send>),
+        F: Fn(usize) -> (LeaseServer<R, D>, Box<dyn Storage<R, D> + Send>) + Send + Sync + 'static,
     {
         assert!(cfg.shards >= 1, "a service needs at least one shard");
-        let clock = WallClock::new();
+        let clock: Arc<dyn Clock> = hooks
+            .clock
+            .clone()
+            .unwrap_or_else(|| Arc::new(WallClock::new()));
+        let factory: crate::shard::ShardFactory<R, D> = Arc::new(make_shard);
+        let restarts: Vec<Arc<AtomicU64>> = (0..cfg.shards)
+            .map(|_| Arc::new(AtomicU64::new(0)))
+            .collect();
         let mut txs = Vec::with_capacity(cfg.shards);
         let mut threads = Vec::with_capacity(cfg.shards);
-        for i in 0..cfg.shards {
+        for (i, shard_restarts) in restarts.iter().enumerate() {
             let (tx, rx) = bounded(cfg.mailbox.max(1));
-            let (server, storage) = make_shard(i);
             let ctx = ShardCtx {
                 index: i as u64,
                 nshards: cfg.shards as u64,
@@ -285,13 +334,17 @@ impl<R: Resource, D: Clone + Send + 'static> LeaseService<R, D> {
                 idle_wait: cfg.idle_wait,
                 sink: sink.clone(),
                 hooks: hooks.clone(),
+                clock: clock.clone(),
+                factory: factory.clone(),
+                restarts: shard_restarts.clone(),
             };
-            threads.push(spawn_shard(server, storage, rx, ctx, clock.clone()));
+            threads.push(spawn_shard(rx, ctx));
             txs.push(tx);
         }
         LeaseService {
             handle: SvcHandle { txs: txs.into() },
             threads,
+            restarts,
         }
     }
 
@@ -301,23 +354,40 @@ impl<R: Resource, D: Clone + Send + 'static> LeaseService<R, D> {
     }
 
     /// Snapshots and merges every shard's counters.
-    pub fn stats(&self) -> Option<SvcStats> {
+    ///
+    /// Fails with [`SvcError::ShardDown`] when a shard's worker is gone
+    /// (its mailbox is disconnected or it died holding the request) and
+    /// with [`SvcError::Timeout`] when a shard is merely too busy to
+    /// answer within 5 seconds — callers can tell a dead shard from a
+    /// slow one.
+    pub fn stats(&self) -> Result<SvcStats, SvcError> {
         let mut replies = Vec::with_capacity(self.handle.txs.len());
-        for tx in self.handle.txs.iter() {
+        for (i, tx) in self.handle.txs.iter().enumerate() {
             let (stx, srx) = bounded(1);
-            tx.send(ShardMsg::Stats(stx)).ok()?;
+            tx.send(ShardMsg::Stats(stx))
+                .map_err(|_| SvcError::ShardDown(i))?;
             replies.push(srx);
         }
         let mut counters = ServerCounters::default();
         let mut per_shard = Vec::with_capacity(replies.len());
-        for rx in replies {
-            let c = rx.recv_timeout(std::time::Duration::from_secs(5)).ok()?;
+        for (i, rx) in replies.into_iter().enumerate() {
+            let c = rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .map_err(|e| match e {
+                    RecvTimeoutError::Timeout => SvcError::Timeout(i),
+                    RecvTimeoutError::Disconnected => SvcError::ShardDown(i),
+                })?;
             counters.merge(&c);
             per_shard.push(c);
         }
-        Some(SvcStats {
+        Ok(SvcStats {
             counters,
             per_shard,
+            restarts: self
+                .restarts
+                .iter()
+                .map(|r| r.load(Ordering::Relaxed))
+                .collect(),
         })
     }
 
@@ -356,7 +426,7 @@ mod tests {
             },
             Arc::new(ChanSink(tx)),
             SvcHooks::default(),
-            |_| {
+            move |_| {
                 let mut store = MemStorage::new();
                 for r in 0..resources {
                     store.insert(r, format!("v{r}"));
@@ -541,7 +611,7 @@ mod tests {
             },
             Arc::new(ChanSink(tx)),
             SvcHooks::default(),
-            |_| {
+            move |_| {
                 let mut store = MemStorage::new();
                 for r in 0..16u64 {
                     store.insert(r, String::new());

@@ -1,4 +1,4 @@
-//! One shard worker: a thread owning a slice of the lease table.
+//! One shard worker: a supervised thread owning a slice of the lease table.
 //!
 //! Each worker runs an unmodified `lease-core` [`LeaseServer`] over the
 //! resources that hash to its shard. It drains its mailbox in batches (one
@@ -6,20 +6,48 @@
 //! timers and the table's expiry pruning from a hierarchical
 //! [`TimerWheel`], and rewrites write ids on outbound approval requests so
 //! that approvals can be routed back to the owning shard from anywhere.
+//!
+//! # Supervision
+//!
+//! The thread is a *supervisor loop*: the worker proper runs inside
+//! [`std::panic::catch_unwind`], and a panic — organic or injected via
+//! [`ShardMsg::Kill`] — is treated as a §5 server crash. The supervisor
+//! rebuilds the state machine from the shard factory, replays MaxTerm
+//! recovery from whatever [`SvcHooks::recover_max_term`] persisted, and
+//! resumes on the *same* mailbox, so [`crate::SvcHandle`]s held by clients
+//! stay valid across the crash. Every incarnation gets a new *epoch*,
+//! folded into outbound global write ids; approvals addressed to a dead
+//! incarnation carry its old epoch and are dropped on arrival instead of
+//! being misapplied to an unrelated post-restart write with the same local
+//! id — in-flight cross-shard write ids fail cleanly rather than leak.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use lease_clock::{Clock, Dur, Time, WallClock};
+use lease_clock::{Clock, Dur, Time};
 use lease_core::{
     LeaseServer, Resource, ServerCounters, ServerInput, ServerOutput, ServerTimer, Storage,
-    ToClient, WriteId,
+    ToClient, ToServer, WriteId,
 };
 
 use crate::service::{ClientSink, SvcHooks};
 use crate::wheel::TimerWheel;
+
+/// Bits of a global write id reserved for the shard's restart epoch.
+///
+/// Global ids are `((local << EPOCH_BITS) | epoch) * nshards + shard`;
+/// 10 bits lets approvals distinguish the last 1024 incarnations, far more
+/// than can be in flight at once.
+pub(crate) const EPOCH_BITS: u32 = 10;
+pub(crate) const EPOCH_MASK: u64 = (1 << EPOCH_BITS) - 1;
+
+/// The panic message used by [`ShardMsg::Kill`]; chaos harnesses install a
+/// panic hook that recognizes it to keep injected-crash logs quiet.
+pub const INJECTED_KILL: &str = "injected shard kill (chaos)";
 
 /// Messages into one shard worker.
 pub(crate) enum ShardMsg<R, D> {
@@ -27,6 +55,8 @@ pub(crate) enum ShardMsg<R, D> {
     Input(ServerInput<R, D>),
     /// Snapshot this shard's counters.
     Stats(Sender<ServerCounters>),
+    /// Chaos injection: panic the worker; the supervisor restarts it.
+    Kill,
     /// Stop the worker.
     Shutdown,
 }
@@ -55,6 +85,11 @@ fn timer_of(k: u64) -> ServerTimer {
     }
 }
 
+/// Builds one shard's state machine and storage; called once at spawn and
+/// again after every crash.
+pub(crate) type ShardFactory<R, D> =
+    Arc<dyn Fn(usize) -> (LeaseServer<R, D>, Box<dyn Storage<R, D> + Send>) + Send + Sync>;
+
 /// Everything a worker needs besides its state machine and storage.
 pub(crate) struct ShardCtx<R: Resource, D> {
     pub index: u64,
@@ -64,17 +99,23 @@ pub(crate) struct ShardCtx<R: Resource, D> {
     pub idle_wait: Dur,
     pub sink: Arc<dyn ClientSink<R, D>>,
     pub hooks: SvcHooks,
+    pub clock: Arc<dyn Clock>,
+    pub factory: ShardFactory<R, D>,
+    /// Completed restarts of this shard, shared with the service for stats.
+    pub restarts: Arc<AtomicU64>,
 }
 
 /// Rewrites a shard-local write id into the service-global namespace
-/// (`global = local * nshards + shard`) so [`crate::SvcHandle`] can route
-/// the matching `Approve` straight back to this shard.
-fn globalize<R, D>(mut msg: ToClient<R, D>, ctx: &ShardCtx<R, D>) -> ToClient<R, D>
+/// (`global = ((local << EPOCH_BITS) | epoch) * nshards + shard`) so
+/// [`crate::SvcHandle`] can route the matching `Approve` straight back to
+/// this shard, and this shard can tell which incarnation minted it.
+fn globalize<R, D>(mut msg: ToClient<R, D>, ctx: &ShardCtx<R, D>, epoch: u64) -> ToClient<R, D>
 where
     R: Resource,
 {
     if let ToClient::ApprovalRequest { write_id, .. } = &mut msg {
-        *write_id = WriteId(write_id.0 * ctx.nshards + ctx.index);
+        let tagged = (write_id.0 << EPOCH_BITS) | (epoch & EPOCH_MASK);
+        *write_id = WriteId(tagged * ctx.nshards + ctx.index);
     }
     msg
 }
@@ -84,15 +125,16 @@ fn apply<R, D>(
     wheel: &mut TimerWheel<WheelKey>,
     armed: &mut HashMap<WheelKey, Time>,
     ctx: &ShardCtx<R, D>,
+    epoch: u64,
 ) where
     R: Resource,
     D: Clone,
 {
     for o in outs {
         match o {
-            ServerOutput::Send { to, msg } => ctx.sink.deliver(to, globalize(msg, ctx)),
+            ServerOutput::Send { to, msg } => ctx.sink.deliver(to, globalize(msg, ctx, epoch)),
             ServerOutput::Multicast { to, msg } => {
-                let msg = globalize(msg, ctx);
+                let msg = globalize(msg, ctx, epoch);
                 for c in to {
                     ctx.sink.deliver(c, msg.clone());
                 }
@@ -134,13 +176,122 @@ fn schedule_prune(
     }
 }
 
-pub(crate) fn spawn_shard<R, D>(
-    mut server: LeaseServer<R, D>,
-    mut storage: Box<dyn Storage<R, D> + Send>,
-    rx: Receiver<ShardMsg<R, D>>,
-    ctx: ShardCtx<R, D>,
-    clock: WallClock,
-) -> JoinHandle<()>
+/// Why one incarnation's run loop returned (panics don't return — they
+/// unwind into the supervisor).
+enum Exit {
+    /// [`ShardMsg::Shutdown`] received.
+    Shutdown,
+    /// Every sender is gone.
+    Disconnected,
+}
+
+/// One incarnation of the worker: runs until shutdown, disconnect, or
+/// panic.
+fn run<R, D>(rx: &Receiver<ShardMsg<R, D>>, ctx: &ShardCtx<R, D>, epoch: u64) -> Exit
+where
+    R: Resource,
+    D: Clone + Send + 'static,
+{
+    let (mut server, mut storage) = (ctx.factory)(ctx.index as usize);
+    let now = ctx.clock.now();
+    let mut wheel: TimerWheel<WheelKey> = TimerWheel::new(ctx.tick, now);
+    let mut armed: HashMap<WheelKey, Time> = HashMap::new();
+    let outs = if epoch == 0 {
+        server.start(now, &*storage)
+    } else {
+        // §5 crash recovery: the previous incarnation's lease grants are
+        // unknown, so recover from the persisted maximum term and let the
+        // server stall writes (and, when configured, refuse grants) until
+        // every possibly-outstanding lease has expired.
+        let max_term = ctx.hooks.recover_max_term.as_ref().and_then(|f| f());
+        server.recover(now, max_term, Vec::new(), &*storage)
+    };
+    apply(outs, &mut wheel, &mut armed, ctx, epoch);
+
+    let mut batch: Vec<ShardMsg<R, D>> = Vec::with_capacity(ctx.batch);
+    loop {
+        // Fire due wheel entries, skipping superseded ones.
+        for (at, k) in wheel.advance(ctx.clock.now()) {
+            if armed.get(&k) != Some(&at) {
+                continue;
+            }
+            armed.remove(&k);
+            match k {
+                WheelKey::Prune => {
+                    server.prune(ctx.clock.now());
+                }
+                WheelKey::Timer(enc) => {
+                    let outs = server.handle(
+                        ctx.clock.now(),
+                        ServerInput::Timer(timer_of(enc)),
+                        &mut *storage,
+                    );
+                    apply(outs, &mut wheel, &mut armed, ctx, epoch);
+                }
+            }
+        }
+        schedule_prune(&mut wheel, &mut armed, server.table().next_expiry());
+
+        // Sleep until the next wheel deadline (capped), then drain
+        // a batch so one wakeup amortizes many messages.
+        let wait = std::time::Duration::from(
+            wheel
+                .next_deadline()
+                .map(|at| at.saturating_since(ctx.clock.now()))
+                .map_or(ctx.idle_wait, |d| d.min(ctx.idle_wait)),
+        );
+        match rx.recv_timeout(wait) {
+            Ok(m) => {
+                batch.push(m);
+                while batch.len() < ctx.batch {
+                    match rx.try_recv() {
+                        Ok(m) => batch.push(m),
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return Exit::Disconnected,
+        }
+        for m in batch.drain(..) {
+            match m {
+                ShardMsg::Input(input) => {
+                    let input = match input {
+                        ServerInput::Msg {
+                            from,
+                            msg: ToServer::Approve { write_id },
+                        } => {
+                            // Strip the epoch tag; an approval minted by a
+                            // previous incarnation approves nothing now —
+                            // its write died with the crash and the writer
+                            // will retransmit.
+                            if write_id.0 & EPOCH_MASK != epoch & EPOCH_MASK {
+                                continue;
+                            }
+                            ServerInput::Msg {
+                                from,
+                                msg: ToServer::Approve {
+                                    write_id: WriteId(write_id.0 >> EPOCH_BITS),
+                                },
+                            }
+                        }
+                        other => other,
+                    };
+                    let outs = server.handle(ctx.clock.now(), input, &mut *storage);
+                    apply(outs, &mut wheel, &mut armed, ctx, epoch);
+                }
+                ShardMsg::Stats(reply) => {
+                    let _ = reply.send(server.counters);
+                }
+                ShardMsg::Kill => panic!("{INJECTED_KILL}"),
+                ShardMsg::Shutdown => return Exit::Shutdown,
+            }
+        }
+    }
+}
+
+/// Spawns the supervisor thread for one shard.
+pub(crate) fn spawn_shard<R, D>(rx: Receiver<ShardMsg<R, D>>, ctx: ShardCtx<R, D>) -> JoinHandle<()>
 where
     R: Resource,
     D: Clone + Send + 'static,
@@ -148,66 +299,20 @@ where
     std::thread::Builder::new()
         .name(format!("lease-shard-{}", ctx.index))
         .spawn(move || {
-            let mut wheel: TimerWheel<WheelKey> = TimerWheel::new(ctx.tick, clock.now());
-            let mut armed: HashMap<WheelKey, Time> = HashMap::new();
-            let outs = server.start(clock.now(), &*storage);
-            apply(outs, &mut wheel, &mut armed, &ctx);
-
-            let mut batch: Vec<ShardMsg<R, D>> = Vec::with_capacity(ctx.batch);
-            'worker: loop {
-                // Fire due wheel entries, skipping superseded ones.
-                for (at, k) in wheel.advance(clock.now()) {
-                    if armed.get(&k) != Some(&at) {
-                        continue;
-                    }
-                    armed.remove(&k);
-                    match k {
-                        WheelKey::Prune => {
-                            server.prune(clock.now());
+            let mut epoch: u64 = 0;
+            loop {
+                match catch_unwind(AssertUnwindSafe(|| run(&rx, &ctx, epoch))) {
+                    Ok(Exit::Shutdown) | Ok(Exit::Disconnected) => break,
+                    Err(_) => {
+                        // Crash: restart on the same mailbox with the next
+                        // epoch. Unprocessed inputs queued behind the
+                        // panic are handled by the new incarnation, which
+                        // answers them with fresh (post-recovery) state.
+                        epoch = epoch.wrapping_add(1);
+                        ctx.restarts.fetch_add(1, Ordering::Relaxed);
+                        if let Some(f) = &ctx.hooks.on_restart {
+                            f(ctx.index as usize, epoch);
                         }
-                        WheelKey::Timer(enc) => {
-                            let outs = server.handle(
-                                clock.now(),
-                                ServerInput::Timer(timer_of(enc)),
-                                &mut *storage,
-                            );
-                            apply(outs, &mut wheel, &mut armed, &ctx);
-                        }
-                    }
-                }
-                schedule_prune(&mut wheel, &mut armed, server.table().next_expiry());
-
-                // Sleep until the next wheel deadline (capped), then drain
-                // a batch so one wakeup amortizes many messages.
-                let wait = std::time::Duration::from(
-                    wheel
-                        .next_deadline()
-                        .map(|at| at.saturating_since(clock.now()))
-                        .map_or(ctx.idle_wait, |d| d.min(ctx.idle_wait)),
-                );
-                match rx.recv_timeout(wait) {
-                    Ok(m) => {
-                        batch.push(m);
-                        while batch.len() < ctx.batch {
-                            match rx.try_recv() {
-                                Ok(m) => batch.push(m),
-                                Err(_) => break,
-                            }
-                        }
-                    }
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-                for m in batch.drain(..) {
-                    match m {
-                        ShardMsg::Input(input) => {
-                            let outs = server.handle(clock.now(), input, &mut *storage);
-                            apply(outs, &mut wheel, &mut armed, &ctx);
-                        }
-                        ShardMsg::Stats(reply) => {
-                            let _ = reply.send(server.counters);
-                        }
-                        ShardMsg::Shutdown => break 'worker,
                     }
                 }
             }

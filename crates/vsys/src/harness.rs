@@ -56,6 +56,7 @@ pub fn add_clients(
             batch_extensions: cfg.batch_extensions,
             anticipatory: cfg.anticipatory,
             capacity: cfg.cache_capacity,
+            ..ClientConfig::default()
         };
         let cache = LeaseClient::new(ClientId(i), cc);
         let driver = OpDriver::new(trace, i, warmup);

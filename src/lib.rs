@@ -22,8 +22,8 @@
 //! | [`vsys`] | `lease-vsys` | the assembled distributed file system on the simulator, with measurements and history recording |
 //! | [`baselines`] | `lease-baselines` | §6 comparison protocols: Andrew callbacks, NFS TTL, check-on-read |
 //! | [`faults`] | `lease-faults` | the single-copy consistency oracle and staleness analysis |
-//! | [`svc`] | `lease-svc` | service runtime: the lease table sharded across single-threaded workers with batched mailboxes and a hierarchical timer wheel |
-//! | [`rt`] | `lease-rt` | real-time deployment on the service runtime: threads, channels, wall clocks, a real file store |
+//! | [`svc`] | `lease-svc` | service runtime: the lease table sharded across single-threaded workers with batched mailboxes and a hierarchical timer wheel; supervised shard crash/restart (§5 MaxTerm recovery) and seeded chaos plans |
+//! | [`rt`] | `lease-rt` | real-time deployment on the service runtime: threads, channels, wall clocks, a real file store; retry backoff with per-op deadlines, chaos fault injection, and true-time history recording for the oracle |
 //! | [`wb`] | `lease-wb` | the non-write-through extension: exclusive write tokens, local buffering, write-back, lost-write semantics |
 //!
 //! # Quickstart
