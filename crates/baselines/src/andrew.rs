@@ -17,7 +17,7 @@
 use std::collections::{HashMap, HashSet};
 
 use lease_clock::{Dur, Time};
-use lease_core::{ClientId, Grant, MemStorage, Storage, ToClient, ToServer, WriteId};
+use lease_core::{ClientId, Grant, LeaseHandle, MemStorage, Storage, ToClient, ToServer, WriteId};
 use lease_sim::{Actor, ActorId, Ctx};
 use lease_vsys::{HistoryEvent, NetMsg, Res, SharedHistory};
 
@@ -76,6 +76,7 @@ impl AndrewServerActor {
             version,
             data,
             term: Dur::MAX,
+            handle: LeaseHandle::NULL,
         })
     }
 }
@@ -100,7 +101,7 @@ impl Actor<NetMsg> for AndrewServerActor {
                     ctx.metrics().inc("srv.rx.fetch");
                 }
                 let mut grants = Vec::new();
-                for (r, v) in also_extend {
+                for (r, v, _) in also_extend {
                     if let Some(g) = self.grant(client, r, Some(v)) {
                         grants.push(g);
                     }
@@ -132,7 +133,7 @@ impl Actor<NetMsg> for AndrewServerActor {
                     ctx.metrics().inc("srv.rx.renew");
                 }
                 let mut grants = Vec::new();
-                for (r, v) in resources {
+                for (r, v, _) in resources {
                     if let Some(g) = self.grant(client, r, Some(v)) {
                         grants.push(g);
                     }

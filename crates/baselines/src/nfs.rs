@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use lease_clock::{Dur, Time};
-use lease_core::{ClientId, Grant, MemStorage, Storage, ToClient, ToServer, Version};
+use lease_core::{ClientId, Grant, LeaseHandle, MemStorage, Storage, ToClient, ToServer, Version};
 use lease_sim::{Actor, ActorId, Ctx};
 use lease_vsys::{HistoryEvent, NetMsg, Res, SharedHistory};
 
@@ -63,6 +63,7 @@ impl NfsServerActor {
             version,
             data,
             term: self.ttl,
+            handle: LeaseHandle::NULL,
         })
     }
 }
@@ -87,7 +88,7 @@ impl Actor<NetMsg> for NfsServerActor {
                     ctx.metrics().inc("srv.rx.fetch");
                 }
                 let mut grants = Vec::new();
-                for (r, v) in also_extend {
+                for (r, v, _) in also_extend {
                     if let Some(g) = self.grant(r, Some(v)) {
                         grants.push(g);
                     }
@@ -120,7 +121,7 @@ impl Actor<NetMsg> for NfsServerActor {
                 }
                 let grants: Vec<_> = resources
                     .into_iter()
-                    .filter_map(|(r, v)| self.grant(r, Some(v)))
+                    .filter_map(|(r, v, _)| self.grant(r, Some(v)))
                     .collect();
                 if !grants.is_empty() {
                     if measuring {

@@ -38,6 +38,7 @@ fn warmed(n: u64) -> C {
                     version: lease_core::Version(1),
                     data: Some(r),
                     term: Dur::from_secs(1000),
+                    handle: lease_core::LeaseHandle::NULL,
                 }],
             }),
         );

@@ -5,9 +5,10 @@
 //! client threads issuing fetches plus an occasional write (which
 //! exercises the approval round trip, including cross-shard write-id
 //! translation), and reports sustained grants/sec and p50/p95/p99 op
-//! latency.
+//! latency. Results are also written to `BENCH_svc.json` so future PRs
+//! can diff the sweep against a recorded baseline.
 //!
-//! Environment knobs:
+//! Flags (see `--help`) take precedence over the environment knobs:
 //!
 //! | variable             | meaning                              | default   |
 //! |----------------------|--------------------------------------|-----------|
@@ -15,17 +16,13 @@
 //! | `LEASE_LOAD_CLIENTS` | closed-loop client threads           | 4         |
 //! | `LEASE_LOAD_FILES`   | distinct resources                   | 256       |
 //! | `LEASE_LOAD_SHARDS`  | comma-separated shard counts         | 1,2,4,8   |
-//!
-//! On a single hardware thread the shard counts should land within noise
-//! of each other (the workers time-slice one core); the sweep exists to
-//! show scaling on real multi-core hosts and to bound the sharding
-//! overhead on this one.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use lease_bench::percentile;
 use lease_clock::Dur;
 use lease_core::{
     ClientId, LeaseServer, MemStorage, ReqId, ServerConfig, Storage, ToClient, ToServer,
@@ -34,6 +31,45 @@ use lease_svc::{ClientSink, LeaseService, SvcConfig, SvcHandle, SvcHooks};
 
 type R = u64;
 type D = u64;
+
+const HELP: &str = "\
+svc_load: closed-loop load generator for the sharded lease service
+
+  --threads N     closed-loop client threads; `auto` detects the host's
+                  parallelism (default: 4, or LEASE_LOAD_CLIENTS)
+  --shards LIST   comma-separated shard counts to sweep (default 1,2,4,8)
+  --ms N          measured window per configuration in ms (default 1000)
+  --files N       distinct resources (default 256)
+  --json PATH     where to write the sweep results (default BENCH_svc.json)
+  --help          this text
+
+Client threads are pinned round-robin across cores (best effort, Linux
+only) so the sweep measures shard *speedup* on multi-core hosts. On a
+single hardware thread the shard counts land within noise of each other:
+shard workers and clients time-slice one core, so the sweep bounds
+sharding overhead there rather than demonstrating scaling.";
+
+/// Best-effort pin of the calling thread to `core` (Linux). Declared raw
+/// to stay dependency-free; failures are ignored — affinity is an
+/// optimization of the measurement, not a correctness requirement.
+#[cfg(target_os = "linux")]
+fn pin_to_core(core: usize) {
+    // A 1024-bit cpu_set_t, the kernel ABI's default width.
+    let mut mask = [0u64; 16];
+    let bit = core % 1024;
+    mask[bit / 64] |= 1 << (bit % 64);
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    // SAFETY: the mask outlives the call and the length matches it; pid 0
+    // means "calling thread" for sched_setaffinity.
+    unsafe {
+        let _ = sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_to_core(_core: usize) {}
 
 /// Delivers shard output onto per-client reply channels.
 struct ChannelSink {
@@ -55,6 +91,7 @@ fn client_loop(
     files: u64,
     stop: Arc<AtomicBool>,
 ) -> Vec<u64> {
+    pin_to_core(id.0 as usize);
     // Deterministic per-client LCG so runs are comparable.
     let mut rng: u64 =
         0x9e37_79b9_7f4a_7c15 ^ (u64::from(id.0)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -124,14 +161,6 @@ fn client_loop(
     latencies
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
@@ -139,7 +168,28 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-fn run_config(shards: usize, clients: u32, files: u64, window: Duration) {
+/// One row of the sweep, as printed and as recorded in `BENCH_svc.json`.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SweepRow {
+    shards: usize,
+    ops: u64,
+    ops_per_sec: f64,
+    grants_per_sec: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SvcBench {
+    schema: String,
+    clients: u32,
+    files: u64,
+    window_ms: u64,
+    rows: Vec<SweepRow>,
+}
+
+fn run_config(shards: usize, clients: u32, files: u64, window: Duration) -> SweepRow {
     let mut txs = Vec::new();
     let mut rxs = Vec::new();
     for _ in 0..clients {
@@ -192,30 +242,107 @@ fn run_config(shards: usize, clients: u32, files: u64, window: Duration) {
         .unwrap_or_default();
     service.shutdown();
     lats.sort_unstable();
+    let row = SweepRow {
+        shards,
+        ops: lats.len() as u64,
+        ops_per_sec: lats.len() as f64 / elapsed.as_secs_f64(),
+        grants_per_sec: grants as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&lats, 0.50) / 1_000,
+        p95_us: percentile(&lats, 0.95) / 1_000,
+        p99_us: percentile(&lats, 0.99) / 1_000,
+    };
     println!(
-        "shards={shards:<2} ops={:>8} ops/s={:>8.0} grants/s={:>8.0} p50={:>5}us p95={:>5}us p99={:>5}us",
-        lats.len(),
-        lats.len() as f64 / elapsed.as_secs_f64(),
-        grants as f64 / elapsed.as_secs_f64(),
-        percentile(&lats, 0.50) / 1_000,
-        percentile(&lats, 0.95) / 1_000,
-        percentile(&lats, 0.99) / 1_000,
+        "shards={:<2} ops={:>8} ops/s={:>8.0} grants/s={:>8.0} p50={:>5}us p95={:>5}us p99={:>5}us",
+        row.shards,
+        row.ops,
+        row.ops_per_sec,
+        row.grants_per_sec,
+        row.p50_us,
+        row.p95_us,
+        row.p99_us,
     );
+    row
 }
 
 fn main() {
-    let window = Duration::from_millis(env_u64("LEASE_LOAD_MS", 1_000));
-    let clients = env_u64("LEASE_LOAD_CLIENTS", 4) as u32;
-    let files = env_u64("LEASE_LOAD_FILES", 256);
-    let shard_list = std::env::var("LEASE_LOAD_SHARDS").unwrap_or_else(|_| "1,2,4,8".into());
+    let mut window = Duration::from_millis(env_u64("LEASE_LOAD_MS", 1_000));
+    let mut clients = env_u64("LEASE_LOAD_CLIENTS", 4) as u32;
+    let mut files = env_u64("LEASE_LOAD_FILES", 256);
+    let mut shard_list = std::env::var("LEASE_LOAD_SHARDS").unwrap_or_else(|_| "1,2,4,8".into());
+    let mut json_path = "BENCH_svc.json".to_string();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1);
+        match (args[i].as_str(), value) {
+            ("--help", _) | ("-h", _) => {
+                println!("{HELP}");
+                return;
+            }
+            ("--threads", Some(v)) => {
+                clients = if v == "auto" {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get() as u32)
+                        .unwrap_or(clients)
+                } else {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("--threads wants a number or `auto`, got {v}");
+                        std::process::exit(2);
+                    })
+                };
+                i += 2;
+            }
+            ("--shards", Some(v)) => {
+                shard_list = v.clone();
+                i += 2;
+            }
+            ("--ms", Some(v)) => {
+                window = Duration::from_millis(v.parse().unwrap_or(1_000));
+                i += 2;
+            }
+            ("--files", Some(v)) => {
+                files = v.parse().unwrap_or(256);
+                i += 2;
+            }
+            ("--json", Some(v)) => {
+                json_path = v.clone();
+                i += 2;
+            }
+            (other, _) => {
+                eprintln!("unknown argument {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     println!(
-        "svc_load: {clients} closed-loop clients, {files} files, {}ms window per config",
-        window.as_millis()
+        "svc_load: {clients} closed-loop clients, {files} files, {}ms window per config ({} cores)",
+        window.as_millis(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
-    for s in shard_list
+    let rows: Vec<SweepRow> = shard_list
         .split(',')
         .filter_map(|s| s.trim().parse::<usize>().ok())
-    {
-        run_config(s.max(1), clients, files, window);
+        .map(|s| run_config(s.max(1), clients, files, window))
+        .collect();
+    let out = SvcBench {
+        schema: "lease-bench/BENCH_svc/v1".to_string(),
+        clients,
+        files,
+        window_ms: window.as_millis() as u64,
+        rows,
+    };
+    match serde_json::to_string_pretty(&out) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&json_path, s + "\n") {
+                eprintln!("warning: cannot write {json_path}: {e}");
+            } else {
+                println!("wrote {json_path}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize sweep: {e:?}"),
     }
 }

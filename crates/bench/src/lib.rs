@@ -14,6 +14,50 @@ use lease_clock::Dur;
 use lease_vsys::{run_trace, RunReport, SystemConfig, TermSpec};
 use lease_workload::Trace;
 
+mod alloc_count;
+
+pub use alloc_count::allocations;
+
+/// Throughput and latency summary for one benchmarked operation, the row
+/// format of the machine-readable `BENCH_*.json` perf-trajectory files.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct OpStats {
+    /// Sustained operations per second over the measured window.
+    pub ops_per_sec: f64,
+    /// Median per-operation latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile per-operation latency in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile per-operation latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Heap allocations per operation, `None` when the binary was built
+    /// without the `alloc-count` feature (not measured ≠ zero).
+    pub allocs_per_op: Option<f64>,
+}
+
+/// The value at quantile `p` (0.0–1.0) of an ascending-sorted slice;
+/// zero when empty.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Summarizes a set of per-op latency samples plus an independently
+/// measured throughput and allocation rate into an [`OpStats`] row.
+pub fn op_stats(latencies_ns: &mut [u64], ops_per_sec: f64, allocs_per_op: Option<f64>) -> OpStats {
+    latencies_ns.sort_unstable();
+    OpStats {
+        ops_per_sec,
+        p50_ns: percentile(latencies_ns, 0.50),
+        p95_ns: percentile(latencies_ns, 0.95),
+        p99_ns: percentile(latencies_ns, 0.99),
+        allocs_per_op,
+    }
+}
+
 /// Renders an aligned text table.
 ///
 /// # Examples
@@ -148,6 +192,26 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(f3(0.12345), "0.123");
         assert_eq!(pct(0.271), "27.1%");
+    }
+
+    #[test]
+    fn percentile_picks_expected_ranks() {
+        let v = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&v, 0.0), 10);
+        assert_eq!(percentile(&v, 0.5), 60);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn op_stats_round_trips_through_json() {
+        let mut lats = vec![5, 1, 3, 2, 4];
+        let s = op_stats(&mut lats, 1000.0, Some(0.5));
+        assert_eq!(s.p50_ns, 3);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: OpStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.p99_ns, s.p99_ns);
+        assert_eq!(back.allocs_per_op, Some(0.5));
     }
 
     #[test]

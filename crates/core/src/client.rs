@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use lease_clock::{Dur, Time};
 
 use crate::msg::{Grant, ToClient, ToServer};
-use crate::types::{ClientId, OpId, ReqId, Resource, Version};
+use crate::types::{ClientId, LeaseHandle, OpId, ReqId, Resource, Version};
 
 /// Client cache configuration.
 #[derive(Debug, Clone)]
@@ -279,6 +279,10 @@ struct Entry<D> {
     /// Conservative client-clock expiry of the lease.
     expiry: Time,
     last_used: Time,
+    /// The server's cookie from the last grant, echoed on renewals so the
+    /// server can take its slab fast path. Opaque; NULL when the lease
+    /// came without one (e.g. a write completion).
+    handle: LeaseHandle,
 }
 
 #[derive(Debug, Clone)]
@@ -451,13 +455,13 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
     fn build_fetch(&self, req: ReqId, resource: R) -> ToServer<R, D> {
         let cached = self.entries.get(&resource).map(|e| e.version);
         let also_extend = if self.cfg.batch_extensions {
-            let mut v: Vec<(R, Version)> = self
+            let mut v: Vec<(R, Version, LeaseHandle)> = self
                 .entries
                 .iter()
                 .filter(|(r, _)| **r != resource)
-                .map(|(r, e)| (*r, e.version))
+                .map(|(r, e)| (*r, e.version, e.handle))
                 .collect();
-            v.sort_unstable_by_key(|(r, _)| *r);
+            v.sort_unstable_by_key(|(r, _, _)| *r);
             v
         } else {
             Vec::new()
@@ -545,7 +549,9 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
                     self.observe(resource, version);
                 }
                 if !below_floor && !another_pending {
-                    self.insert_entry(now, resource, data, version, expiry, out);
+                    // WriteDone carries no handle; the first renewal takes
+                    // the keyed path and picks one up.
+                    self.insert_entry(now, resource, data, version, expiry, LeaseHandle::NULL, out);
                 }
                 out.push(ClientOutput::Done {
                     op,
@@ -773,6 +779,7 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
                 e.version = g.version;
                 e.expiry = e.expiry.max(expiry);
                 e.last_used = now;
+                e.handle = g.handle;
             }
             None => {
                 // Create an entry only if we actually asked for this
@@ -781,7 +788,7 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
                 // resurrect a cache entry the server no longer tracks.
                 if self.fetch_inflight.contains_key(&g.resource) {
                     if let Some(d) = g.data {
-                        self.insert_entry(now, g.resource, d, g.version, expiry, out);
+                        self.insert_entry(now, g.resource, d, g.version, expiry, g.handle, out);
                     }
                 }
                 // A no-data grant for something we no longer hold: useless.
@@ -795,6 +802,7 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
         *f = (*f).max(version);
     }
 
+    #[allow(clippy::too_many_arguments)] // the fields of one new Entry
     fn insert_entry(
         &mut self,
         now: Time,
@@ -802,6 +810,7 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
         data: D,
         version: Version,
         expiry: Time,
+        handle: LeaseHandle,
         out: &mut Vec<ClientOutput<R, D>>,
     ) {
         self.entries.insert(
@@ -811,6 +820,7 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
                 version,
                 expiry,
                 last_used: now,
+                handle,
             },
         );
         if self.cfg.capacity > 0 && self.entries.len() > self.cfg.capacity {
@@ -839,9 +849,12 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
                 if let Some(interval) = self.cfg.anticipatory {
                     if !self.entries.is_empty() {
                         let req = self.fresh_req();
-                        let mut resources: Vec<(R, Version)> =
-                            self.entries.iter().map(|(r, e)| (*r, e.version)).collect();
-                        resources.sort_unstable_by_key(|(r, _)| *r);
+                        let mut resources: Vec<(R, Version, LeaseHandle)> = self
+                            .entries
+                            .iter()
+                            .map(|(r, e)| (*r, e.version, e.handle))
+                            .collect();
+                        resources.sort_unstable_by_key(|(r, _, _)| *r);
                         self.requests
                             .insert(req, Pending::Renew { first_sent: now });
                         out.push(ClientOutput::Send(ToServer::Renew { req, resources }));
@@ -969,6 +982,7 @@ mod tests {
             version: Version(version),
             data: Some(data.to_string()),
             term: Dur::from_millis(term_ms),
+            handle: LeaseHandle::NULL,
         }
     }
 
@@ -1071,6 +1085,7 @@ mod tests {
             version: Version(3),
             data: None,
             term: Dur::from_millis(1000),
+            handle: LeaseHandle::NULL,
         };
         let out = deliver_grants(&mut c, t(5003), req2, vec![g]);
         let done = out.iter().find_map(|o| match o {
@@ -1257,7 +1272,13 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        assert_eq!(also, vec![(10, Version(1)), (11, Version(1))]);
+        assert_eq!(
+            also,
+            vec![
+                (10, Version(1), LeaseHandle::NULL),
+                (11, Version(1), LeaseHandle::NULL)
+            ]
+        );
     }
 
     #[test]
@@ -1329,7 +1350,7 @@ mod tests {
         deliver_grants(&mut c, t(101), req, vec![grant(7, 1, "d", 60_000)]);
         let out = c.handle(t(5000), ClientInput::Timer(ClientTimer::Renewal));
         let sent = out.iter().any(|o| {
-            matches!(o, ClientOutput::Send(ToServer::Renew { resources, .. }) if resources == &vec![(7, Version(1))])
+            matches!(o, ClientOutput::Send(ToServer::Renew { resources, .. }) if resources == &vec![(7, Version(1), LeaseHandle::NULL)])
         });
         assert!(sent, "{out:?}");
         // And it re-arms itself.
@@ -1348,6 +1369,7 @@ mod tests {
             version: Version(1),
             data: Some("d".into()),
             term: Dur::ZERO,
+            handle: LeaseHandle::NULL,
         };
         let out = deliver_grants(&mut c, t(1), req, vec![g]);
         assert!(out

@@ -79,6 +79,7 @@ pub mod stats;
 pub mod storage;
 pub mod table;
 pub mod types;
+pub mod wheel;
 
 pub use client::{
     Backoff, ClientConfig, ClientCounters, ClientInput, ClientOutput, ClientTimer, LeaseClient, Op,
@@ -91,5 +92,6 @@ pub use server::{
 };
 pub use stats::ResourceStats;
 pub use storage::{MemStorage, Storage};
-pub use table::LeaseTable;
-pub use types::{ClientId, OpId, ReqId, Resource, Version, WriteId};
+pub use table::{LeaseTable, ReferenceTable, SlabTable};
+pub use types::{ClientId, LeaseHandle, OpId, ReqId, Resource, Version, WriteId};
+pub use wheel::TimerWheel;

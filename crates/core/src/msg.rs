@@ -2,7 +2,7 @@
 
 use lease_clock::{Dur, Time};
 
-use crate::types::{ReqId, Version, WriteId};
+use crate::types::{LeaseHandle, ReqId, Version, WriteId};
 
 /// Messages from a client cache to the server.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,7 +13,9 @@ pub enum ToServer<R, D> {
     /// without data when nothing changed. `also_extend` piggybacks
     /// extension of every other lease the cache still holds — the batching
     /// the paper recommends ("a cache should extend together all leases
-    /// over all files that it still holds", §3.1).
+    /// over all files that it still holds", §3.1). Each entry echoes the
+    /// [`LeaseHandle`] from the lease's last grant so the server can renew
+    /// with one slab load; [`LeaseHandle::NULL`] means "look it up".
     Fetch {
         /// Request id echoed in the reply.
         req: ReqId,
@@ -22,14 +24,14 @@ pub enum ToServer<R, D> {
         /// The version the client holds, if any.
         cached: Option<Version>,
         /// Other held leases to extend opportunistically.
-        also_extend: Vec<(R, Version)>,
+        also_extend: Vec<(R, Version, LeaseHandle)>,
     },
     /// Anticipatory renewal of held leases (§4 option); no op waits on it.
     Renew {
         /// Request id echoed in the reply.
         req: ReqId,
-        /// Held leases to extend.
-        resources: Vec<(R, Version)>,
+        /// Held leases to extend, each echoing its last grant's handle.
+        resources: Vec<(R, Version, LeaseHandle)>,
     },
     /// A write-through write. The request carries the writer's implicit
     /// approval of its own lease (§3.1, footnote 5).
@@ -67,6 +69,11 @@ pub struct Grant<R, D> {
     /// Lease term `t_s`, measured at the server from receipt of the
     /// request. A zero term grants the data but no caching rights.
     pub term: Dur,
+    /// The server's cookie for this lease record. Echoing it on renewal
+    /// (`also_extend` / [`ToServer::Renew`]) lets the server extend with
+    /// one slab load; clients may always send [`LeaseHandle::NULL`]
+    /// instead, and must treat the value as opaque.
+    pub handle: LeaseHandle,
 }
 
 /// Messages from the server to a client cache.

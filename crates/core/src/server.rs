@@ -20,7 +20,7 @@ use crate::policy::TermPolicy;
 use crate::stats::ResourceStats;
 use crate::storage::Storage;
 use crate::table::LeaseTable;
-use crate::types::{ClientId, ReqId, Resource, Version, WriteId};
+use crate::types::{ClientId, LeaseHandle, ReqId, Resource, Version, WriteId};
 
 /// How the server survives a crash (§2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -426,8 +426,8 @@ impl<R: Resource, D: Clone> LeaseServer<R, D> {
             } => {
                 self.counters.fetch_rx += 1;
                 let mut grants = Vec::new();
-                for (r, v) in also_extend {
-                    if let Some(g) = self.try_grant(now, from, r, Some(v), store, out) {
+                for (r, v, h) in also_extend {
+                    if let Some(g) = self.try_grant(now, from, r, Some(v), h, store, out) {
                         grants.push(g);
                     }
                 }
@@ -450,7 +450,7 @@ impl<R: Resource, D: Clone> LeaseServer<R, D> {
                     }
                     return;
                 }
-                match self.try_grant(now, from, resource, cached, store, out) {
+                match self.try_grant(now, from, resource, cached, LeaseHandle::NULL, store, out) {
                     Some(g) => {
                         grants.push(g);
                         out.push(ServerOutput::Send {
@@ -479,8 +479,8 @@ impl<R: Resource, D: Clone> LeaseServer<R, D> {
             ToServer::Renew { req, resources } => {
                 self.counters.renew_rx += 1;
                 let mut grants = Vec::new();
-                for (r, v) in resources {
-                    if let Some(g) = self.try_grant(now, from, r, Some(v), store, out) {
+                for (r, v, h) in resources {
+                    if let Some(g) = self.try_grant(now, from, r, Some(v), h, store, out) {
                         grants.push(g);
                     }
                 }
@@ -528,12 +528,19 @@ impl<R: Resource, D: Clone> LeaseServer<R, D> {
 
     /// Grants a lease on `resource` to `from`, or returns `None` if the
     /// resource is unknown or blocked by a pending write.
+    ///
+    /// `handle` is the client-echoed hint from the lease's last grant
+    /// ([`LeaseHandle::NULL`] when the client has none): a renewal that
+    /// presents a still-valid handle extends the record with one slab
+    /// load instead of a keyed lookup.
+    #[allow(clippy::too_many_arguments)] // one protocol input per argument
     fn try_grant(
         &mut self,
         now: Time,
         from: ClientId,
         resource: R,
         cached: Option<Version>,
+        handle: LeaseHandle,
         store: &mut dyn Storage<R, D>,
         out: &mut Vec<ServerOutput<R, D>>,
     ) -> Option<Grant<R, D>> {
@@ -546,6 +553,7 @@ impl<R: Resource, D: Clone> LeaseServer<R, D> {
             .entry(resource)
             .or_insert_with(|| ResourceStats::new(self.cfg.stats_tau));
         stats.on_read(now);
+        let mut rec_handle = LeaseHandle::NULL;
         let term = if self.installed.contains(&resource) {
             // Installed files: no per-client record; remember only the
             // latest expiry the server must honour on write.
@@ -558,7 +566,7 @@ impl<R: Resource, D: Clone> LeaseServer<R, D> {
             let term = self.cfg.policy.term(&resource, from, stats);
             if !term.is_zero() {
                 let expiry = now.saturating_add(term);
-                self.table.grant(resource, from, expiry);
+                rec_handle = self.table.extend(handle, resource, from, expiry);
                 if self.cfg.recovery == RecoveryMode::PersistentRecords {
                     out.push(ServerOutput::PersistLease {
                         resource,
@@ -588,6 +596,7 @@ impl<R: Resource, D: Clone> LeaseServer<R, D> {
             version,
             data,
             term,
+            handle: rec_handle,
         })
     }
 
@@ -606,8 +615,7 @@ impl<R: Resource, D: Clone> LeaseServer<R, D> {
             .stats
             .entry(resource)
             .or_insert_with(|| ResourceStats::new(self.cfg.stats_tau));
-        let holders = self.table.holders_at(resource, now);
-        stats.on_write(now, holders.len());
+        stats.on_write(now, self.table.holder_count_at(resource, now));
         if let Some(w) = writer {
             self.inflight_writes.insert(w);
         }
@@ -658,14 +666,13 @@ impl<R: Resource, D: Clone> LeaseServer<R, D> {
                 deadline = deadline.max(*exp);
             }
         } else {
-            for holder in self.table.holders_at(resource, now) {
-                if Some(holder) == writer {
-                    // The write request carries the writer's implicit
-                    // approval (footnote 5).
-                    continue;
+            self.table.for_each_holder_at(resource, now, |holder| {
+                // The write request carries the writer's implicit
+                // approval (footnote 5).
+                if Some(holder) != writer {
+                    awaiting.insert(holder);
                 }
-                awaiting.insert(holder);
-            }
+            });
             if let Some(exp) = self.table.max_expiry(resource, now) {
                 if !awaiting.is_empty() {
                     deadline = deadline.max(exp);
@@ -879,7 +886,15 @@ impl<R: Resource, D: Clone> LeaseServer<R, D> {
         // The starvation guard lifts: serve parked fetches.
         if let Some(parked) = self.queued_fetches.remove(&resource) {
             for qf in parked {
-                match self.try_grant(now, qf.client, resource, qf.cached, store, out) {
+                match self.try_grant(
+                    now,
+                    qf.client,
+                    resource,
+                    qf.cached,
+                    LeaseHandle::NULL,
+                    store,
+                    out,
+                ) {
                     Some(g) => out.push(ServerOutput::Send {
                         to: qf.client,
                         msg: ToClient::Grants {

@@ -1,35 +1,41 @@
-//! The server's lease table.
+//! The reference lease table: the executable specification.
+//!
+//! This is the original map-based table — a `HashMap` of holders under
+//! each resource plus a `BTreeSet` expiry index. Every grant pays two
+//! hash probes and a B-tree remove+insert, and every `holders_at`
+//! allocates; the slab table ([`crate::table::slab`]) exists to shed
+//! exactly those costs. The reference survives because it is obviously
+//! correct: the equivalence property test holds the slab to this
+//! implementation's answers.
+//!
+//! All queries take `now` and ignore expired entries, so callers never see
+//! stale holders; physically removing them happens on access or via
+//! [`ReferenceTable::prune`].
 
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
 
 use lease_clock::Time;
 
-use crate::types::{ClientId, Resource};
+use crate::types::{ClientId, LeaseHandle, Resource};
 
-/// The soft state the server keeps per granted lease.
-///
-/// The paper sizes this at "a couple of pointers" per lease (§2); here it
-/// is one `(ClientId, Time)` pair per holder under the resource key, plus
-/// an expiry index so the table can be pruned lazily without scans.
-///
-/// All queries take `now` and ignore expired entries, so callers never see
-/// stale holders; physically removing them happens on access or via
-/// [`LeaseTable::prune`].
+/// The map-plus-index lease table (the spec; see the module docs).
 #[derive(Debug, Clone)]
-pub struct LeaseTable<R> {
+pub struct ReferenceTable<R> {
     /// resource -> holder -> expiry (server clock).
     holders: HashMap<R, HashMap<ClientId, Time>>,
     /// Expiry index for cheap pruning: ordered (expiry, resource, client).
     index: BTreeSet<(Time, R, ClientId)>,
-    /// Leases ever granted (for reporting).
+    /// Leases ever granted (for reporting): records created plus actual
+    /// extensions. A re-grant that would shorten (or merely equal) the
+    /// existing expiry changes nothing and is not counted.
     granted_total: u64,
 }
 
-impl<R: Resource> LeaseTable<R> {
+impl<R: Resource> ReferenceTable<R> {
     /// An empty table.
-    pub fn new() -> LeaseTable<R> {
-        LeaseTable {
+    pub fn new() -> ReferenceTable<R> {
+        ReferenceTable {
             holders: HashMap::new(),
             index: BTreeSet::new(),
             granted_total: 0,
@@ -39,9 +45,12 @@ impl<R: Resource> LeaseTable<R> {
     /// Records (or extends) `client`'s lease on `resource` until `expiry`.
     ///
     /// An extension never shortens an existing lease: granting a later
-    /// expiry replaces the record, an earlier one is ignored.
-    pub fn grant(&mut self, resource: R, client: ClientId, expiry: Time) {
-        self.granted_total += 1;
+    /// expiry replaces the record, an earlier (or equal) one is ignored.
+    ///
+    /// The returned handle is always [`LeaseHandle::NULL`]: the reference
+    /// table has no slab to index into, so its "fast path" is the keyed
+    /// path — which is exactly what a null handle means.
+    pub fn grant(&mut self, resource: R, client: ClientId, expiry: Time) -> LeaseHandle {
         match self.holders.entry(resource).or_default().entry(client) {
             Entry::Occupied(mut e) => {
                 let old = *e.get();
@@ -49,13 +58,30 @@ impl<R: Resource> LeaseTable<R> {
                     self.index.remove(&(old, resource, client));
                     self.index.insert((expiry, resource, client));
                     e.insert(expiry);
+                    self.granted_total += 1;
                 }
             }
             Entry::Vacant(e) => {
                 e.insert(expiry);
                 self.index.insert((expiry, resource, client));
+                self.granted_total += 1;
             }
         }
+        LeaseHandle::NULL
+    }
+
+    /// Handle-keyed extension. The reference table has no handles, so
+    /// this is [`ReferenceTable::grant`] — the behaviour a stale or null
+    /// handle degrades to in the slab table, which is what makes the two
+    /// observationally equivalent under any script.
+    pub fn extend(
+        &mut self,
+        _handle: LeaseHandle,
+        resource: R,
+        client: ClientId,
+        expiry: Time,
+    ) -> LeaseHandle {
+        self.grant(resource, client, expiry)
     }
 
     /// Removes `client`'s lease on `resource` (approval or relinquish).
@@ -70,7 +96,7 @@ impl<R: Resource> LeaseTable<R> {
         }
     }
 
-    /// Unexpired holders of `resource` at `now`.
+    /// Unexpired holders of `resource` at `now`, sorted.
     pub fn holders_at(&self, resource: R, now: Time) -> Vec<ClientId> {
         let mut v: Vec<ClientId> = match self.holders.get(&resource) {
             Some(m) => m
@@ -82,6 +108,25 @@ impl<R: Resource> LeaseTable<R> {
         };
         v.sort_unstable();
         v
+    }
+
+    /// Calls `f` once per unexpired holder of `resource` at `now`, in no
+    /// particular order.
+    pub fn for_each_holder_at(&self, resource: R, now: Time, mut f: impl FnMut(ClientId)) {
+        if let Some(m) = self.holders.get(&resource) {
+            for (c, exp) in m {
+                if *exp > now {
+                    f(*c);
+                }
+            }
+        }
+    }
+
+    /// How many unexpired holders `resource` has at `now`.
+    pub fn holder_count_at(&self, resource: R, now: Time) -> usize {
+        self.holders
+            .get(&resource)
+            .map_or(0, |m| m.values().filter(|e| **e > now).count())
     }
 
     /// The expiry of `client`'s lease on `resource`, if unexpired at `now`.
@@ -123,7 +168,7 @@ impl<R: Resource> LeaseTable<R> {
     }
 
     /// The earliest expiry of any live record, pruned or not — the next
-    /// instant at which [`LeaseTable::prune`] could remove something.
+    /// instant at which [`ReferenceTable::prune`] could remove something.
     /// Lets a driver arm one timer instead of scanning the table.
     pub fn next_expiry(&self) -> Option<Time> {
         self.index.iter().next().map(|&(expiry, _, _)| expiry)
@@ -145,20 +190,22 @@ impl<R: Resource> LeaseTable<R> {
         self.index.is_empty()
     }
 
-    /// Total leases ever granted (extension counts as a grant).
+    /// Total leases ever granted (an actual extension counts as a grant;
+    /// an ignored shorter-or-equal re-grant does not).
     pub fn granted_total(&self) -> u64 {
         self.granted_total
     }
 
-    /// Iterates all live records as `(resource, client, expiry)`.
+    /// Iterates all live records as `(resource, client, expiry)`, ordered
+    /// by `(expiry, resource, client)`.
     pub fn iter(&self) -> impl Iterator<Item = (R, ClientId, Time)> + '_ {
         self.index.iter().map(|(e, r, c)| (*r, *c, *e))
     }
 }
 
-impl<R: Resource> Default for LeaseTable<R> {
-    fn default() -> LeaseTable<R> {
-        LeaseTable::new()
+impl<R: Resource> Default for ReferenceTable<R> {
+    fn default() -> ReferenceTable<R> {
+        ReferenceTable::new()
     }
 }
 
@@ -175,7 +222,7 @@ mod tests {
 
     #[test]
     fn grant_and_query() {
-        let mut tab = LeaseTable::new();
+        let mut tab = ReferenceTable::new();
         tab.grant(7u64, C1, t(10));
         tab.grant(7, C2, t(12));
         assert_eq!(tab.holders_at(7, t(5)), vec![C1, C2]);
@@ -184,11 +231,13 @@ mod tests {
         assert_eq!(tab.max_expiry(7, t(5)), Some(t(12)));
         assert_eq!(tab.expiry_of(7, C1, t(5)), Some(t(10)));
         assert_eq!(tab.expiry_of(7, C1, t(10)), None);
+        assert_eq!(tab.holder_count_at(7, t(5)), 2);
+        assert_eq!(tab.holder_count_at(7, t(11)), 1);
     }
 
     #[test]
     fn extension_never_shortens() {
-        let mut tab = LeaseTable::new();
+        let mut tab = ReferenceTable::new();
         tab.grant(1u64, C1, t(10));
         tab.grant(1, C1, t(8)); // ignored
         assert_eq!(tab.expiry_of(1, C1, t(0)), Some(t(10)));
@@ -198,8 +247,22 @@ mod tests {
     }
 
     #[test]
+    fn granted_total_counts_creations_and_real_extensions_only() {
+        let mut tab = ReferenceTable::new();
+        tab.grant(1u64, C1, t(10)); // created: counts
+        assert_eq!(tab.granted_total(), 1);
+        tab.grant(1, C1, t(8)); // shorter: ignored, must not count
+        tab.grant(1, C1, t(10)); // equal: ignored, must not count
+        assert_eq!(tab.granted_total(), 1);
+        tab.grant(1, C1, t(20)); // actually extended: counts
+        assert_eq!(tab.granted_total(), 2);
+        tab.grant(2, C2, t(5)); // new record: counts
+        assert_eq!(tab.granted_total(), 3);
+    }
+
+    #[test]
     fn release_removes() {
-        let mut tab = LeaseTable::new();
+        let mut tab = ReferenceTable::new();
         tab.grant(1u64, C1, t(10));
         tab.release(1, C1);
         assert!(tab.holders_at(1, t(0)).is_empty());
@@ -210,7 +273,7 @@ mod tests {
 
     #[test]
     fn prune_removes_only_expired() {
-        let mut tab = LeaseTable::new();
+        let mut tab = ReferenceTable::new();
         tab.grant(1u64, C1, t(5));
         tab.grant(1, C2, t(15));
         tab.grant(2, C1, t(10));
@@ -221,7 +284,7 @@ mod tests {
 
     #[test]
     fn next_expiry_tracks_index_head() {
-        let mut tab = LeaseTable::new();
+        let mut tab = ReferenceTable::new();
         assert_eq!(tab.next_expiry(), None);
         tab.grant(1u64, C1, t(10));
         tab.grant(2, C2, t(5));
@@ -232,7 +295,7 @@ mod tests {
 
     #[test]
     fn clear_wipes_everything() {
-        let mut tab = LeaseTable::new();
+        let mut tab = ReferenceTable::new();
         tab.grant(1u64, C1, t(5));
         tab.grant(2, C2, t(5));
         tab.clear();
@@ -242,7 +305,7 @@ mod tests {
 
     #[test]
     fn iter_yields_ordered_records() {
-        let mut tab = LeaseTable::new();
+        let mut tab = ReferenceTable::new();
         tab.grant(2u64, C2, t(20));
         tab.grant(1, C1, t(10));
         let recs: Vec<_> = tab.iter().collect();

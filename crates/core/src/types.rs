@@ -22,6 +22,44 @@ pub struct ReqId(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct WriteId(pub u64);
 
+/// An opaque cookie naming one lease record inside the server's slab
+/// table: a slot index plus the slot's generation at grant time.
+///
+/// The server returns a handle with every grant; a client that echoes it
+/// on renewal lets the server extend the lease with one slab load instead
+/// of two hash probes (the paper's "couple of pointers" record, §2,
+/// addressed directly). Handles are *hints*, never authority: the table
+/// validates generation, resource, and holder before using one, so a
+/// stale handle — slot recycled, server restarted, or a forged value —
+/// degrades to the keyed lookup path and can never touch the wrong
+/// record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LeaseHandle {
+    /// Slab slot index (`u32::MAX` = null).
+    pub(crate) idx: u32,
+    /// Slot generation at grant time (odd while the slot is occupied).
+    pub(crate) gen: u32,
+}
+
+impl LeaseHandle {
+    /// The null handle: names no record, always takes the keyed path.
+    pub const NULL: LeaseHandle = LeaseHandle {
+        idx: u32::MAX,
+        gen: 0,
+    };
+
+    /// Whether this is the null handle.
+    pub fn is_null(self) -> bool {
+        self.idx == u32::MAX
+    }
+}
+
+impl Default for LeaseHandle {
+    fn default() -> LeaseHandle {
+        LeaseHandle::NULL
+    }
+}
+
 /// A monotonically increasing per-resource version. Version 0 means "never
 /// written".
 #[derive(

@@ -6,6 +6,11 @@
 //! many are pending, which is what lets a shard worker carry millions of
 //! leases without its expiry path growing with table size.
 //!
+//! The wheel started life in `lease-svc`; it now lives in dep-free
+//! `lease-core` (re-exported by svc) because the slab lease table
+//! ([`crate::table::SlabTable`]) delegates its expiry ordering to it
+//! instead of keeping a `BTreeSet` index.
+//!
 //! Semantics:
 //!
 //! * Timers never fire early. An entry scheduled at `at` is placed on the
@@ -16,10 +21,18 @@
 //! * `advance` returns the due batch sorted by `(at, key)`, so timers with
 //!   distinct deadlines fire in deadline order and ties break by key —
 //!   exactly the order a naive scan of an expiry-ordered index produces
-//!   (the property test in `tests/wheel_prop.rs` pins this down).
+//!   (the property test in `lease-svc/tests/wheel_prop.rs` pins this
+//!   down).
 //! * The wheel does not cancel. Callers keep a `key -> latest deadline`
 //!   map and drop entries whose deadline no longer matches when they fire
 //!   (lazy cancellation); re-scheduling a key simply supersedes it.
+//!
+//! Steady-state behaviour: redistribution buffers are recycled between
+//! cascades and [`TimerWheel::advance_into`] reuses a caller-owned output
+//! vector, so a warmed wheel schedules and fires without touching the
+//! allocator; empty stretches of time are skipped level-by-level instead
+//! of tick-by-tick, so advancing an idle wheel across hours costs a
+//! handful of boundary hops.
 
 use lease_clock::{Dur, Time};
 
@@ -59,10 +72,16 @@ pub struct TimerWheel<K> {
     /// Entries already due when scheduled (or cascaded onto `now_tick`).
     due: Vec<Entry<K>>,
     len: usize,
-    /// Entries currently in level 0 — lets `advance` skip whole empty
-    /// blocks instead of stepping tick by tick.
-    len0: usize,
+    /// Entries per level — lets `advance` skip whole empty blocks (a
+    /// level-sized hop when only outer levels hold entries) instead of
+    /// stepping tick by tick.
+    lens: [usize; LEVELS],
     seq: u64,
+    /// Fired-entry scratch reused across `advance_into` calls.
+    fired: Vec<Entry<K>>,
+    /// Redistribution scratch reused across cascades, so a warmed wheel
+    /// cascades without allocating.
+    spare: Vec<Entry<K>>,
 }
 
 impl<K: Ord> TimerWheel<K> {
@@ -80,8 +99,10 @@ impl<K: Ord> TimerWheel<K> {
             overflow: Vec::new(),
             due: Vec::new(),
             len: 0,
-            len0: 0,
+            lens: [0; LEVELS],
             seq: 0,
+            fired: Vec::new(),
+            spare: Vec::new(),
         }
     }
 
@@ -93,6 +114,21 @@ impl<K: Ord> TimerWheel<K> {
     /// Whether nothing is scheduled.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Drops every pending entry, keeping the wheel's position and the
+    /// already-allocated slot buffers (a crash wipes a lease table without
+    /// paying to rebuild its wheel).
+    pub fn clear(&mut self) {
+        for level in &mut self.levels {
+            for slot in level {
+                slot.clear();
+            }
+        }
+        self.overflow.clear();
+        self.due.clear();
+        self.len = 0;
+        self.lens = [0; LEVELS];
     }
 
     /// Schedules `key` to fire once `advance` is called with a time at or
@@ -121,9 +157,7 @@ impl<K: Ord> TimerWheel<K> {
             if delta < 1u64 << (SLOT_BITS * (l as u32 + 1)) {
                 let slot = ((e.tick >> (SLOT_BITS * l as u32)) % SLOTS as u64) as usize;
                 self.levels[l][slot].push(e);
-                if l == 0 {
-                    self.len0 += 1;
-                }
+                self.lens[l] += 1;
                 return;
             }
         }
@@ -133,69 +167,114 @@ impl<K: Ord> TimerWheel<K> {
     /// Collects every entry due at or before `now`, sorted by
     /// `(at, key, seq)`.
     pub fn advance(&mut self, now: Time) -> Vec<(Time, K)> {
+        let mut out = Vec::new();
+        self.advance_into(now, &mut out);
+        out
+    }
+
+    /// Like [`TimerWheel::advance`], but appends into a caller-owned
+    /// vector so steady-state callers (the slab table's prune path) fire
+    /// timers without allocating.
+    pub fn advance_into(&mut self, now: Time, out: &mut Vec<(Time, K)>) {
         let target = now.0 / self.tick_ns;
-        let mut out = std::mem::take(&mut self.due);
+        debug_assert!(self.fired.is_empty());
+        self.fired.append(&mut self.due);
         while self.now_tick < target {
-            if self.len == out.len() {
+            if self.len == self.fired.len() {
                 // Nothing on the wheel: jump straight to the target.
                 self.now_tick = target;
                 break;
             }
-            if self.len0 == 0 {
-                // No tick-granular entries: jump a whole block to the
-                // next cascade boundary (or to the target).
-                let next_wrap = self.now_tick - self.now_tick % SLOTS as u64 + SLOTS as u64;
-                if next_wrap > target {
-                    self.now_tick = target;
-                    break;
+            if self.lens[0] > 0 {
+                self.now_tick += 1;
+                let s0 = (self.now_tick % SLOTS as u64) as usize;
+                {
+                    let TimerWheel {
+                        levels,
+                        fired,
+                        lens,
+                        ..
+                    } = &mut *self;
+                    let slot = &mut levels[0][s0];
+                    lens[0] -= slot.len();
+                    fired.append(slot);
                 }
-                self.now_tick = next_wrap;
-                self.cascade(&mut out);
+                if s0 == 0 {
+                    self.cascade();
+                }
                 continue;
             }
-            self.now_tick += 1;
-            let s0 = (self.now_tick % SLOTS as u64) as usize;
-            self.len0 -= self.levels[0][s0].len();
-            out.append(&mut self.levels[0][s0]);
-            if s0 == 0 {
-                self.cascade(&mut out);
+            // Level 0 is empty: nothing can fire before the next boundary
+            // of the innermost *occupied* level (or, with only overflow
+            // pending, the next full wrap), so hop there directly.
+            let shift = match (1..LEVELS).find(|&l| self.lens[l] > 0) {
+                Some(l) => SLOT_BITS * l as u32,
+                None => SLOT_BITS * LEVELS as u32,
+            };
+            let step = 1u64 << shift;
+            let next_boundary = (self.now_tick - self.now_tick % step) + step;
+            if next_boundary > target {
+                self.now_tick = target;
+                break;
             }
+            self.now_tick = next_boundary;
+            self.cascade();
         }
-        self.len -= out.len();
-        out.sort_by(|a, b| (a.at, &a.key, a.seq).cmp(&(b.at, &b.key, b.seq)));
-        out.into_iter().map(|e| (e.at, e.key)).collect()
+        self.len -= self.fired.len();
+        // Unstable sort: `seq` is unique, so the key is a total order and
+        // stability buys nothing — and sort_unstable never allocates,
+        // which keeps the steady-state fire path allocation-free.
+        self.fired
+            .sort_unstable_by(|a, b| (a.at, &a.key, a.seq).cmp(&(b.at, &b.key, b.seq)));
+        out.extend(self.fired.drain(..).map(|e| (e.at, e.key)));
     }
 
     /// Redistributes the expiring slot of each higher level whose block
-    /// boundary `now_tick` just crossed, innermost first.
-    fn cascade(&mut self, out: &mut Vec<Entry<K>>) {
+    /// boundary `now_tick` just crossed, innermost first. Entries landing
+    /// on `now_tick` go to [`TimerWheel::fired`].
+    fn cascade(&mut self) {
         for l in 1..LEVELS {
             let shift = SLOT_BITS * l as u32;
             if !self.now_tick.is_multiple_of(1u64 << shift) {
                 return;
             }
             let slot = ((self.now_tick >> shift) % SLOTS as u64) as usize;
-            for e in std::mem::take(&mut self.levels[l][slot]) {
+            let mut block =
+                std::mem::replace(&mut self.levels[l][slot], std::mem::take(&mut self.spare));
+            self.lens[l] -= block.len();
+            for e in block.drain(..) {
                 if e.tick <= self.now_tick {
-                    out.push(e);
+                    self.fired.push(e);
                 } else {
                     self.place(e);
                 }
             }
+            // Recycle the drained block's capacity for the next cascade.
+            // (An entry can never re-place into the slot it came from: it
+            // would need `delta >= 64^(l+1)`, past the level's span.)
+            self.spare = block;
         }
         // Every level wrapped: overflow entries may now be in range.
-        for e in std::mem::take(&mut self.overflow) {
+        let mut over = std::mem::replace(&mut self.overflow, std::mem::take(&mut self.spare));
+        for e in over.drain(..) {
             if e.tick <= self.now_tick {
-                out.push(e);
+                self.fired.push(e);
             } else {
                 self.place(e);
             }
         }
+        self.spare = over;
     }
 
-    /// A lower bound on when the next entry fires: exact within the
-    /// innermost level, otherwise the next cascade boundary (the caller
-    /// wakes, cascades, and asks again). `None` when nothing is pending.
+    /// A lower bound on when the next entry fires: exact when every
+    /// pending entry sits in the innermost level, otherwise capped at the
+    /// next cascade boundary (the caller wakes, cascades, and asks
+    /// again). `None` when nothing is pending.
+    ///
+    /// The cap applies even when level 0 is non-empty: an entry parked in
+    /// an outer level (placed when it was still far out) can come due
+    /// *before* a level-0 entry that lies beyond the next wrap, so the
+    /// level-0 minimum alone would be too late a wake-up.
     pub fn next_deadline(&self) -> Option<Time> {
         if let Some(min) = self.due.iter().map(|e| e.at).min() {
             return Some(min);
@@ -203,15 +282,24 @@ impl<K: Ord> TimerWheel<K> {
         if self.len == 0 {
             return None;
         }
-        for off in 1..SLOTS as u64 {
+        // Level-0 slots in ring order are tick order, so the first
+        // non-empty slot holds the level-0 minimum.
+        let l0_min = (1..SLOTS as u64).find_map(|off| {
             let slot = ((self.now_tick + off) % SLOTS as u64) as usize;
-            if let Some(min) = self.levels[0][slot].iter().map(|e| e.at).min() {
-                return Some(min);
-            }
+            self.levels[0][slot].iter().map(|e| e.at).min()
+        });
+        let deeper = self.len - self.lens[0];
+        if deeper == 0 {
+            return l0_min;
         }
-        // Beyond level 0: wake at the next level-0 wrap and re-check.
+        // An outer-level (or overflow) entry occupies a tick no earlier
+        // than the next level-0 wrap, so it cannot *fire* before the wrap
+        // tick — wake there (which cascades it inward) and re-examine.
+        // Advancing to exactly this time crosses the boundary, so the
+        // wake/re-ask loop always makes progress.
         let next_wrap = (self.now_tick - self.now_tick % SLOTS as u64) + SLOTS as u64;
-        Some(Time(next_wrap.saturating_mul(self.tick_ns)))
+        let wrap_bound = Time(next_wrap.saturating_mul(self.tick_ns));
+        Some(l0_min.map_or(wrap_bound, |m| m.min(wrap_bound)))
     }
 }
 
@@ -295,6 +383,30 @@ mod tests {
     }
 
     #[test]
+    fn next_deadline_caps_at_wrap_when_outer_levels_hold_earlier_entries() {
+        // A level-1 entry can come due before a level-0 entry when the
+        // level-0 one lies beyond the next wrap: the bound must not skip
+        // past the cascade boundary to the (later) level-0 deadline.
+        let mut w = TimerWheel::new(Dur(1), Time::ZERO);
+        assert!(w.advance(Time(874)).is_empty());
+        // 1051 is 177 ticks out: parked in level 1 (block [1024, 1088)).
+        w.schedule(Time(1051), 1);
+        // Stop mid-block, before the 1024 cascade boundary.
+        assert!(w.advance(Time(1018)).is_empty());
+        // 1067 is 49 ticks out: level 0, but past the wrap at 1024.
+        w.schedule(Time(1067), 2);
+        let d = w.next_deadline().expect("two entries pending");
+        assert!(d <= Time(1051), "bound {d:?} is past the level-1 deadline");
+        // Waking at the bound and re-asking converges on both, in order.
+        let mut fired = Vec::new();
+        while !w.is_empty() {
+            let now = w.next_deadline().expect("pending");
+            fired.extend(w.advance(now));
+        }
+        assert_eq!(fired, vec![(Time(1051), 1), (Time(1067), 2)]);
+    }
+
+    #[test]
     fn many_random_timers_fire_exactly_once_in_order() {
         // Cheap LCG so the test is deterministic without dev-deps.
         let mut state = 0x2545F4914F6CDD1Du64;
@@ -320,5 +432,45 @@ mod tests {
         expect.sort();
         assert_eq!(fired.len(), expect.len());
         assert_eq!(fired, expect);
+    }
+
+    #[test]
+    fn sparse_far_future_advance_hops_not_steps() {
+        // One entry a virtual hour out: advancing to it must terminate
+        // promptly (level hops, not 3.6M tick steps) and still fire.
+        let mut w = wheel();
+        let hour = Time(3_600_000_000_000);
+        w.schedule(hour, 7);
+        assert!(w.advance(Time(hour.0 - 1)).is_empty());
+        assert_eq!(w.advance(hour), vec![(hour, 7)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_position_and_drops_entries() {
+        let mut w = wheel();
+        w.schedule(Time(5_000), 1);
+        let _ = w.advance(Time(2_000));
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+        // Position survived: an old deadline is still "past".
+        w.schedule(Time(1_000), 2);
+        assert_eq!(w.advance(Time(2_000)), vec![(Time(1_000), 2)]);
+    }
+
+    #[test]
+    fn advance_into_reuses_buffers() {
+        let mut w = wheel();
+        let mut out = Vec::new();
+        for round in 0..10u64 {
+            for i in 0..100u32 {
+                w.schedule(Time((round + 1) * 100_000 + u64::from(i) * 500), i);
+            }
+            out.clear();
+            w.advance_into(Time((round + 2) * 100_000), &mut out);
+            assert_eq!(out.len(), 100);
+        }
+        assert!(w.is_empty());
     }
 }

@@ -6,8 +6,8 @@
 
 use lease_clock::{Dur, Time};
 use lease_core::{
-    ClientId, Grant, LeaseServer, MemStorage, RecoveryMode, ReqId, ServerConfig, ServerInput,
-    ServerOutput, ServerTimer, Storage, ToClient, ToServer, Version, WriteId,
+    ClientId, Grant, LeaseHandle, LeaseServer, MemStorage, RecoveryMode, ReqId, ServerConfig,
+    ServerInput, ServerOutput, ServerTimer, Storage, ToClient, ToServer, Version, WriteId,
 };
 
 type Server = LeaseServer<u64, String>;
@@ -572,7 +572,7 @@ fn batched_extension_grants_everything_held() {
                 req: ReqId(3),
                 resource: 7,
                 cached: Some(Version(1)),
-                also_extend: vec![(8, Version(1))],
+                also_extend: vec![(8, Version(1), LeaseHandle::NULL)],
             },
         },
         &mut store,
@@ -607,7 +607,7 @@ fn renew_extends_without_completing_ops() {
             from: C0,
             msg: ToServer::Renew {
                 req: ReqId(2),
-                resources: vec![(7, Version(1))],
+                resources: vec![(7, Version(1), LeaseHandle::NULL)],
             },
         },
         &mut store,
@@ -639,7 +639,7 @@ fn extension_skips_resources_with_pending_writes() {
             from: C2,
             msg: ToServer::Renew {
                 req: ReqId(9),
-                resources: vec![(7, Version(1))],
+                resources: vec![(7, Version(1), LeaseHandle::NULL)],
             },
         },
         &mut store,

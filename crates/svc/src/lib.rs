@@ -84,7 +84,14 @@
 pub mod chaos;
 pub mod service;
 mod shard;
-pub mod wheel;
+
+/// The hierarchical timer wheel, re-exported from `lease_core`.
+///
+/// The wheel moved down into dep-free `lease-core` so the slab lease
+/// table could delegate expiry ordering to it; this alias keeps the
+/// `lease_svc::wheel` path (and every import in the shard worker and the
+/// wheel property tests) working unchanged.
+pub use lease_core::wheel;
 
 pub use chaos::{Delivery, FaultPlan, LinkChaos};
 pub use service::{

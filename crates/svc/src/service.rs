@@ -221,7 +221,7 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
                 also_extend,
             } => {
                 let primary = shard_of(&resource, n);
-                let mut per = split(also_extend, n, |(r, _)| r);
+                let mut per = split(also_extend, n, |(r, _, _)| r);
                 let mut out = vec![(
                     primary,
                     ToServer::Fetch {
@@ -238,7 +238,7 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
                 }
                 out
             }
-            ToServer::Renew { req, resources } => split(resources, n, |(r, _)| r)
+            ToServer::Renew { req, resources } => split(resources, n, |(r, _, _)| r)
                 .into_iter()
                 .enumerate()
                 .filter(|(_, v)| !v.is_empty())
@@ -520,7 +520,9 @@ mod tests {
                 req: ReqId(100),
                 resource: 0,
                 cached: Some(versions[&0]),
-                also_extend: (1..8u64).map(|r| (r, versions[&r])).collect(),
+                also_extend: (1..8u64)
+                    .map(|r| (r, versions[&r], lease_core::LeaseHandle::NULL))
+                    .collect(),
             },
         )
         .unwrap();

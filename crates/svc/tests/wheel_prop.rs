@@ -6,9 +6,10 @@
 //! the license for that substitution. The table's expiry index is ordered
 //! `(expiry, resource, client)`, so a naive scan yields expired records in
 //! exactly that order; the wheel returns its due batch sorted by
-//! `(deadline, key)`, which must coincide. The wheel runs with a 1-unit
-//! tick so quantization cannot blur the comparison; lazy cancellation
-//! (extend supersedes, relinquish orphans) is exercised by keeping the
+//! `(deadline, key)`, which must coincide. The wheel — and the table,
+//! whose prune is itself wheel-backed now — runs with a 1-unit tick so
+//! quantization cannot blur the comparison; lazy cancellation (extend
+//! supersedes, relinquish orphans) is exercised by keeping the
 //! caller-side `armed` map the shard workers use.
 
 use std::collections::HashMap;
@@ -47,7 +48,7 @@ fn step() -> impl Strategy<Value = Step> {
 proptest! {
     #[test]
     fn wheel_matches_naive_scan(steps in proptest::collection::vec(step(), 1..120)) {
-        let mut table: LeaseTable<u64> = LeaseTable::new();
+        let mut table: LeaseTable<u64> = LeaseTable::with_tick(Dur(1));
         let mut wheel: TimerWheel<(u64, ClientId)> = TimerWheel::new(Dur(1), Time::ZERO);
         let mut armed: HashMap<(u64, ClientId), Time> = HashMap::new();
         let mut now = Time::ZERO;

@@ -43,10 +43,17 @@ impl BenchmarkId {
 }
 
 fn budget() -> Duration {
+    // `cargo bench -- --quick` mirrors real criterion's quick mode: a
+    // compile-and-run smoke pass with a minimal time budget per benchmark.
+    let default = if std::env::args().any(|a| a == "--quick") {
+        20
+    } else {
+        300
+    };
     let ms = std::env::var("LEASE_BENCH_MS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(300);
+        .unwrap_or(default);
     Duration::from_millis(ms)
 }
 
