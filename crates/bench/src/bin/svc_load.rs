@@ -1,12 +1,23 @@
 //! Closed-loop load generator for the `lease-svc` runtime.
 //!
 //! For each shard count (1, 2, 4, 8 by default) this spawns a sharded
-//! lease service over in-memory storage, drives it with closed-loop
-//! client threads issuing fetches plus an occasional write (which
-//! exercises the approval round trip, including cross-shard write-id
-//! translation), and reports sustained grants/sec and p50/p95/p99 op
-//! latency. Results are also written to `BENCH_svc.json` so future PRs
-//! can diff the sweep against a recorded baseline.
+//! lease service over in-memory storage and drives it two ways:
+//!
+//! * **per-op** (`batch=1`): closed-loop client threads issuing one
+//!   fetch (plus an occasional write, exercising the approval round trip
+//!   and cross-shard write-id translation) and waiting for its reply —
+//!   the pre-batching submission path, kept as the latency-oriented
+//!   baseline;
+//! * **batched** (`batch=N`): windowed pipelined clients that stage `N`
+//!   ops into a [`BatchBuf`], submit them with one routing pass and one
+//!   locked enqueue per touched shard (`try_send_batch`), and keep
+//!   `batch × 2 × shards` ops in flight — the throughput path the
+//!   sharded service is built around.
+//!
+//! It reports sustained ops/sec, grants/sec and p50/p95/p99 op latency
+//! per row. Results are written to `BENCH_svc.json` so future PRs can
+//! diff the sweep against a recorded baseline, and `--check PATH` turns
+//! the sweep into a regression gate (see `--help`).
 //!
 //! Flags (see `--help`) take precedence over the environment knobs:
 //!
@@ -16,7 +27,9 @@
 //! | `LEASE_LOAD_CLIENTS` | closed-loop client threads           | 4         |
 //! | `LEASE_LOAD_FILES`   | distinct resources                   | 256       |
 //! | `LEASE_LOAD_SHARDS`  | comma-separated shard counts         | 1,2,4,8   |
+//! | `LEASE_LOAD_BATCH`   | client batch size for batched rows   | 32        |
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,7 +40,7 @@ use lease_clock::Dur;
 use lease_core::{
     ClientId, LeaseServer, MemStorage, ReqId, ServerConfig, Storage, ToClient, ToServer,
 };
-use lease_svc::{ClientSink, LeaseService, SvcConfig, SvcHandle, SvcHooks};
+use lease_svc::{BatchBuf, ClientSink, LeaseService, SvcConfig, SvcHandle, SvcHooks};
 
 type R = u64;
 type D = u64;
@@ -40,14 +53,20 @@ svc_load: closed-loop load generator for the sharded lease service
   --shards LIST   comma-separated shard counts to sweep (default 1,2,4,8)
   --ms N          measured window per configuration in ms (default 1000)
   --files N       distinct resources (default 256)
+  --batch N       client batch size for the batched rows (default 32)
   --json PATH     where to write the sweep results (default BENCH_svc.json)
+  --check PATH    measure, then gate against the baseline at PATH instead
+                  of writing: fail unless batched ops/s at shards=4 beats
+                  shards=1, and unless that scaling ratio is within 25%
+                  of the baseline's. One re-measure before failing.
   --help          this text
 
 Client threads are pinned round-robin across cores (best effort, Linux
 only) so the sweep measures shard *speedup* on multi-core hosts. On a
-single hardware thread the shard counts land within noise of each other:
-shard workers and clients time-slice one core, so the sweep bounds
-sharding overhead there rather than demonstrating scaling.";
+single hardware thread the per-op rows land within noise of each other
+(shard workers and clients time-slice one core); the batched rows still
+scale with shards there because the in-flight window — and so the work a
+shard drains per wakeup — grows with the shard count.";
 
 /// Best-effort pin of the calling thread to `core` (Linux). Declared raw
 /// to stay dependency-free; failures are ignored — affinity is an
@@ -80,6 +99,32 @@ impl ClientSink<R, D> for ChannelSink {
     fn deliver(&self, to: ClientId, msg: ToClient<R, D>) {
         let _ = self.txs[to.0 as usize].send(msg);
     }
+
+    fn deliver_batch(&self, msgs: &mut Vec<(ClientId, ToClient<R, D>)>) {
+        // Group consecutive same-client replies so each run costs one
+        // locked enqueue instead of one per message.
+        let mut run: Vec<ToClient<R, D>> = Vec::new();
+        let mut it = msgs.drain(..).peekable();
+        while let Some((to, msg)) = it.next() {
+            run.push(msg);
+            while it.peek().is_some_and(|(next, _)| *next == to) {
+                run.push(it.next().unwrap().1);
+            }
+            let _ = self.txs[to.0 as usize].send_many(run.drain(..));
+        }
+    }
+}
+
+/// Deterministic per-client LCG so runs are comparable.
+fn rng_seed(id: ClientId) -> u64 {
+    0x9e37_79b9_7f4a_7c15 ^ (u64::from(id.0)).wrapping_mul(0xbf58_476d_1ce4_e5b9)
+}
+
+fn rng_next(rng: &mut u64) -> u64 {
+    *rng = rng
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *rng
 }
 
 /// One closed-loop client: send an op, wait for its reply, repeat.
@@ -92,16 +137,11 @@ fn client_loop(
     stop: Arc<AtomicBool>,
 ) -> Vec<u64> {
     pin_to_core(id.0 as usize);
-    // Deterministic per-client LCG so runs are comparable.
-    let mut rng: u64 =
-        0x9e37_79b9_7f4a_7c15 ^ (u64::from(id.0)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let mut rng = rng_seed(id);
     let mut next_req: u64 = 1;
     let mut latencies = Vec::new();
     while !stop.load(Ordering::Relaxed) {
-        rng = rng
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        let resource = (rng >> 33) % files;
+        let resource = (rng_next(&mut rng) >> 33) % files;
         let req = ReqId(next_req);
         next_req += 1;
         let msg = if next_req.is_multiple_of(32) {
@@ -161,6 +201,118 @@ fn client_loop(
     latencies
 }
 
+/// One windowed pipelined client: keep `batch × 2 × shards` ops in
+/// flight, staging `batch` at a time into a [`BatchBuf`] and submitting
+/// each buffer with a single `try_send_batch`. Refused messages stay in
+/// the buffer and are resubmitted after draining replies (the same
+/// pacing lease-rt applies on `RetryAfter`). Latency is measured from
+/// staging, so it includes time spent queued in the buffer and window.
+fn client_loop_batched(
+    id: ClientId,
+    handle: SvcHandle<R, D>,
+    rx: Receiver<ToClient<R, D>>,
+    files: u64,
+    stop: Arc<AtomicBool>,
+    batch: usize,
+    shards: usize,
+) -> Vec<u64> {
+    pin_to_core(id.0 as usize);
+    // Per-shard pipeline depth is constant, so the aggregate window (and
+    // the work a shard drains per wakeup) grows with the shard count.
+    let window = batch * 2 * shards;
+    let mut rng = rng_seed(id);
+    let mut next_req: u64 = 1;
+    let mut latencies = Vec::new();
+    // In-flight ops: req id -> (staged-at, target resource).
+    let mut pending: HashMap<u64, (Instant, u64)> = HashMap::new();
+    let mut buf: BatchBuf<R, D> = BatchBuf::new();
+    // After `stop`, drain what is in flight (bounded) so the final
+    // window's writes can still collect their approvals.
+    let mut drain_until: Option<Instant> = None;
+    loop {
+        let stopping = stop.load(Ordering::Relaxed);
+        if stopping {
+            if pending.is_empty() {
+                break;
+            }
+            let deadline =
+                *drain_until.get_or_insert_with(|| Instant::now() + Duration::from_secs(2));
+            if Instant::now() >= deadline {
+                break;
+            }
+        } else {
+            // Refill the pipeline up to the window, one batch at a time.
+            while buf.len() < batch && buf.len() + pending.len() < window {
+                let resource = (rng_next(&mut rng) >> 33) % files;
+                let req = next_req;
+                next_req += 1;
+                let msg = if next_req.is_multiple_of(32) {
+                    ToServer::Write {
+                        req: ReqId(req),
+                        resource,
+                        data: next_req,
+                    }
+                } else {
+                    ToServer::Fetch {
+                        req: ReqId(req),
+                        resource,
+                        cached: None,
+                        also_extend: Vec::new(),
+                    }
+                };
+                pending.insert(req, (Instant::now(), resource));
+                buf.push(id, msg);
+            }
+        }
+        // One routing pass, one locked enqueue per touched shard; what
+        // the mailboxes refuse stays in `buf` for the next pass.
+        if !buf.is_empty() && handle.try_send_batch(&mut buf).is_err() {
+            return latencies;
+        }
+        // Drain replies: block for one, then sweep the queue dry.
+        let first = match rx.recv_timeout(Duration::from_millis(if stopping { 20 } else { 5000 })) {
+            Ok(m) => m,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return latencies,
+        };
+        let mut next = Some(first);
+        while let Some(m) = next {
+            match m {
+                ToClient::Grants { req, grants } => {
+                    if let Some((t0, resource)) = pending.get(&req.0).copied() {
+                        if grants.iter().any(|g| g.resource == resource) {
+                            pending.remove(&req.0);
+                            latencies.push(t0.elapsed().as_nanos() as u64);
+                        }
+                    }
+                }
+                ToClient::WriteDone { req, .. } => {
+                    if let Some((t0, _)) = pending.remove(&req.0) {
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                    }
+                }
+                ToClient::ApprovalRequest { write_id, .. } => {
+                    // Approvals ride the next batch; they must not wait
+                    // for the window (a peer's write is blocked on them).
+                    buf.push(id, ToServer::Approve { write_id });
+                }
+                _ => {}
+            }
+            next = rx.try_recv().ok();
+        }
+    }
+    // Grace drain: peers may still be waiting on approvals from us.
+    let grace = Instant::now();
+    while grace.elapsed() < Duration::from_millis(100) {
+        if let Ok(ToClient::ApprovalRequest { write_id, .. }) =
+            rx.recv_timeout(Duration::from_millis(20))
+        {
+            let _ = handle.send(id, ToServer::Approve { write_id });
+        }
+    }
+    latencies
+}
+
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
@@ -169,9 +321,12 @@ fn env_u64(name: &str, default: u64) -> u64 {
 }
 
 /// One row of the sweep, as printed and as recorded in `BENCH_svc.json`.
+/// `batch == 1` rows come from the per-op closed loop; larger batches
+/// from the windowed pipelined loop.
 #[derive(serde::Serialize, serde::Deserialize)]
 struct SweepRow {
     shards: usize,
+    batch: usize,
     ops: u64,
     ops_per_sec: f64,
     grants_per_sec: f64,
@@ -189,7 +344,7 @@ struct SvcBench {
     rows: Vec<SweepRow>,
 }
 
-fn run_config(shards: usize, clients: u32, files: u64, window: Duration) -> SweepRow {
+fn run_config(shards: usize, clients: u32, files: u64, window: Duration, batch: usize) -> SweepRow {
     let mut txs = Vec::new();
     let mut rxs = Vec::new();
     for _ in 0..clients {
@@ -197,10 +352,13 @@ fn run_config(shards: usize, clients: u32, files: u64, window: Duration) -> Swee
         txs.push(tx);
         rxs.push(rx);
     }
+    let base = SvcConfig::default();
     let service = LeaseService::spawn(
         SvcConfig {
             shards,
-            ..SvcConfig::default()
+            // Let a worker drain a whole client sub-batch per wakeup.
+            batch: base.batch.max(batch * 2),
+            ..base
         },
         Arc::new(ChannelSink { txs }),
         SvcHooks::default(),
@@ -226,7 +384,14 @@ fn run_config(shards: usize, clients: u32, files: u64, window: Duration) -> Swee
         .map(|(i, rx)| {
             let handle = handle.clone();
             let stop = stop.clone();
-            std::thread::spawn(move || client_loop(ClientId(i as u32), handle, rx, files, stop))
+            std::thread::spawn(move || {
+                let id = ClientId(i as u32);
+                if batch > 1 {
+                    client_loop_batched(id, handle, rx, files, stop, batch, shards)
+                } else {
+                    client_loop(id, handle, rx, files, stop)
+                }
+            })
         })
         .collect();
     std::thread::sleep(window);
@@ -244,6 +409,7 @@ fn run_config(shards: usize, clients: u32, files: u64, window: Duration) -> Swee
     lats.sort_unstable();
     let row = SweepRow {
         shards,
+        batch,
         ops: lats.len() as u64,
         ops_per_sec: lats.len() as f64 / elapsed.as_secs_f64(),
         grants_per_sec: grants as f64 / elapsed.as_secs_f64(),
@@ -252,8 +418,9 @@ fn run_config(shards: usize, clients: u32, files: u64, window: Duration) -> Swee
         p99_us: percentile(&lats, 0.99) / 1_000,
     };
     println!(
-        "shards={:<2} ops={:>8} ops/s={:>8.0} grants/s={:>8.0} p50={:>5}us p95={:>5}us p99={:>5}us",
+        "shards={:<2} batch={:<3} ops={:>8} ops/s={:>8.0} grants/s={:>8.0} p50={:>5}us p95={:>5}us p99={:>5}us",
         row.shards,
+        row.batch,
         row.ops,
         row.ops_per_sec,
         row.grants_per_sec,
@@ -264,12 +431,79 @@ fn run_config(shards: usize, clients: u32, files: u64, window: Duration) -> Swee
     row
 }
 
+struct Opts {
+    window: Duration,
+    clients: u32,
+    files: u64,
+    batch: usize,
+    shard_counts: Vec<usize>,
+}
+
+/// Runs the full sweep: a per-op row and a batched row per shard count.
+fn measure(o: &Opts) -> SvcBench {
+    let mut rows = Vec::new();
+    for &s in &o.shard_counts {
+        rows.push(run_config(s, o.clients, o.files, o.window, 1));
+        rows.push(run_config(s, o.clients, o.files, o.window, o.batch));
+    }
+    SvcBench {
+        schema: "lease-bench/BENCH_svc/v2".to_string(),
+        clients: o.clients,
+        files: o.files,
+        window_ms: o.window.as_millis() as u64,
+        rows,
+    }
+}
+
+fn batched_ops(bench: &SvcBench, shards: usize) -> Option<f64> {
+    bench
+        .rows
+        .iter()
+        .find(|r| r.shards == shards && r.batch > 1)
+        .map(|r| r.ops_per_sec)
+}
+
+/// The scaling gate: batched throughput at 4 shards must strictly beat 1
+/// shard, and the s4/s1 ratio must sit within 25% of the checked-in
+/// baseline's (raw ops/s is machine-dependent; the ratio is what the
+/// batched path is supposed to protect).
+fn check(fresh: &SvcBench, baseline_path: &str) -> Result<(), String> {
+    let (s1, s4) = match (batched_ops(fresh, 1), batched_ops(fresh, 4)) {
+        (Some(s1), Some(s4)) => (s1, s4),
+        _ => return Err("check needs batched rows for shards=1 and shards=4".into()),
+    };
+    let ratio = s4 / s1;
+    println!("check scaling: batched s4/s1 = {ratio:.2}x ({s4:.0} vs {s1:.0} ops/s)");
+    if s4 <= s1 {
+        return Err(format!(
+            "batched ops/s did not scale: shards=4 ({s4:.0}) <= shards=1 ({s1:.0})"
+        ));
+    }
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline: SvcBench =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {baseline_path}: {e:?}"))?;
+    if let (Some(b1), Some(b4)) = (batched_ops(&baseline, 1), batched_ops(&baseline, 4)) {
+        let b_ratio = b4 / b1;
+        let floor = b_ratio * 0.75;
+        println!("check baseline: s4/s1 = {b_ratio:.2}x (floor {floor:.2}x)");
+        if ratio < floor {
+            return Err(format!(
+                "scaling ratio {ratio:.2}x regressed >25% below baseline {b_ratio:.2}x"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn main() {
     let mut window = Duration::from_millis(env_u64("LEASE_LOAD_MS", 1_000));
     let mut clients = env_u64("LEASE_LOAD_CLIENTS", 4) as u32;
     let mut files = env_u64("LEASE_LOAD_FILES", 256);
+    let mut batch = env_u64("LEASE_LOAD_BATCH", 32) as usize;
     let mut shard_list = std::env::var("LEASE_LOAD_SHARDS").unwrap_or_else(|_| "1,2,4,8".into());
     let mut json_path = "BENCH_svc.json".to_string();
+    let mut check_path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -305,8 +539,16 @@ fn main() {
                 files = v.parse().unwrap_or(256);
                 i += 2;
             }
+            ("--batch", Some(v)) => {
+                batch = v.parse::<usize>().unwrap_or(32).max(2);
+                i += 2;
+            }
             ("--json", Some(v)) => {
                 json_path = v.clone();
+                i += 2;
+            }
+            ("--check", Some(v)) => {
+                check_path = Some(v.clone());
                 i += 2;
             }
             (other, _) => {
@@ -316,33 +558,48 @@ fn main() {
         }
     }
 
+    let opts = Opts {
+        window,
+        clients,
+        files,
+        batch,
+        shard_counts: shard_list
+            .split(',')
+            .filter_map(|s| s.trim().parse::<usize>().ok())
+            .map(|s| s.max(1))
+            .collect(),
+    };
     println!(
-        "svc_load: {clients} closed-loop clients, {files} files, {}ms window per config ({} cores)",
+        "svc_load: {clients} closed-loop clients, {files} files, batch {batch}, {}ms window per config ({} cores)",
         window.as_millis(),
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
     );
-    let rows: Vec<SweepRow> = shard_list
-        .split(',')
-        .filter_map(|s| s.trim().parse::<usize>().ok())
-        .map(|s| run_config(s.max(1), clients, files, window))
-        .collect();
-    let out = SvcBench {
-        schema: "lease-bench/BENCH_svc/v1".to_string(),
-        clients,
-        files,
-        window_ms: window.as_millis() as u64,
-        rows,
-    };
-    match serde_json::to_string_pretty(&out) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&json_path, s + "\n") {
-                eprintln!("warning: cannot write {json_path}: {e}");
-            } else {
-                println!("wrote {json_path}");
+    let fresh = measure(&opts);
+    match check_path {
+        Some(path) => {
+            if let Err(first) = check(&fresh, &path) {
+                // One retry before failing: even batched-throughput
+                // ratios can be unlucky on a loaded host.
+                eprintln!("svc_load --check below floor ({first}); re-measuring once");
+                let again = measure(&opts);
+                if let Err(e) = check(&again, &path) {
+                    eprintln!("svc_load --check FAILED: {e}");
+                    std::process::exit(1);
+                }
             }
+            println!("svc_load --check OK");
         }
-        Err(e) => eprintln!("warning: cannot serialize sweep: {e:?}"),
+        None => match serde_json::to_string_pretty(&fresh) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&json_path, s + "\n") {
+                    eprintln!("warning: cannot write {json_path}: {e}");
+                } else {
+                    println!("wrote {json_path}");
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize sweep: {e:?}"),
+        },
     }
 }

@@ -72,6 +72,7 @@
 //! ```
 
 pub mod client;
+pub mod hash;
 pub mod msg;
 pub mod policy;
 pub mod server;
@@ -85,6 +86,7 @@ pub use client::{
     Backoff, ClientConfig, ClientCounters, ClientInput, ClientOutput, ClientTimer, LeaseClient, Op,
     OpError, OpOutcome, OpResult,
 };
+pub use hash::{fx_hash, FxHasher};
 pub use msg::{ErrorReason, Grant, ToClient, ToServer};
 pub use policy::{AdaptiveTerm, ClosurePolicy, CompensatedTerm, FixedTerm, TermPolicy};
 pub use server::{

@@ -265,6 +265,37 @@ impl ClientSink<Res, Bytes> for RtSink {
         }
         let _ = link.tx.send(msg);
     }
+
+    fn deliver_batch(&self, msgs: &mut Vec<(ClientId, ToClient<Res, Bytes>)>) {
+        if self.chaos.is_some() {
+            // Chaos rolls per-message dice (drop/delay/duplicate); keep
+            // the one-at-a-time path so fault plans replay identically.
+            for (to, msg) in msgs.drain(..) {
+                self.deliver(to, msg);
+            }
+            return;
+        }
+        // Shard replies arrive heavily run-clustered (one client's batch
+        // drains in order), so group consecutive same-client messages and
+        // push each run through one locked enqueue.
+        let mut it = msgs.drain(..).peekable();
+        let mut run: Vec<ToClient<Res, Bytes>> = Vec::new();
+        while let Some((to, msg)) = it.next() {
+            run.push(msg);
+            while let Some((next, _)) = it.peek() {
+                if *next != to {
+                    break;
+                }
+                run.push(it.next().unwrap().1);
+            }
+            let link = &self.links[to.0 as usize];
+            if link.cut.load(Ordering::Relaxed) {
+                run.clear();
+                continue;
+            }
+            let _ = link.tx.send_many(run.drain(..));
+        }
+    }
 }
 
 /// What became of a client's submission attempt.

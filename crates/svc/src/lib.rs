@@ -12,8 +12,16 @@
 //!   across N single-threaded shard workers, each owning its slice of the
 //!   lease table behind a bounded crossbeam mailbox. Distinct files never
 //!   contend; the paper's per-datum protocol makes the partition exact.
-//! * **Batching** — a worker drains its mailbox in batches, so one wakeup
-//!   amortizes grant/extend/approval processing and timer maintenance.
+//! * **Batching** — batched end to end. Ingress: [`SvcHandle::send_batch`]
+//!   routes a whole [`BatchBuf`] in one pass and submits one locked
+//!   enqueue per touched shard. Worker: a shard drains its mailbox in
+//!   batches, so one wakeup amortizes grant/extend/approval processing
+//!   and timer maintenance. Egress: replies accumulate across the whole
+//!   wakeup and leave through a single [`ClientSink::deliver_batch`] call.
+//! * **Adaptive parking** — a loaded shard spins briefly
+//!   (`SvcConfig::spin` polls) for its next batch before falling back to
+//!   a timed park on the mailbox condvar, keeping the hot path off the
+//!   futex without burning an idle core.
 //! * **Timer wheel** — lease expirations and write deadlines are driven by
 //!   a hierarchical [`TimerWheel`] (O(1) amortized per timer) instead of a
 //!   heap or a table scan; the table's own expiry index is consulted only
@@ -95,7 +103,8 @@ pub use lease_core::wheel;
 
 pub use chaos::{Delivery, FaultPlan, LinkChaos};
 pub use service::{
-    shard_of, ClientSink, LeaseService, SvcConfig, SvcError, SvcHandle, SvcHooks, SvcStats,
+    shard_of, BatchBuf, ClientSink, LeaseService, SvcConfig, SvcError, SvcHandle, SvcHooks,
+    SvcStats,
 };
 pub use shard::INJECTED_KILL;
 pub use wheel::TimerWheel;

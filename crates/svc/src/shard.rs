@@ -2,10 +2,19 @@
 //!
 //! Each worker runs an unmodified `lease-core` [`LeaseServer`] over the
 //! resources that hash to its shard. It drains its mailbox in batches (one
-//! wakeup amortizes many grants/extends/approvals), drives the core's
-//! timers and the table's expiry pruning from a hierarchical
-//! [`TimerWheel`], and rewrites write ids on outbound approval requests so
-//! that approvals can be routed back to the owning shard from anywhere.
+//! wakeup amortizes many grants/extends/approvals), accumulates every
+//! reply those inputs and the timer advance produce into an outbox that
+//! leaves through a single [`ClientSink::deliver_batch`] call per wakeup,
+//! drives the core's timers and the table's expiry pruning from a
+//! hierarchical [`TimerWheel`], and rewrites write ids on outbound
+//! approval requests so that approvals can be routed back to the owning
+//! shard from anywhere.
+//!
+//! Between batches the worker parks *adaptively*: after a non-empty drain
+//! it polls the mailbox up to `SvcConfig::spin` times (`try_recv` with a
+//! spin-loop hint) before falling back to the timed condvar park, so a
+//! loaded shard picks up its next batch without a futex round trip while
+//! an idle shard sleeps exactly as before.
 //!
 //! # Supervision
 //!
@@ -20,6 +29,13 @@
 //! incarnation carry its old epoch and are dropped on arrival instead of
 //! being misapplied to an unrelated post-restart write with the same local
 //! id — in-flight cross-shard write ids fail cleanly rather than leak.
+//!
+//! An *injected* kill is message-aligned: the dying worker flushes replies
+//! it already computed and stashes the drained-but-unprocessed tail of its
+//! batch for the next incarnation to replay first, so a kill's observable
+//! effect does not depend on how the mailbox was chunked into batches
+//! (seeded chaos plans replay identically). Organic panics make no such
+//! promise — a real crash may lose its in-flight batch and outbox.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -27,11 +43,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use lease_clock::{Clock, Dur, Time};
 use lease_core::{
-    LeaseServer, Resource, ServerCounters, ServerInput, ServerOutput, ServerTimer, Storage,
-    ToClient, ToServer, WriteId,
+    ClientId, LeaseServer, Resource, ServerCounters, ServerInput, ServerOutput, ServerTimer,
+    Storage, ToClient, ToServer, WriteId,
 };
 
 use crate::service::{ClientSink, SvcHooks};
@@ -97,12 +113,20 @@ pub(crate) struct ShardCtx<R: Resource, D> {
     pub batch: usize,
     pub tick: Dur,
     pub idle_wait: Dur,
+    pub spin: usize,
     pub sink: Arc<dyn ClientSink<R, D>>,
     pub hooks: SvcHooks,
     pub clock: Arc<dyn Clock>,
     pub factory: ShardFactory<R, D>,
     /// Completed restarts of this shard, shared with the service for stats.
     pub restarts: Arc<AtomicU64>,
+    /// Messages an injected kill had already drained but not yet
+    /// processed, handed across the panic to the next incarnation (which
+    /// replays them before touching the mailbox, preserving FIFO order).
+    /// Keeps the kill's crash boundary message-aligned no matter how the
+    /// mailbox was chunked into batches; organic panics don't use it — a
+    /// real crash may lose its in-flight batch.
+    pub stash: std::sync::Mutex<Vec<ShardMsg<R, D>>>,
 }
 
 /// Rewrites a shard-local write id into the service-global namespace
@@ -124,6 +148,7 @@ fn apply<R, D>(
     outs: Vec<ServerOutput<R, D>>,
     wheel: &mut TimerWheel<WheelKey>,
     armed: &mut HashMap<WheelKey, Time>,
+    outbox: &mut Vec<(ClientId, ToClient<R, D>)>,
     ctx: &ShardCtx<R, D>,
     epoch: u64,
 ) where
@@ -132,11 +157,14 @@ fn apply<R, D>(
 {
     for o in outs {
         match o {
-            ServerOutput::Send { to, msg } => ctx.sink.deliver(to, globalize(msg, ctx, epoch)),
+            // Outbound protocol messages accumulate in the worker's
+            // outbox and leave in one `deliver_batch` per wakeup, so the
+            // sink's per-call cost is paid per flush, not per message.
+            ServerOutput::Send { to, msg } => outbox.push((to, globalize(msg, ctx, epoch))),
             ServerOutput::Multicast { to, msg } => {
                 let msg = globalize(msg, ctx, epoch);
                 for c in to {
-                    ctx.sink.deliver(c, msg.clone());
+                    outbox.push((c, msg.clone()));
                 }
             }
             ServerOutput::SetTimer { at, timer } => {
@@ -185,6 +213,25 @@ enum Exit {
     Disconnected,
 }
 
+/// Bounded hot-poll of the mailbox: up to `budget` `try_recv`s separated
+/// by spin-loop hints. A shard under sustained load picks up its next
+/// batch here without ever touching the futex under the channel's
+/// condvar; when the budget expires the caller falls back to the timed
+/// park. `Err(())` means every sender is gone.
+fn spin_recv<R, D>(
+    rx: &Receiver<ShardMsg<R, D>>,
+    budget: usize,
+) -> Result<Option<ShardMsg<R, D>>, ()> {
+    for _ in 0..budget {
+        match rx.try_recv() {
+            Ok(m) => return Ok(Some(m)),
+            Err(TryRecvError::Empty) => std::hint::spin_loop(),
+            Err(TryRecvError::Disconnected) => return Err(()),
+        }
+    }
+    Ok(None)
+}
+
 /// One incarnation of the worker: runs until shutdown, disconnect, or
 /// panic.
 fn run<R, D>(rx: &Receiver<ShardMsg<R, D>>, ctx: &ShardCtx<R, D>, epoch: u64) -> Exit
@@ -196,6 +243,7 @@ where
     let now = ctx.clock.now();
     let mut wheel: TimerWheel<WheelKey> = TimerWheel::new(ctx.tick, now);
     let mut armed: HashMap<WheelKey, Time> = HashMap::new();
+    let mut outbox: Vec<(ClientId, ToClient<R, D>)> = Vec::new();
     let outs = if epoch == 0 {
         server.start(now, &*storage)
     } else {
@@ -206,9 +254,17 @@ where
         let max_term = ctx.hooks.recover_max_term.as_ref().and_then(|f| f());
         server.recover(now, max_term, Vec::new(), &*storage)
     };
-    apply(outs, &mut wheel, &mut armed, ctx, epoch);
+    apply(outs, &mut wheel, &mut armed, &mut outbox, ctx, epoch);
 
-    let mut batch: Vec<ShardMsg<R, D>> = Vec::with_capacity(ctx.batch);
+    // Start from whatever an injected kill left half-drained: those
+    // messages precede everything still in the mailbox, so the new
+    // incarnation replays them first, preserving FIFO order.
+    let mut batch: Vec<ShardMsg<R, D>> = std::mem::take(&mut *ctx.stash.lock().unwrap());
+    batch.reserve(ctx.batch.saturating_sub(batch.len()));
+    // Whether the last wakeup drained any input — the adaptive-park
+    // signal: loaded shards spin briefly for the next batch, idle shards
+    // park on the condvar exactly as before.
+    let mut hot = false;
     loop {
         // Fire due wheel entries, skipping superseded ones.
         for (at, k) in wheel.advance(ctx.clock.now()) {
@@ -226,66 +282,117 @@ where
                         ServerInput::Timer(timer_of(enc)),
                         &mut *storage,
                     );
-                    apply(outs, &mut wheel, &mut armed, ctx, epoch);
+                    apply(outs, &mut wheel, &mut armed, &mut outbox, ctx, epoch);
                 }
             }
         }
         schedule_prune(&mut wheel, &mut armed, server.table().next_expiry());
 
-        // Sleep until the next wheel deadline (capped), then drain
-        // a batch so one wakeup amortizes many messages.
-        let wait = std::time::Duration::from(
-            wheel
-                .next_deadline()
-                .map(|at| at.saturating_since(ctx.clock.now()))
-                .map_or(ctx.idle_wait, |d| d.min(ctx.idle_wait)),
-        );
-        match rx.recv_timeout(wait) {
-            Ok(m) => {
+        // One egress flush per wakeup: everything the drained batch and
+        // the wheel advance produced leaves in a single sink call.
+        if !outbox.is_empty() {
+            ctx.sink.deliver_batch(&mut outbox);
+            outbox.clear(); // In case a custom sink did not drain fully.
+        }
+
+        // Wait for input (unless a replayed stash is already pending):
+        // spin briefly while hot, then park until the next wheel
+        // deadline (capped).
+        if batch.is_empty() {
+            let first = match spin_recv(rx, if hot { ctx.spin } else { 0 }) {
+                Err(()) => return Exit::Disconnected,
+                Ok(Some(m)) => Some(m),
+                Ok(None) => {
+                    let wait = std::time::Duration::from(
+                        wheel
+                            .next_deadline()
+                            .map(|at| at.saturating_since(ctx.clock.now()))
+                            .map_or(ctx.idle_wait, |d| d.min(ctx.idle_wait)),
+                    );
+                    match rx.recv_timeout(wait) {
+                        Ok(m) => Some(m),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => return Exit::Disconnected,
+                    }
+                }
+            };
+            if let Some(m) = first {
+                // Drain the rest of the batch in one locked sweep.
                 batch.push(m);
-                while batch.len() < ctx.batch {
-                    match rx.try_recv() {
-                        Ok(m) => batch.push(m),
-                        Err(_) => break,
+                rx.recv_many(&mut batch, ctx.batch.saturating_sub(1));
+            }
+        }
+        hot = !batch.is_empty();
+        {
+            // Indexed iteration (with a cheap placeholder swap) so the
+            // Kill arm can move the unprocessed tail into the stash.
+            for i in 0..batch.len() {
+                let m = std::mem::replace(&mut batch[i], ShardMsg::Kill);
+                match m {
+                    ShardMsg::Input(input) => {
+                        let input = match input {
+                            ServerInput::Msg {
+                                from,
+                                msg: ToServer::Approve { write_id },
+                            } => {
+                                // Strip the epoch tag; an approval minted
+                                // by a previous incarnation approves
+                                // nothing now — its write died with the
+                                // crash and the writer will retransmit.
+                                if write_id.0 & EPOCH_MASK != epoch & EPOCH_MASK {
+                                    continue;
+                                }
+                                ServerInput::Msg {
+                                    from,
+                                    msg: ToServer::Approve {
+                                        write_id: WriteId(write_id.0 >> EPOCH_BITS),
+                                    },
+                                }
+                            }
+                            other => other,
+                        };
+                        let outs = server.handle(ctx.clock.now(), input, &mut *storage);
+                        apply(outs, &mut wheel, &mut armed, &mut outbox, ctx, epoch);
+                    }
+                    ShardMsg::Stats(reply) => {
+                        // Flush before answering: a stats reply certifies
+                        // that every reply to earlier input has left the
+                        // service (the barrier `LeaseService::stats`
+                        // documents and the equivalence tests rely on).
+                        if !outbox.is_empty() {
+                            ctx.sink.deliver_batch(&mut outbox);
+                            outbox.clear();
+                        }
+                        let _ = reply.send(server.counters);
+                    }
+                    ShardMsg::Kill => {
+                        // Make the injected crash boundary exactly this
+                        // message, independent of batch chunking: flush
+                        // replies already computed for earlier inputs,
+                        // and hand the drained-but-unprocessed tail to
+                        // the next incarnation via the stash. Seeded
+                        // chaos plans (and the batch-equivalence tests)
+                        // rely on a kill's observable effect not
+                        // depending on how the mailbox happened to be
+                        // chunked into batches.
+                        if !outbox.is_empty() {
+                            ctx.sink.deliver_batch(&mut outbox);
+                        }
+                        *ctx.stash.lock().unwrap() = batch.drain(i + 1..).collect();
+                        panic!("{INJECTED_KILL}")
+                    }
+                    ShardMsg::Shutdown => {
+                        // Deliver what this batch already produced; the
+                        // rest of the mailbox is abandoned with the
+                        // service.
+                        if !outbox.is_empty() {
+                            ctx.sink.deliver_batch(&mut outbox);
+                        }
+                        return Exit::Shutdown;
                     }
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return Exit::Disconnected,
-        }
-        for m in batch.drain(..) {
-            match m {
-                ShardMsg::Input(input) => {
-                    let input = match input {
-                        ServerInput::Msg {
-                            from,
-                            msg: ToServer::Approve { write_id },
-                        } => {
-                            // Strip the epoch tag; an approval minted by a
-                            // previous incarnation approves nothing now —
-                            // its write died with the crash and the writer
-                            // will retransmit.
-                            if write_id.0 & EPOCH_MASK != epoch & EPOCH_MASK {
-                                continue;
-                            }
-                            ServerInput::Msg {
-                                from,
-                                msg: ToServer::Approve {
-                                    write_id: WriteId(write_id.0 >> EPOCH_BITS),
-                                },
-                            }
-                        }
-                        other => other,
-                    };
-                    let outs = server.handle(ctx.clock.now(), input, &mut *storage);
-                    apply(outs, &mut wheel, &mut armed, ctx, epoch);
-                }
-                ShardMsg::Stats(reply) => {
-                    let _ = reply.send(server.counters);
-                }
-                ShardMsg::Kill => panic!("{INJECTED_KILL}"),
-                ShardMsg::Shutdown => return Exit::Shutdown,
-            }
+            batch.clear();
         }
     }
 }
