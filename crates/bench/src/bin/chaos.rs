@@ -23,6 +23,7 @@
 
 use std::time::{Duration, Instant};
 
+use lease_bench::sweep::{self, take_threads_arg};
 use lease_clock::Dur;
 use lease_faults::check_history;
 use lease_rt::{FaultPlan, RtSystem};
@@ -128,6 +129,20 @@ fn run_seed(seed: u64, term_ms: u64, duration: Duration) -> SeedReport {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Seeds run serially by default: each spins up a real multi-threaded
+    // RtSystem driven by wall-clock time, so concurrent seeds contend for
+    // cores and shift timings (never correctness — the oracle checks the
+    // recorded history either way). `--threads N` opts into overlapping
+    // them for a faster sweep.
+    let threads = take_threads_arg(&mut args, 1).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if let Some(a) = args.first() {
+        eprintln!("unknown argument {a} (only --threads N|auto is accepted)");
+        std::process::exit(2);
+    }
     let seeds = env_seeds();
     let duration = Duration::from_millis(env_u64("LEASE_CHAOS_MS", 900));
     let term_ms = env_u64("LEASE_CHAOS_TERM_MS", 200);
@@ -143,8 +158,10 @@ fn main() {
     println!("| seed | ops | timeouts | restarts | max write delay | oracle |");
     println!("|-----:|----:|---------:|---------:|----------------:|--------|");
     let mut failed = false;
-    for seed in seeds {
-        let r = run_seed(seed, term_ms, duration);
+    let reports = sweep::run(threads, &seeds, |_, &seed| {
+        run_seed(seed, term_ms, duration)
+    });
+    for r in reports {
         let verdict = if r.violations == 0 {
             "ok".to_string()
         } else {

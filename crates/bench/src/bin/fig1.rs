@@ -6,8 +6,8 @@
 //! V compile trace, each normalized to the zero-term load.
 
 use lease_analytic::Params;
-use lease_bench::{f3, figure_terms, save_json, spark, table};
-use lease_clock::Dur;
+use lease_bench::sweep::{available_cores, take_threads_arg};
+use lease_bench::{f3, figure_terms, run_sim_sweep, save_json, spark, table};
 use lease_workload::VTrace;
 use serde::Serialize;
 
@@ -22,17 +22,25 @@ struct Fig1Row {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_arg(&mut args, available_cores()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if let Some(a) = args.first() {
+        eprintln!("unknown argument {a} (only --threads N|auto is accepted)");
+        std::process::exit(2);
+    }
     let base = Params::v_system();
     let terms = figure_terms();
 
-    // The Trace curve: run the full simulated system at each term and
+    // The Trace curve: run the full simulated system at each term (fanned
+    // across the sweep runner; each term is one self-contained sim) and
     // normalize consistency messages to the zero-term run.
     let trace = VTrace::calibrated(1989).generate();
-    let trace_loads: Vec<f64> = terms
+    let trace_loads: Vec<f64> = run_sim_sweep(&trace, &[7], &terms, threads)
         .iter()
-        .map(|&t| {
-            lease_bench::run_at_term(&trace, Dur::from_secs_f64(t), 7).consistency_msgs as f64
-        })
+        .map(|r| r.consistency_msgs as f64)
         .collect();
     let trace_zero = trace_loads[0].max(1.0);
 

@@ -7,8 +7,8 @@
 //! simulated system.
 
 use lease_analytic::Params;
-use lease_bench::{figure_terms, save_json, spark, table};
-use lease_clock::Dur;
+use lease_bench::sweep::{available_cores, take_threads_arg};
+use lease_bench::{figure_terms, run_sim_sweep, save_json, spark, table};
 use lease_workload::VTrace;
 use serde::Serialize;
 
@@ -22,15 +22,29 @@ struct Fig2Row {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_arg(&mut args, available_cores()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if let Some(a) = args.first() {
+        eprintln!("unknown argument {a} (only --threads N|auto is accepted)");
+        std::process::exit(2);
+    }
     let base = Params::v_system();
     let terms = figure_terms();
     let trace = VTrace::calibrated(1989).generate();
+    // One simulated run per term, fanned across the sweep runner.
+    let measured_delays: Vec<f64> = run_sim_sweep(&trace, &[7], &terms, threads)
+        .iter()
+        .map(|r| r.mean_delay_ms)
+        .collect();
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
-    for &t in &terms {
+    for (i, &t) in terms.iter().enumerate() {
         let d = |sh: f64| base.with_sharing(sh).added_delay(t) * 1e3;
-        let measured = lease_bench::run_at_term(&trace, Dur::from_secs_f64(t), 7).mean_delay_ms();
+        let measured = measured_delays[i];
         let row = Fig2Row {
             term: t,
             s1_ms: d(1.0),

@@ -6,6 +6,7 @@
 //! infinite term and a 30 second term degrades it by 3.6%".
 
 use lease_analytic::Params;
+use lease_bench::sweep::{self, available_cores, take_threads_arg};
 use lease_bench::{figure_terms, pct, save_json, spark, table};
 use lease_clock::Dur;
 use lease_net::NetParams;
@@ -23,13 +24,24 @@ struct Fig3Row {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_arg(&mut args, available_cores()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if let Some(a) = args.first() {
+        eprintln!("unknown argument {a} (only --threads N|auto is accepted)");
+        std::process::exit(2);
+    }
     let base = Params::v_system_wan();
     let baseline_response = 0.0995; // seconds; see EXPERIMENTS.md
     let trace = VTrace::calibrated(1989).generate();
     let mut terms = figure_terms();
     terms.push(60.0);
 
-    let run = |t: f64| {
+    // The WAN runs use a custom config, so fan the per-term sims across
+    // the sweep runner directly rather than via run_sim_sweep.
+    let measured: Vec<f64> = sweep::run(threads, &terms, |_, &t| {
         let cfg = SystemConfig {
             term: TermSpec::Fixed(Dur::from_secs_f64(t)),
             net: NetParams::wan_100ms(),
@@ -38,16 +50,16 @@ fn main() {
             ..SystemConfig::default()
         };
         run_trace(&cfg, &trace).mean_delay_ms()
-    };
+    });
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
-    for &t in &terms {
+    for (i, &t) in terms.iter().enumerate() {
         let row = Fig3Row {
             term: t,
             s1_ms: base.added_delay(t) * 1e3,
             s10_ms: base.with_sharing(10.0).added_delay(t) * 1e3,
-            trace_ms: run(t),
+            trace_ms: measured[i],
             degradation_vs_infinite: base.response_degradation(t, baseline_response),
         };
         rows.push(vec![

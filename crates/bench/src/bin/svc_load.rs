@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lease_bench::percentile;
+use lease_bench::sweep::{parse_threads, pin_to_core};
 use lease_clock::Dur;
 use lease_core::{
     ClientId, LeaseServer, MemStorage, ReqId, ServerConfig, Storage, ToClient, ToServer,
@@ -67,28 +68,6 @@ single hardware thread the per-op rows land within noise of each other
 (shard workers and clients time-slice one core); the batched rows still
 scale with shards there because the in-flight window — and so the work a
 shard drains per wakeup — grows with the shard count.";
-
-/// Best-effort pin of the calling thread to `core` (Linux). Declared raw
-/// to stay dependency-free; failures are ignored — affinity is an
-/// optimization of the measurement, not a correctness requirement.
-#[cfg(target_os = "linux")]
-fn pin_to_core(core: usize) {
-    // A 1024-bit cpu_set_t, the kernel ABI's default width.
-    let mut mask = [0u64; 16];
-    let bit = core % 1024;
-    mask[bit / 64] |= 1 << (bit % 64);
-    extern "C" {
-        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
-    }
-    // SAFETY: the mask outlives the call and the length matches it; pid 0
-    // means "calling thread" for sched_setaffinity.
-    unsafe {
-        let _ = sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
-    }
-}
-
-#[cfg(not(target_os = "linux"))]
-fn pin_to_core(_core: usize) {}
 
 /// Delivers shard output onto per-client reply channels.
 struct ChannelSink {
@@ -515,16 +494,10 @@ fn main() {
                 return;
             }
             ("--threads", Some(v)) => {
-                clients = if v == "auto" {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get() as u32)
-                        .unwrap_or(clients)
-                } else {
-                    v.parse().unwrap_or_else(|_| {
-                        eprintln!("--threads wants a number or `auto`, got {v}");
-                        std::process::exit(2);
-                    })
-                };
+                clients = parse_threads(v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }) as u32;
                 i += 2;
             }
             ("--shards", Some(v)) => {

@@ -15,6 +15,7 @@ use lease_vsys::{run_trace, RunReport, SystemConfig, TermSpec};
 use lease_workload::Trace;
 
 mod alloc_count;
+pub mod sweep;
 
 pub use alloc_count::allocations;
 
@@ -136,13 +137,87 @@ pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
 /// Runs the simulated system at a fixed term over `trace` with standard
 /// experiment settings (60 s warmup, batched extensions).
 pub fn run_at_term(trace: &Trace, term: Dur, seed: u64) -> RunReport {
+    run_at_term_with(trace, term, seed, lease_sim::QueueKind::default())
+}
+
+/// [`run_at_term`] with an explicit event-queue backend, for the
+/// wheel-vs-heap benchmark comparisons.
+pub fn run_at_term_with(
+    trace: &Trace,
+    term: Dur,
+    seed: u64,
+    queue: lease_sim::QueueKind,
+) -> RunReport {
     let cfg = SystemConfig {
         term: TermSpec::Fixed(term),
         warmup: Dur::from_secs(60),
         seed,
+        queue,
         ..SystemConfig::default()
     };
     run_trace(&cfg, trace)
+}
+
+/// One cell of a simulation sweep: the headline results of running the
+/// trace at `(seed, term)`. The fields are exactly what the figure
+/// binaries and the determinism tests consume; equality of two rows means
+/// the two runs were observationally identical.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimSweepRow {
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Lease term, seconds.
+    pub term_s: f64,
+    /// Consistency messages at the server (the Figure 1–3 y-axis input).
+    pub consistency_msgs: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Reads that contacted the server.
+    pub remote_reads: u64,
+    /// Writes completed.
+    pub writes: u64,
+    /// Mean added delay per operation, milliseconds.
+    pub mean_delay_ms: f64,
+    /// Simulator events processed.
+    pub sim_events: u64,
+}
+
+/// Runs the full `seeds × terms` grid of simulations over `trace` on up
+/// to `threads` workers (see [`sweep::run`]) and returns one row per
+/// cell, in grid order (seed-major). Each cell is a self-contained
+/// deterministic simulation, so the output is identical for any thread
+/// count.
+pub fn run_sim_sweep(
+    trace: &Trace,
+    seeds: &[u64],
+    terms: &[f64],
+    threads: usize,
+) -> Vec<SimSweepRow> {
+    let tasks: Vec<(u64, f64)> = seeds
+        .iter()
+        .flat_map(|&s| terms.iter().map(move |&t| (s, t)))
+        .collect();
+    sweep::run(threads, &tasks, |_, &(seed, term_s)| {
+        let r = run_at_term(trace, Dur::from_secs_f64(term_s), seed);
+        SimSweepRow {
+            seed,
+            term_s,
+            consistency_msgs: r.consistency_msgs,
+            hits: r.hits,
+            remote_reads: r.remote_reads,
+            writes: r.writes,
+            mean_delay_ms: r.mean_delay_ms(),
+            sim_events: r.sim_events,
+        }
+    })
+}
+
+/// A stable digest of a sweep's rows (via [`lease_core::fx_hash`] over
+/// the serialized JSON), used to assert byte-identical outputs across
+/// thread counts without checking in the whole row set.
+pub fn sweep_digest(rows: &[SimSweepRow]) -> String {
+    let json = serde_json::to_string(rows).unwrap_or_default();
+    format!("{:016x}", lease_core::fx_hash(&json))
 }
 
 /// The standard term grid used by the figures (seconds).

@@ -1,0 +1,51 @@
+//! The sweep runner's central promise: parallelism changes wall-clock,
+//! never results. Each task is a self-contained deterministic simulation,
+//! results merge in task order, so any thread count serializes to the
+//! same bytes.
+
+use lease_bench::{run_at_term_with, run_sim_sweep, sweep_digest};
+use lease_clock::Dur;
+use lease_sim::QueueKind;
+use lease_workload::VTrace;
+
+#[test]
+fn sweep_output_is_byte_identical_across_thread_counts() {
+    let trace = VTrace::calibrated(1989).generate();
+    let seeds = [7u64, 8];
+    let terms = [0.0, 1.0, 10.0];
+    let serial = run_sim_sweep(&trace, &seeds, &terms, 1);
+    for threads in [2, 4] {
+        let parallel = run_sim_sweep(&trace, &seeds, &terms, threads);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "threads={threads} must serialize to the same bytes as serial"
+        );
+        assert_eq!(sweep_digest(&serial), sweep_digest(&parallel));
+    }
+}
+
+#[test]
+fn sweep_rows_are_seed_major_grid_order() {
+    let trace = VTrace::calibrated(1989).generate();
+    let rows = run_sim_sweep(&trace, &[7, 8], &[0.0, 10.0], 4);
+    let grid: Vec<(u64, f64)> = rows.iter().map(|r| (r.seed, r.term_s)).collect();
+    assert_eq!(grid, vec![(7, 0.0), (7, 10.0), (8, 0.0), (8, 10.0)]);
+}
+
+/// The wheel-backed queue must be invisible at the experiment level: a
+/// full simulated run reports identical results on either backend.
+#[test]
+fn full_run_reports_match_across_queue_backends() {
+    let trace = VTrace::calibrated(1989).generate();
+    for term_s in [0.0, 10.0] {
+        let term = Dur::from_secs_f64(term_s);
+        let wheel = run_at_term_with(&trace, term, 7, QueueKind::Wheel);
+        let heap = run_at_term_with(&trace, term, 7, QueueKind::Heap);
+        assert_eq!(
+            serde_json::to_string(&wheel).unwrap(),
+            serde_json::to_string(&heap).unwrap(),
+            "term={term_s}s: wheel and heap runs must be observationally identical"
+        );
+    }
+}

@@ -76,6 +76,13 @@ pub struct TimerWheel<K> {
     /// level-sized hop when only outer levels hold entries) instead of
     /// stepping tick by tick.
     lens: [usize; LEVELS],
+    /// Per-level slot-occupancy bitmaps: bit `s` of `occ[l]` is set iff
+    /// `levels[l][s]` is non-empty. `SLOTS == 64` makes a level exactly
+    /// one machine word, so "first occupied slot past the current
+    /// position" — the inner loop of both [`TimerWheel::next_deadline`]
+    /// and the level-0 advance — is a rotate plus `trailing_zeros`
+    /// instead of a 64-slot scan.
+    occ: [u64; LEVELS],
     seq: u64,
     /// Fired-entry scratch reused across `advance_into` calls.
     fired: Vec<Entry<K>>,
@@ -100,6 +107,7 @@ impl<K: Ord> TimerWheel<K> {
             due: Vec::new(),
             len: 0,
             lens: [0; LEVELS],
+            occ: [0; LEVELS],
             seq: 0,
             fired: Vec::new(),
             spare: Vec::new(),
@@ -109,6 +117,23 @@ impl<K: Ord> TimerWheel<K> {
     /// Pending entries (including already-due ones not yet collected).
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// The wheel's position: the last tick fully covered by `advance`.
+    /// An entry scheduled at a deadline whose (rounded-up) tick is at or
+    /// before this value would land in the due list and fire on the next
+    /// `advance`; callers layering their own ready-set on top of the wheel
+    /// (the simulator's event queue) use this to route already-due entries
+    /// around the wheel entirely.
+    pub fn position_ticks(&self) -> u64 {
+        self.now_tick
+    }
+
+    /// The tick an entry scheduled at `at` occupies (deadline rounded up
+    /// to the tick boundary at or after it, the same quantization
+    /// [`TimerWheel::schedule`] applies).
+    pub fn tick_of(&self, at: Time) -> u64 {
+        at.0.div_ceil(self.tick_ns)
     }
 
     /// Whether nothing is scheduled.
@@ -129,6 +154,7 @@ impl<K: Ord> TimerWheel<K> {
         self.due.clear();
         self.len = 0;
         self.lens = [0; LEVELS];
+        self.occ = [0; LEVELS];
     }
 
     /// Schedules `key` to fire once `advance` is called with a time at or
@@ -158,6 +184,7 @@ impl<K: Ord> TimerWheel<K> {
                 let slot = ((e.tick >> (SLOT_BITS * l as u32)) % SLOTS as u64) as usize;
                 self.levels[l][slot].push(e);
                 self.lens[l] += 1;
+                self.occ[l] |= 1 << slot;
                 return;
             }
         }
@@ -176,7 +203,15 @@ impl<K: Ord> TimerWheel<K> {
     /// vector so steady-state callers (the slab table's prune path) fire
     /// timers without allocating.
     pub fn advance_into(&mut self, now: Time, out: &mut Vec<(Time, K)>) {
-        let target = now.0 / self.tick_ns;
+        self.advance_ticks_into(now.0 / self.tick_ns, out)
+    }
+
+    /// Advances to an exact tick count rather than a time. Time-addressed
+    /// `advance(now)` rounds *down* (a tick only fires once fully covered)
+    /// while `schedule(at)` rounds *up*, so a caller chasing a specific
+    /// entry (`advance(entry.at)`) can stall one tick short of it;
+    /// tick-addressed callers target `tick_of(deadline)` directly.
+    pub fn advance_ticks_into(&mut self, target: u64, out: &mut Vec<(Time, K)>) {
         debug_assert!(self.fired.is_empty());
         self.fired.append(&mut self.due);
         while self.now_tick < target {
@@ -186,18 +221,30 @@ impl<K: Ord> TimerWheel<K> {
                 break;
             }
             if self.lens[0] > 0 {
-                self.now_tick += 1;
+                // Jump straight to the next occupied level-0 slot, capped
+                // at the wrap boundary (where a cascade may refill level
+                // 0) and at the target; the slots in between are known
+                // empty, so stepping through them would only burn checks.
+                let cur = self.now_tick % SLOTS as u64;
+                let jump = self
+                    .first_occupied_off(0, cur)
+                    .unwrap_or(u64::MAX)
+                    .min(SLOTS as u64 - cur)
+                    .min(target - self.now_tick);
+                self.now_tick += jump;
                 let s0 = (self.now_tick % SLOTS as u64) as usize;
                 {
                     let TimerWheel {
                         levels,
                         fired,
                         lens,
+                        occ,
                         ..
                     } = &mut *self;
                     let slot = &mut levels[0][s0];
                     lens[0] -= slot.len();
                     fired.append(slot);
+                    occ[0] &= !(1 << s0);
                 }
                 if s0 == 0 {
                     self.cascade();
@@ -229,6 +276,20 @@ impl<K: Ord> TimerWheel<K> {
         out.extend(self.fired.drain(..).map(|e| (e.at, e.key)));
     }
 
+    /// Offset in `1..=SLOTS` from ring position `cur` of level `l` to its
+    /// first occupied slot, or `None` when the level is empty. Ring order
+    /// from the current position is tick order within level 0 and block
+    /// order in higher levels.
+    fn first_occupied_off(&self, l: usize, cur: u64) -> Option<u64> {
+        if self.occ[l] == 0 {
+            return None;
+        }
+        // Rotate so slot `cur + 1` lands at bit 0; the trailing zero
+        // count is then the offset past 1.
+        let rot = self.occ[l].rotate_right(((cur + 1) % SLOTS as u64) as u32);
+        Some(1 + u64::from(rot.trailing_zeros()))
+    }
+
     /// Redistributes the expiring slot of each higher level whose block
     /// boundary `now_tick` just crossed, innermost first. Entries landing
     /// on `now_tick` go to [`TimerWheel::fired`].
@@ -242,6 +303,7 @@ impl<K: Ord> TimerWheel<K> {
             let mut block =
                 std::mem::replace(&mut self.levels[l][slot], std::mem::take(&mut self.spare));
             self.lens[l] -= block.len();
+            self.occ[l] &= !(1 << slot);
             for e in block.drain(..) {
                 if e.tick <= self.now_tick {
                     self.fired.push(e);
@@ -266,15 +328,80 @@ impl<K: Ord> TimerWheel<K> {
         self.spare = over;
     }
 
+    /// Advances just far enough to fire the next pending batch — the
+    /// level-hop loop of [`TimerWheel::advance_ticks_into`] with
+    /// "something fired" as the stop condition instead of a target tick —
+    /// and collects it sorted by `(at, key, seq)`. Returns `false` (and
+    /// leaves the position unchanged) when nothing is pending. One call
+    /// replaces the [`TimerWheel::next_deadline`]-then-`advance` round
+    /// trip per refill in the simulator's event queue, and lands on
+    /// exactly the tick that round trip converges to.
+    pub fn advance_to_next_into(&mut self, out: &mut Vec<(Time, K)>) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        debug_assert!(self.fired.is_empty());
+        self.fired.append(&mut self.due);
+        while self.fired.is_empty() {
+            if self.lens[0] > 0 {
+                let cur = self.now_tick % SLOTS as u64;
+                let jump = self
+                    .first_occupied_off(0, cur)
+                    .expect("lens[0] > 0 implies an occupied level-0 slot")
+                    .min(SLOTS as u64 - cur);
+                self.now_tick += jump;
+                let s0 = (self.now_tick % SLOTS as u64) as usize;
+                {
+                    let TimerWheel {
+                        levels,
+                        fired,
+                        lens,
+                        occ,
+                        ..
+                    } = &mut *self;
+                    let slot = &mut levels[0][s0];
+                    lens[0] -= slot.len();
+                    fired.append(slot);
+                    occ[0] &= !(1 << s0);
+                }
+                if s0 == 0 {
+                    self.cascade();
+                }
+                continue;
+            }
+            // Level 0 empty: hop to the next boundary of the innermost
+            // occupied level (or the full wrap when only overflow is
+            // pending) and cascade — the same stride logic as
+            // `advance_ticks_into`, minus the target cap.
+            let shift = match (1..LEVELS).find(|&l| self.lens[l] > 0) {
+                Some(l) => SLOT_BITS * l as u32,
+                None => SLOT_BITS * LEVELS as u32,
+            };
+            let step = 1u64 << shift;
+            self.now_tick = (self.now_tick - self.now_tick % step) + step;
+            self.cascade();
+        }
+        self.len -= self.fired.len();
+        self.fired
+            .sort_unstable_by(|a, b| (a.at, &a.key, a.seq).cmp(&(b.at, &b.key, b.seq)));
+        out.extend(self.fired.drain(..).map(|e| (e.at, e.key)));
+        true
+    }
+
     /// A lower bound on when the next entry fires: exact when every
     /// pending entry sits in the innermost level, otherwise capped at the
-    /// next cascade boundary (the caller wakes, cascades, and asks
-    /// again). `None` when nothing is pending.
+    /// first occupied block's cascade boundary (the caller wakes, the
+    /// block cascades inward, and the caller asks again). `None` when
+    /// nothing is pending.
     ///
     /// The cap applies even when level 0 is non-empty: an entry parked in
     /// an outer level (placed when it was still far out) can come due
     /// *before* a level-0 entry that lies beyond the next wrap, so the
-    /// level-0 minimum alone would be too late a wake-up.
+    /// level-0 minimum alone would be too late a wake-up. Bounding at the
+    /// first *occupied* block (rather than the next level-0 wrap) is what
+    /// lets a wake/re-ask loop cross an idle stretch in block-sized
+    /// strides — the simulator's event queue leans on this to jump
+    /// between events separated by millions of ticks.
     pub fn next_deadline(&self) -> Option<Time> {
         if let Some(min) = self.due.iter().map(|e| e.at).min() {
             return Some(min);
@@ -284,22 +411,36 @@ impl<K: Ord> TimerWheel<K> {
         }
         // Level-0 slots in ring order are tick order, so the first
         // non-empty slot holds the level-0 minimum.
-        let l0_min = (1..SLOTS as u64).find_map(|off| {
-            let slot = ((self.now_tick + off) % SLOTS as u64) as usize;
-            self.levels[0][slot].iter().map(|e| e.at).min()
-        });
-        let deeper = self.len - self.lens[0];
-        if deeper == 0 {
-            return l0_min;
+        let l0_min = self
+            .first_occupied_off(0, self.now_tick % SLOTS as u64)
+            .and_then(|off| {
+                let slot = ((self.now_tick + off) % SLOTS as u64) as usize;
+                self.levels[0][slot].iter().map(|e| e.at).min()
+            });
+        // A level-`l` entry cannot fire before the start of the block
+        // holding it (its tick is inside that block, and the block only
+        // cascades inward when `advance` crosses the block's start). The
+        // slots of a level in ring order from the current position are
+        // block order, so the first occupied slot gives the earliest
+        // cascade boundary; advancing to exactly that boundary performs
+        // the cascade, so the wake/re-ask loop always makes progress.
+        let mut bound = u64::MAX;
+        for l in 1..LEVELS {
+            let shift = SLOT_BITS * l as u32;
+            let step = 1u64 << shift;
+            let cur = (self.now_tick >> shift) % SLOTS as u64;
+            if let Some(off) = self.first_occupied_off(l, cur) {
+                let base = self.now_tick - self.now_tick % step;
+                bound = bound.min(base + off * step);
+            }
         }
-        // An outer-level (or overflow) entry occupies a tick no earlier
-        // than the next level-0 wrap, so it cannot *fire* before the wrap
-        // tick — wake there (which cascades it inward) and re-examine.
-        // Advancing to exactly this time crosses the boundary, so the
-        // wake/re-ask loop always makes progress.
-        let next_wrap = (self.now_tick - self.now_tick % SLOTS as u64) + SLOTS as u64;
-        let wrap_bound = Time(next_wrap.saturating_mul(self.tick_ns));
-        Some(l0_min.map_or(wrap_bound, |m| m.min(wrap_bound)))
+        if !self.overflow.is_empty() {
+            // Overflow is re-examined when every level wraps at once.
+            let step = 1u64 << (SLOT_BITS * LEVELS as u32);
+            bound = bound.min(self.now_tick - self.now_tick % step + step);
+        }
+        let bound_t = Time(bound.saturating_mul(self.tick_ns));
+        Some(l0_min.map_or(bound_t, |m| m.min(bound_t)))
     }
 }
 

@@ -89,6 +89,57 @@ impl SimNet {
         *free = done;
         done
     }
+
+    /// Routes one recipient's share of a send: loss, timing, duplication.
+    /// The fault dice roll in a fixed order per recipient (loss, then
+    /// jitter, then duplication) so runs are bit-identical whatever the
+    /// message type or copy strategy.
+    #[allow(clippy::too_many_arguments)] // private helper: every arg is hot-path state
+    fn route_one<M: Clone>(
+        &mut self,
+        now: Time,
+        rng: &mut SimRng,
+        from: ActorId,
+        to: ActorId,
+        send_done: Time,
+        msg: M,
+        out: &mut Vec<Delivery<M>>,
+    ) {
+        if self.faults.partitioned(now, from, to) || rng.chance(self.faults.loss_prob) {
+            self.lost += 1;
+            return;
+        }
+        if to == from {
+            // Loopback: no wire, but still a receive-side processing slot.
+            let at = self.occupy_cpu(to, send_done);
+            self.deliveries += 1;
+            out.push(Delivery { at, to, msg });
+            return;
+        }
+        let mut arrive = send_done + self.prop_between(from, to);
+        if !self.jitter.is_zero() {
+            arrive += Dur(rng.below(self.jitter.as_nanos().max(1)));
+        }
+        let at = self.occupy_cpu(to, arrive);
+        self.deliveries += 1;
+        if rng.chance(self.faults.duplicate_prob) {
+            // The only unicast case that genuinely needs a copy.
+            let dup_at = self.occupy_cpu(to, at);
+            self.deliveries += 1;
+            out.push(Delivery {
+                at,
+                to,
+                msg: msg.clone(),
+            });
+            out.push(Delivery {
+                at: dup_at,
+                to,
+                msg,
+            });
+        } else {
+            out.push(Delivery { at, to, msg });
+        }
+    }
 }
 
 impl<M: Clone> Medium<M> for SimNet {
@@ -99,53 +150,29 @@ impl<M: Clone> Medium<M> for SimNet {
         from: ActorId,
         dest: Dest,
         msg: M,
-    ) -> Vec<Delivery<M>> {
+        out: &mut Vec<Delivery<M>>,
+    ) {
         self.sends += 1;
         // One send-side m_proc, paid once even for multicast.
         let send_done = self.occupy_cpu(from, now);
-        let recipients: Vec<ActorId> = match dest {
-            Dest::One(to) => vec![to],
-            Dest::Many(tos) => tos,
-        };
-        let mut out = Vec::with_capacity(recipients.len());
-        for to in recipients {
-            if self.faults.partitioned(now, from, to) || rng.chance(self.faults.loss_prob) {
-                self.lost += 1;
-                continue;
-            }
-            if to == from {
-                // Loopback: no wire, but still a receive-side processing slot.
-                let at = self.occupy_cpu(to, send_done);
-                self.deliveries += 1;
-                out.push(Delivery {
-                    at,
-                    to,
-                    msg: msg.clone(),
-                });
-                continue;
-            }
-            let mut arrive = send_done + self.prop_between(from, to);
-            if !self.jitter.is_zero() {
-                arrive += Dur(rng.below(self.jitter.as_nanos().max(1)));
-            }
-            let at = self.occupy_cpu(to, arrive);
-            self.deliveries += 1;
-            out.push(Delivery {
-                at,
-                to,
-                msg: msg.clone(),
-            });
-            if rng.chance(self.faults.duplicate_prob) {
-                let dup_at = self.occupy_cpu(to, at);
-                self.deliveries += 1;
-                out.push(Delivery {
-                    at: dup_at,
-                    to,
-                    msg: msg.clone(),
-                });
+        match dest {
+            // The unicast fast path moves the message: zero clones unless
+            // a duplication fault fires.
+            Dest::One(to) => self.route_one(now, rng, from, to, send_done, msg, out),
+            Dest::Many(tos) => {
+                // n recipients cost n-1 clones: the last takes the original.
+                let mut msg = Some(msg);
+                let last = tos.len().wrapping_sub(1);
+                for (i, to) in tos.into_iter().enumerate() {
+                    let m = if i == last {
+                        msg.take().expect("original still held")
+                    } else {
+                        msg.clone().expect("original still held")
+                    };
+                    self.route_one(now, rng, from, to, send_done, m, out);
+                }
             }
         }
-        out
     }
 }
 
@@ -162,6 +189,20 @@ mod tests {
         SimRng::seed(42)
     }
 
+    /// Collects the out-buffer form back into a `Vec` for assertions.
+    fn send<M: Clone>(
+        n: &mut SimNet,
+        now: Time,
+        r: &mut SimRng,
+        from: ActorId,
+        dest: Dest,
+        msg: M,
+    ) -> Vec<Delivery<M>> {
+        let mut out = Vec::new();
+        n.route(now, r, from, dest, msg, &mut out);
+        out
+    }
+
     const A: ActorId = ActorId(0);
     const B: ActorId = ActorId(1);
     const C: ActorId = ActorId(2);
@@ -169,7 +210,7 @@ mod tests {
     #[test]
     fn unicast_latency_is_prop_plus_two_proc() {
         let mut n = net();
-        let d = n.route(Time::ZERO, &mut rng(), A, Dest::One(B), ());
+        let d = send(&mut n, Time::ZERO, &mut rng(), A, Dest::One(B), ());
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].at, Time::ZERO + NetParams::v_lan().one_way());
     }
@@ -179,9 +220,9 @@ mod tests {
         // A sends to B at t0; B replies the instant it processes the message.
         let mut n = net();
         let mut r = rng();
-        let d1 = n.route(Time::ZERO, &mut r, A, Dest::One(B), ());
+        let d1 = send(&mut n, Time::ZERO, &mut r, A, Dest::One(B), ());
         let got = d1[0].at;
-        let d2 = n.route(got, &mut r, B, Dest::One(A), ());
+        let d2 = send(&mut n, got, &mut r, B, Dest::One(A), ());
         assert_eq!(d2[0].at, Time::ZERO + NetParams::v_lan().round_trip());
     }
 
@@ -193,11 +234,18 @@ mod tests {
         let mut n = net();
         let mut r = rng();
         let members: Vec<ActorId> = (1..=n_replies as usize).map(ActorId).collect();
-        let reqs = n.route(Time::ZERO, &mut r, A, Dest::Many(members.clone()), ());
+        let reqs = send(
+            &mut n,
+            Time::ZERO,
+            &mut r,
+            A,
+            Dest::Many(members.clone()),
+            (),
+        );
         assert_eq!(reqs.len(), n_replies as usize);
         let mut last = Time::ZERO;
         for d in reqs {
-            let replies = n.route(d.at, &mut r, d.to, Dest::One(A), ());
+            let replies = send(&mut n, d.at, &mut r, d.to, Dest::One(A), ());
             last = last.max(replies[0].at);
         }
         assert_eq!(
@@ -210,8 +258,8 @@ mod tests {
     fn sender_cpu_serializes_back_to_back_sends() {
         let mut n = net();
         let mut r = rng();
-        let d1 = n.route(Time::ZERO, &mut r, A, Dest::One(B), ());
-        let d2 = n.route(Time::ZERO, &mut r, A, Dest::One(C), ());
+        let d1 = send(&mut n, Time::ZERO, &mut r, A, Dest::One(B), ());
+        let d2 = send(&mut n, Time::ZERO, &mut r, A, Dest::One(C), ());
         // The second send waits for the sender CPU to finish the first.
         assert_eq!(d2[0].at, d1[0].at + NetParams::v_lan().m_proc);
     }
@@ -219,7 +267,7 @@ mod tests {
     #[test]
     fn loopback_skips_the_wire() {
         let mut n = net();
-        let d = n.route(Time::ZERO, &mut rng(), A, Dest::One(A), ());
+        let d = send(&mut n, Time::ZERO, &mut rng(), A, Dest::One(A), ());
         // Send m_proc + receive m_proc, no m_prop.
         assert_eq!(d[0].at, Time::ZERO + NetParams::v_lan().m_proc * 2);
     }
@@ -227,7 +275,7 @@ mod tests {
     #[test]
     fn total_loss_drops_everything() {
         let mut n = net().with_faults(FaultPlanNet::with_loss(1.0));
-        let d = n.route(Time::ZERO, &mut rng(), A, Dest::One(B), ());
+        let d = send(&mut n, Time::ZERO, &mut rng(), A, Dest::One(B), ());
         assert!(d.is_empty());
         assert_eq!(n.lost, 1);
     }
@@ -238,19 +286,15 @@ mod tests {
             FaultPlanNet::none().partition(Partition::new(Time::ZERO, Time::from_secs(10), [B]));
         let mut n = net().with_faults(plan);
         let mut r = rng();
-        assert!(n
-            .route(Time::from_secs(1), &mut r, A, Dest::One(B), ())
-            .is_empty());
+        assert!(send(&mut n, Time::from_secs(1), &mut r, A, Dest::One(B), ()).is_empty());
         // Same-side traffic flows.
         assert_eq!(
-            n.route(Time::from_secs(1), &mut r, A, Dest::One(C), ())
-                .len(),
+            send(&mut n, Time::from_secs(1), &mut r, A, Dest::One(C), ()).len(),
             1
         );
         // After healing, traffic flows again.
         assert_eq!(
-            n.route(Time::from_secs(11), &mut r, A, Dest::One(B), ())
-                .len(),
+            send(&mut n, Time::from_secs(11), &mut r, A, Dest::One(B), ()).len(),
             1
         );
     }
@@ -259,7 +303,7 @@ mod tests {
     fn duplication_delivers_twice() {
         let mut n = net();
         n.faults.duplicate_prob = 1.0;
-        let d = n.route(Time::ZERO, &mut rng(), A, Dest::One(B), ());
+        let d = send(&mut n, Time::ZERO, &mut rng(), A, Dest::One(B), ());
         assert_eq!(d.len(), 2);
         assert!(d[1].at > d[0].at);
     }
@@ -268,13 +312,13 @@ mod tests {
     fn extra_prop_slows_distant_host() {
         let mut n = net().with_extra_prop(B, Dur::from_millis(50));
         let mut r = rng();
-        let d = n.route(Time::ZERO, &mut r, A, Dest::One(B), ());
+        let d = send(&mut n, Time::ZERO, &mut r, A, Dest::One(B), ());
         assert_eq!(
             d[0].at,
             Time::ZERO + NetParams::v_lan().one_way() + Dur::from_millis(50)
         );
         // C is unaffected: only its own CPU contention applies.
-        let d2 = n.route(Time::from_secs(1), &mut r, A, Dest::One(C), ());
+        let d2 = send(&mut n, Time::from_secs(1), &mut r, A, Dest::One(C), ());
         assert_eq!(d2[0].at, Time::from_secs(1) + NetParams::v_lan().one_way());
     }
 
@@ -284,7 +328,14 @@ mod tests {
         let mut r = rng();
         let mut times = Vec::new();
         for i in 0..40u64 {
-            let d = n.route(Time::from_millis(i * 100), &mut r, A, Dest::One(B), ());
+            let d = send(
+                &mut n,
+                Time::from_millis(i * 100),
+                &mut r,
+                A,
+                Dest::One(B),
+                (),
+            );
             times.push(d[0].at);
         }
         // All deliveries respect the floor (base latency, no negative jitter).
@@ -304,8 +355,67 @@ mod tests {
     fn counters_track_traffic() {
         let mut n = net();
         let mut r = rng();
-        n.route(Time::ZERO, &mut r, A, Dest::Many(vec![B, C]), ());
+        send(&mut n, Time::ZERO, &mut r, A, Dest::Many(vec![B, C]), ());
         assert_eq!(n.sends, 1);
         assert_eq!(n.deliveries, 2);
+    }
+
+    /// A payload whose clones tattle: cloning it is observable.
+    #[derive(Debug)]
+    struct Tattle(std::rc::Rc<std::cell::Cell<u32>>);
+    impl Clone for Tattle {
+        fn clone(&self) -> Tattle {
+            self.0.set(self.0.get() + 1);
+            Tattle(std::rc::Rc::clone(&self.0))
+        }
+    }
+
+    #[test]
+    fn unicast_moves_the_message_without_cloning() {
+        let clones = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut n = net();
+        let d = send(
+            &mut n,
+            Time::ZERO,
+            &mut rng(),
+            A,
+            Dest::One(B),
+            Tattle(std::rc::Rc::clone(&clones)),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(clones.get(), 0, "a single recipient needs no copy");
+    }
+
+    #[test]
+    fn duplication_fault_costs_exactly_one_clone() {
+        let clones = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut n = net();
+        n.faults.duplicate_prob = 1.0;
+        let d = send(
+            &mut n,
+            Time::ZERO,
+            &mut rng(),
+            A,
+            Dest::One(B),
+            Tattle(std::rc::Rc::clone(&clones)),
+        );
+        assert_eq!(d.len(), 2);
+        assert_eq!(clones.get(), 1, "only the duplicate is a copy");
+    }
+
+    #[test]
+    fn multicast_clones_exactly_recipients_minus_one() {
+        let clones = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut n = net();
+        let d = send(
+            &mut n,
+            Time::ZERO,
+            &mut rng(),
+            A,
+            Dest::Many(vec![B, C, ActorId(3)]),
+            Tattle(std::rc::Rc::clone(&clones)),
+        );
+        assert_eq!(d.len(), 3);
+        assert_eq!(clones.get(), 2, "the last recipient takes the original");
     }
 }

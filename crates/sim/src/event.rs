@@ -1,9 +1,62 @@
 //! The time-ordered event queue.
+//!
+//! Two backends share one contract — pop order is `(at, push order)`,
+//! same-instant events FIFO:
+//!
+//! * [`QueueKind::Heap`] — a `BinaryHeap` of `(at, seq)`-ordered entries.
+//!   Every pop pays `O(log n)` comparisons on the full pending set, and
+//!   the heap is kept as the *executable specification*: small, obviously
+//!   correct, and the reference side of the equivalence property test.
+//! * [`QueueKind::Wheel`] — the default: deadlines live on the
+//!   hierarchical timer wheel from `lease-core` (1 ms ticks), payloads in
+//!   a recycled slab, and events whose tick the wheel has already covered
+//!   in a small `ready` heap. Scheduling is O(1) amortized, and each pop
+//!   only pays heap comparisons on the *ready* set (the events of the
+//!   current instant-neighbourhood), not on every pending timer — which
+//!   is what makes simulations whose pending set is dominated by far-out
+//!   lease expirations cheap per event.
+//!
+//! The wheel backend is exact, not approximate: entries keep their
+//! requested instant, the wheel only buckets *when they surface*, and the
+//! ready heap restores `(at, seq)` order, so both backends pop identical
+//! sequences (`tests/prop.rs` pins this, cancellations included).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use lease_clock::Time;
+use lease_core::TimerWheel;
+
+/// The wheel backend's tick quantum, nanoseconds (1 ms). The tick is a
+/// pure performance knob — it buckets *when entries surface*, never their
+/// pop order, which stays exact `(at, seq)` via the ready heap — so it is
+/// sized for the workload: simulated message hops are ms-scale, so a 1 ms
+/// tick keeps deliveries within level 0 (no cascading on the hot path)
+/// while sub-tick events short-circuit into the ready heap directly. The
+/// four wheel levels then cover ~4.6 simulated hours before overflow.
+const TICK_NS: u64 = 1_000_000;
+
+/// Deadlines at or beyond this instant (2^48 ns ≈ 3.3 simulated days)
+/// bypass the wheel into a plain far-future heap: the wheel would need
+/// millions of level hops to chase an end-of-time timer (e.g. one set by
+/// an infinite-term lease), and everything this side of the horizon
+/// always pops first anyway.
+const FAR_NS: u64 = 1 << 48;
+
+/// Which [`EventQueue`] backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Timer-wheel scheduling (the default).
+    #[default]
+    Wheel,
+    /// Binary-heap scheduling: the executable specification.
+    Heap,
+}
+
+/// Identifies a scheduled event; returned by [`EventQueue::push`] and
+/// accepted by [`EventQueue::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
 
 /// A pending event: payload `E` scheduled at an instant.
 struct Entry<E> {
@@ -33,11 +86,149 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// A surfaced wheel event: its payload sits in the slab at `slot`.
+struct Ready {
+    at: Time,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for Ready {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Ready {}
+
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: min-heap by (at, seq), the queue's global pop order.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The wheel backend: deadlines on the core timer wheel, payloads in a
+/// slab recycled through a free list (in-flight messages stop costing an
+/// allocation per hop once the slab is warm).
+struct WheelBackend<E> {
+    wheel: TimerWheel<(u64, u32)>,
+    /// Events whose tick the wheel has covered, sorted *descending* by
+    /// `(at, seq)` so the back is the pop front. Refills only happen when
+    /// this is empty and arrive presorted, so order costs a reversed
+    /// extend — not a sift per event — and the occasional sub-position
+    /// push does one binary-search insert into a near-empty vec. Every
+    /// entry here is strictly earlier than every entry still on the wheel
+    /// (ready: `at <= position·tick`; wheel: `at > position·tick`), so
+    /// popping the back never needs to consult the wheel.
+    ready: Vec<Ready>,
+    /// Deadlines past [`FAR_NS`], in pop order; strictly later than
+    /// everything the wheel side holds, so consulted only when it drains.
+    far: BinaryHeap<Ready>,
+    slots: Vec<Option<E>>,
+    free: Vec<u32>,
+    /// Scratch for `advance_to_next_into`, reused across refills.
+    fired: Vec<(Time, (u64, u32))>,
+    len: usize,
+}
+
+impl<E> WheelBackend<E> {
+    fn new() -> WheelBackend<E> {
+        WheelBackend {
+            wheel: TimerWheel::new(lease_clock::Dur(TICK_NS), Time::ZERO),
+            ready: Vec::new(),
+            far: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            fired: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, at: Time, seq: u64, ev: E) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(ev);
+                s
+            }
+            None => {
+                self.slots.push(Some(ev));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.len += 1;
+        if at.0 >= FAR_NS {
+            self.far.push(Ready { at, seq, slot });
+        } else if self.wheel.tick_of(at) <= self.wheel.position_ticks() {
+            // The wheel already covered this tick; bucketing it would
+            // park it in the wheel's due list until the next advance,
+            // which may come after later-timed pops. Surface it directly,
+            // keeping `ready` descending.
+            let i = self.ready.partition_point(|q| (q.at, q.seq) > (at, seq));
+            self.ready.insert(i, Ready { at, seq, slot });
+        } else {
+            self.wheel.schedule(at, (seq, slot));
+        }
+    }
+
+    /// Surfaces the wheel's next batch into `ready` when `ready` is
+    /// empty: one `advance_to_next_into` call hops the wheel straight to
+    /// its next occupied tick (cascading en route) and fires everything
+    /// due there.
+    fn refill(&mut self) {
+        if !self.ready.is_empty() {
+            return;
+        }
+        debug_assert!(self.fired.is_empty());
+        if self.wheel.advance_to_next_into(&mut self.fired) {
+            // The batch arrives sorted ascending; reverse it in so the
+            // back of `ready` stays the earliest event.
+            self.ready
+                .extend(self.fired.drain(..).rev().map(|(at, (seq, slot))| Ready {
+                    at,
+                    seq,
+                    slot,
+                }));
+        }
+    }
+
+    /// The earliest pending `(at, seq)` without removing it.
+    fn peek(&mut self) -> Option<(Time, u64)> {
+        self.refill();
+        match self.ready.last() {
+            Some(r) => Some((r.at, r.seq)),
+            None => self.far.peek().map(|r| (r.at, r.seq)),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Time, u64, E)> {
+        self.refill();
+        let r = match self.ready.pop() {
+            Some(r) => r,
+            None => self.far.pop()?,
+        };
+        let ev = self.slots[r.slot as usize]
+            .take()
+            .expect("slab slot holds the scheduled payload");
+        self.free.push(r.slot);
+        self.len -= 1;
+        Some((r.at, r.seq, ev))
+    }
+}
+
 /// A deterministic time-ordered queue of events.
 ///
 /// Events scheduled for the same instant pop in the order they were pushed,
 /// which makes simulation runs reproducible bit-for-bit given the same seed
-/// and inputs.
+/// and inputs. [`EventQueue::new`] runs on the timer-wheel backend;
+/// [`EventQueue::heap`] builds the binary-heap executable spec the wheel is
+/// property-tested against (see [`QueueKind`]). The two are observationally
+/// identical — backend choice changes cost, never a popped sequence.
 ///
 /// # Examples
 ///
@@ -48,51 +239,125 @@ impl<E> Ord for Entry<E> {
 /// let mut q = EventQueue::new();
 /// q.push(Time::from_secs(2), "later");
 /// q.push(Time::from_secs(1), "sooner");
-/// q.push(Time::from_secs(1), "sooner-but-second");
+/// let cancel_me = q.push(Time::from_secs(1), "sooner-but-second");
+/// q.push(Time::from_secs(1), "third");
+/// q.cancel(cancel_me);
 /// assert_eq!(q.pop(), Some((Time::from_secs(1), "sooner")));
-/// assert_eq!(q.pop(), Some((Time::from_secs(1), "sooner-but-second")));
+/// assert_eq!(q.pop(), Some((Time::from_secs(1), "third")));
 /// assert_eq!(q.pop(), Some((Time::from_secs(2), "later")));
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
+    /// Lazily cancelled handles, reaped when their entry surfaces (the
+    /// same convention the core wheel documents for its callers).
+    cancelled: HashSet<u64>,
     next_seq: u64,
 }
 
+enum Backend<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    // Boxed: the wheel's inline state (levels, slab, scratch) dwarfs the
+    // heap variant, and a queue lives behind one pointer either way.
+    Wheel(Box<WheelBackend<E>>),
+}
+
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default (wheel) backend.
     pub fn new() -> EventQueue<E> {
+        EventQueue::with_kind(QueueKind::Wheel)
+    }
+
+    /// Creates an empty queue on the binary-heap backend — the executable
+    /// specification the wheel backend is property-tested against.
+    pub fn heap() -> EventQueue<E> {
+        EventQueue::with_kind(QueueKind::Heap)
+    }
+
+    /// Creates an empty queue on the chosen backend.
+    pub fn with_kind(kind: QueueKind) -> EventQueue<E> {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: match kind {
+                QueueKind::Heap => Backend::Heap(BinaryHeap::new()),
+                QueueKind::Wheel => Backend::Wheel(Box::new(WheelBackend::new())),
+            },
+            cancelled: HashSet::new(),
             next_seq: 0,
         }
     }
 
-    /// Schedules `ev` at instant `at`.
-    pub fn push(&mut self, at: Time, ev: E) {
+    /// Schedules `ev` at instant `at`; the returned handle can cancel it.
+    pub fn push(&mut self, at: Time, ev: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, ev });
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(Entry { at, seq, ev }),
+            Backend::Wheel(w) => w.push(at, seq, ev),
+        }
+        EventHandle(seq)
     }
 
-    /// Removes and returns the earliest event, if any.
+    /// Cancels a scheduled event: it will never pop. Lazy — the entry is
+    /// reaped when it would have surfaced, so until then it still counts
+    /// in [`EventQueue::len`]. Cancelling an already-popped handle is the
+    /// caller's error and quietly leaks one `HashSet` entry; the world
+    /// keeps its own live-timer bookkeeping for exactly that reason.
+    pub fn cancel(&mut self, h: EventHandle) {
+        self.cancelled.insert(h.0);
+    }
+
+    /// Removes and returns the earliest non-cancelled event, if any.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|e| (e.at, e.ev))
+        loop {
+            let (at, seq, ev) = match &mut self.backend {
+                Backend::Heap(h) => h.pop().map(|e| (e.at, e.seq, e.ev))?,
+                Backend::Wheel(w) => w.pop()?,
+            };
+            if !self.cancelled.remove(&seq) {
+                return Some((at, ev));
+            }
+        }
     }
 
-    /// The instant of the earliest pending event.
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
+    /// The instant of the earliest non-cancelled pending event.
+    ///
+    /// Takes `&mut self`: cancelled entries surfacing at the front are
+    /// reaped, and the wheel backend may advance its wheel to find the
+    /// front. The observable state (every future pop) is unchanged.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        loop {
+            let (at, seq) = match &mut self.backend {
+                Backend::Heap(h) => h.peek().map(|e| (e.at, e.seq))?,
+                Backend::Wheel(w) => w.peek()?,
+            };
+            if !self.cancelled.contains(&seq) {
+                return Some(at);
+            }
+            // Reap the cancelled front entry and look again.
+            match &mut self.backend {
+                Backend::Heap(h) => {
+                    h.pop();
+                }
+                Backend::Wheel(w) => {
+                    w.pop();
+                }
+            }
+            self.cancelled.remove(&seq);
+        }
     }
 
-    /// Number of pending events.
+    /// Number of pending events, counting cancelled-but-unreaped ones
+    /// (cancellation is lazy; see [`EventQueue::cancel`]).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(h) => h.len(),
+            Backend::Wheel(w) => w.len,
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled.
@@ -111,58 +376,151 @@ impl<E> Default for EventQueue<E> {
 mod tests {
     use super::*;
 
+    /// Every behavioural test runs on both backends: the contract is one.
+    fn both(f: impl Fn(EventQueue<i32>)) {
+        f(EventQueue::heap());
+        f(EventQueue::new());
+    }
+
     #[test]
     fn orders_by_time() {
-        let mut q = EventQueue::new();
-        q.push(Time::from_secs(3), 3);
-        q.push(Time::from_secs(1), 1);
-        q.push(Time::from_secs(2), 2);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        both(|mut q| {
+            q.push(Time::from_secs(3), 3);
+            q.push(Time::from_secs(1), 1);
+            q.push(Time::from_secs(2), 2);
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 2, 3]);
+        });
     }
 
     #[test]
     fn ties_are_fifo() {
-        let mut q = EventQueue::new();
-        let t = Time::from_secs(1);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        both(|mut q| {
+            let t = Time::from_secs(1);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn sub_tick_instants_keep_exact_times_and_order() {
+        // Distinct instants inside one wheel tick must still pop in time
+        // order at their exact requested times.
+        both(|mut q| {
+            q.push(Time(999), 2);
+            q.push(Time(5), 1);
+            q.push(Time(1_001), 3);
+            assert_eq!(q.pop(), Some((Time(5), 1)));
+            assert_eq!(q.pop(), Some((Time(999), 2)));
+            assert_eq!(q.pop(), Some((Time(1_001), 3)));
+        });
     }
 
     #[test]
     fn peek_does_not_remove() {
-        let mut q = EventQueue::new();
-        q.push(Time::from_secs(5), ());
-        assert_eq!(q.peek_time(), Some(Time::from_secs(5)));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
-        q.pop();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
+        both(|mut q| {
+            q.push(Time::from_secs(5), 0);
+            assert_eq!(q.peek_time(), Some(Time::from_secs(5)));
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+            q.pop();
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+        });
     }
 
     #[test]
     fn counts_scheduled() {
-        let mut q = EventQueue::new();
-        q.push(Time::ZERO, ());
-        q.push(Time::ZERO, ());
-        q.pop();
-        assert_eq!(q.scheduled_total(), 2);
+        both(|mut q| {
+            q.push(Time::ZERO, 0);
+            q.push(Time::ZERO, 0);
+            q.pop();
+            assert_eq!(q.scheduled_total(), 2);
+        });
     }
 
     #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new();
-        q.push(Time::from_secs(10), 10);
-        q.push(Time::from_secs(1), 1);
-        assert_eq!(q.pop(), Some((Time::from_secs(1), 1)));
-        q.push(Time::from_secs(5), 5);
-        q.push(Time::from_secs(2), 2);
-        assert_eq!(q.pop(), Some((Time::from_secs(2), 2)));
-        assert_eq!(q.pop(), Some((Time::from_secs(5), 5)));
-        assert_eq!(q.pop(), Some((Time::from_secs(10), 10)));
+        both(|mut q| {
+            q.push(Time::from_secs(10), 10);
+            q.push(Time::from_secs(1), 1);
+            assert_eq!(q.pop(), Some((Time::from_secs(1), 1)));
+            q.push(Time::from_secs(5), 5);
+            q.push(Time::from_secs(2), 2);
+            assert_eq!(q.pop(), Some((Time::from_secs(2), 2)));
+            assert_eq!(q.pop(), Some((Time::from_secs(5), 5)));
+            assert_eq!(q.pop(), Some((Time::from_secs(10), 10)));
+        });
+    }
+
+    #[test]
+    fn push_earlier_than_already_surfaced_events() {
+        // After popping at t=2s the wheel has advanced past t=1s; a new
+        // event pushed at 1s (time going backwards is the caller's bug,
+        // but same-instant re-push is routine) must still pop before the
+        // pending 3s event.
+        both(|mut q| {
+            q.push(Time::from_secs(2), 2);
+            q.push(Time::from_secs(3), 3);
+            assert_eq!(q.pop(), Some((Time::from_secs(2), 2)));
+            q.push(Time::from_secs(2), 20);
+            assert_eq!(q.pop(), Some((Time::from_secs(2), 20)));
+            assert_eq!(q.pop(), Some((Time::from_secs(3), 3)));
+        });
+    }
+
+    #[test]
+    fn cancelled_events_never_pop() {
+        both(|mut q| {
+            let a = q.push(Time::from_secs(1), 1);
+            q.push(Time::from_secs(1), 2);
+            let c = q.push(Time::from_secs(2), 3);
+            q.cancel(a);
+            q.cancel(c);
+            assert_eq!(q.peek_time(), Some(Time::from_secs(1)));
+            assert_eq!(q.pop(), Some((Time::from_secs(1), 2)));
+            assert_eq!(q.pop(), None);
+        });
+    }
+
+    #[test]
+    fn far_future_events_fire_in_order() {
+        // Past the wheel's far horizon: routed to the far heap, still
+        // popped in exact (at, seq) order after everything nearer.
+        both(|mut q| {
+            q.push(Time(u64::MAX), 9);
+            q.push(Time(FAR_NS + 5), 5);
+            q.push(Time(FAR_NS + 5), 6);
+            q.push(Time::from_secs(1), 1);
+            assert_eq!(q.pop(), Some((Time::from_secs(1), 1)));
+            assert_eq!(q.pop(), Some((Time(FAR_NS + 5), 5)));
+            assert_eq!(q.pop(), Some((Time(FAR_NS + 5), 6)));
+            assert_eq!(q.peek_time(), Some(Time(u64::MAX)));
+            assert_eq!(q.pop(), Some((Time(u64::MAX), 9)));
+        });
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        // A long run of push/pop at growing times must not grow the slab
+        // beyond the peak in-flight count.
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.push(Time(i * 500), i);
+            if i >= 8 {
+                q.pop();
+            }
+        }
+        let Backend::Wheel(w) = &q.backend else {
+            panic!("default backend is the wheel");
+        };
+        assert!(
+            w.slots.len() <= 16,
+            "slab grew to {} slots for 9 in flight",
+            w.slots.len()
+        );
     }
 }

@@ -22,17 +22,25 @@ pub struct Delivery<M> {
     pub at: Time,
     /// The recipient.
     pub to: ActorId,
-    /// The (possibly cloned, for multicast) message.
+    /// The message. Unicast *moves* the sender's message here; only the
+    /// extra copies a multicast (or a duplicating fault) actually needs
+    /// are cloned.
     pub msg: M,
 }
 
 /// A network model: decides when (and whether) each send arrives.
 ///
-/// Returning an empty vector drops the message. The medium sees the current
+/// Scheduling no deliveries drops the message. The medium sees the current
 /// time on every call, so implementations can apply time-scheduled control
 /// changes (partitions healing, loss bursts ending) lazily.
 pub trait Medium<M> {
-    /// Routes one send. `from` is the sending actor.
+    /// Routes one send, appending each decided delivery to `out`.
+    ///
+    /// `out` is a world-owned scratch buffer handed in empty and reused
+    /// across calls, so routing allocates nothing in steady state; `from`
+    /// is the sending actor. A unicast must move `msg` into its delivery
+    /// rather than clone it — per-hop clones were the simulator's single
+    /// biggest allocation source (`lease-vsys` messages carry `Vec`s).
     fn route(
         &mut self,
         now: Time,
@@ -40,7 +48,8 @@ pub trait Medium<M> {
         from: ActorId,
         dest: Dest,
         msg: M,
-    ) -> Vec<Delivery<M>>;
+        out: &mut Vec<Delivery<M>>,
+    );
 }
 
 /// A zero-latency, loss-free network for unit tests.
@@ -55,17 +64,28 @@ impl<M: Clone> Medium<M> for PerfectMedium {
         _from: ActorId,
         dest: Dest,
         msg: M,
-    ) -> Vec<Delivery<M>> {
+        out: &mut Vec<Delivery<M>>,
+    ) {
         match dest {
-            Dest::One(to) => vec![Delivery { at: now, to, msg }],
-            Dest::Many(tos) => tos
-                .into_iter()
-                .map(|to| Delivery {
-                    at: now,
-                    to,
-                    msg: msg.clone(),
-                })
-                .collect(),
+            Dest::One(to) => out.push(Delivery { at: now, to, msg }),
+            Dest::Many(tos) => {
+                // n recipients cost exactly n-1 clones: the last one
+                // takes the original.
+                let mut msg = Some(msg);
+                let last = tos.len().wrapping_sub(1);
+                for (i, to) in tos.into_iter().enumerate() {
+                    let m = if i == last {
+                        msg.take().expect("original still held")
+                    } else {
+                        msg.clone().expect("original still held")
+                    };
+                    out.push(Delivery {
+                        at: now,
+                        to,
+                        msg: m,
+                    });
+                }
+            }
         }
     }
 }
@@ -73,18 +93,25 @@ impl<M: Clone> Medium<M> for PerfectMedium {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn route_collect<M: Clone>(m: &mut impl Medium<M>, dest: Dest, msg: M) -> Vec<Delivery<M>> {
+        let mut out = Vec::new();
+        m.route(
+            Time::from_secs(1),
+            &mut SimRng::seed(0),
+            ActorId(0),
+            dest,
+            msg,
+            &mut out,
+        );
+        out
+    }
 
     #[test]
     fn perfect_unicast_is_instant() {
-        let mut m = PerfectMedium;
-        let mut rng = SimRng::seed(0);
-        let d = m.route(
-            Time::from_secs(1),
-            &mut rng,
-            ActorId(0),
-            Dest::One(ActorId(1)),
-            "hi",
-        );
+        let d = route_collect(&mut PerfectMedium, Dest::One(ActorId(1)), "hi");
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].at, Time::from_secs(1));
         assert_eq!(d[0].to, ActorId(1));
@@ -92,11 +119,50 @@ mod tests {
 
     #[test]
     fn perfect_multicast_fans_out() {
-        let mut m = PerfectMedium;
-        let mut rng = SimRng::seed(0);
         let to = vec![ActorId(1), ActorId(2), ActorId(3)];
-        let d = m.route(Time::ZERO, &mut rng, ActorId(0), Dest::Many(to), 7u32);
+        let d = route_collect(&mut PerfectMedium, Dest::Many(to), 7u32);
         assert_eq!(d.len(), 3);
         assert!(d.iter().all(|x| x.msg == 7));
+    }
+
+    /// A payload whose clones tattle: cloning it is observable.
+    #[derive(Debug)]
+    struct Tattle(Rc<Cell<u32>>);
+    impl Clone for Tattle {
+        fn clone(&self) -> Tattle {
+            self.0.set(self.0.get() + 1);
+            Tattle(Rc::clone(&self.0))
+        }
+    }
+
+    #[test]
+    fn unicast_moves_the_message_without_cloning() {
+        let clones = Rc::new(Cell::new(0));
+        let d = route_collect(
+            &mut PerfectMedium,
+            Dest::One(ActorId(1)),
+            Tattle(Rc::clone(&clones)),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(clones.get(), 0, "a single recipient needs no copy");
+    }
+
+    #[test]
+    fn multicast_clones_exactly_recipients_minus_one() {
+        let clones = Rc::new(Cell::new(0));
+        let to = vec![ActorId(1), ActorId(2), ActorId(3), ActorId(4)];
+        let d = route_collect(
+            &mut PerfectMedium,
+            Dest::Many(to),
+            Tattle(Rc::clone(&clones)),
+        );
+        assert_eq!(d.len(), 4);
+        assert_eq!(clones.get(), 3, "the last recipient takes the original");
+    }
+
+    #[test]
+    fn empty_multicast_delivers_nothing() {
+        let d = route_collect(&mut PerfectMedium, Dest::Many(Vec::new()), 1u8);
+        assert!(d.is_empty());
     }
 }

@@ -6,7 +6,7 @@ use std::collections::HashSet;
 use lease_clock::Time;
 
 use crate::actor::{Actor, ActorId, Cmd, Ctx, TimerId};
-use crate::event::EventQueue;
+use crate::event::{EventQueue, QueueKind};
 use crate::medium::{Delivery, Dest, Medium};
 use crate::metrics::Metrics;
 use crate::rng::SimRng;
@@ -33,6 +33,11 @@ struct Slot<M> {
     crashed: bool,
     /// Incremented on every crash so stale timers can be discarded.
     epoch: u32,
+    /// This actor's private random stream, forked from the world seed by
+    /// actor id. Streams are splittable and per-actor, so the draws one
+    /// actor sees depend only on (seed, its id, its own draw count) —
+    /// never on how its handlers interleave with other actors'.
+    rng: SimRng,
 }
 
 /// The simulation world: owns the actors, the clock, the event queue, the
@@ -48,18 +53,38 @@ pub struct World<M> {
     medium: Box<dyn Medium<M>>,
     next_timer: u64,
     cancelled: HashSet<u64>,
+    /// The medium's stream (the historical root stream, so network draws
+    /// are unchanged by the introduction of per-actor streams).
     rng: SimRng,
     metrics: Metrics,
     stopped: bool,
     events_processed: u64,
+    /// Scratch reused across [`World::route`] calls so steady-state
+    /// routing never allocates a deliveries vector.
+    route_buf: Vec<Delivery<M>>,
+    /// Scratch reused across actor handler invocations for buffered
+    /// commands.
+    cmd_buf: Vec<Cmd<M>>,
 }
 
 impl<M: 'static> World<M> {
-    /// Creates an empty world with the given seed and network medium.
+    /// Creates an empty world with the given seed and network medium, on
+    /// the default (timer-wheel) event queue.
     pub fn new(seed: u64, medium: impl Medium<M> + 'static) -> World<M> {
+        World::with_queue_kind(seed, medium, QueueKind::default())
+    }
+
+    /// Like [`World::new`], with an explicit event-queue backend. The
+    /// backends are observationally equivalent; benchmarks use this to
+    /// compare their cost on identical runs.
+    pub fn with_queue_kind(
+        seed: u64,
+        medium: impl Medium<M> + 'static,
+        queue: QueueKind,
+    ) -> World<M> {
         World {
             now: Time::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_kind(queue),
             actors: Vec::new(),
             medium: Box::new(medium),
             next_timer: 0,
@@ -68,6 +93,8 @@ impl<M: 'static> World<M> {
             metrics: Metrics::new(),
             stopped: false,
             events_processed: 0,
+            route_buf: Vec::new(),
+            cmd_buf: Vec::new(),
         }
     }
 
@@ -79,6 +106,7 @@ impl<M: 'static> World<M> {
             actor: Box::new(actor),
             crashed: false,
             epoch: 0,
+            rng: self.rng.fork(id.0 as u64),
         }));
         self.queue.push(self.now, WorldEvent::Start(id));
         id
@@ -232,17 +260,19 @@ impl<M: 'static> World<M> {
     }
 
     /// Runs an actor handler with a fresh context, then applies the
-    /// commands it buffered.
+    /// commands it buffered. The command buffer is world-owned scratch:
+    /// handlers and `apply` never allocate it in steady state.
     fn with_actor(&mut self, id: ActorId, f: impl FnOnce(&mut dyn Actor<M>, &mut Ctx<'_, M>)) {
         let Some(mut slot) = self.actors.get_mut(id.0).and_then(Option::take) else {
             return;
         };
+        debug_assert!(self.cmd_buf.is_empty());
         let mut ctx = Ctx {
             now: self.now,
             me: id,
             next_timer: &mut self.next_timer,
-            cmds: Vec::new(),
-            rng: &mut self.rng,
+            cmds: std::mem::take(&mut self.cmd_buf),
+            rng: &mut slot.rng,
             metrics: &mut self.metrics,
         };
         f(slot.actor.as_mut(), &mut ctx);
@@ -252,8 +282,8 @@ impl<M: 'static> World<M> {
         self.apply(id, epoch, cmds);
     }
 
-    fn apply(&mut self, from: ActorId, epoch: u32, cmds: Vec<Cmd<M>>) {
-        for cmd in cmds {
+    fn apply(&mut self, from: ActorId, epoch: u32, mut cmds: Vec<Cmd<M>>) {
+        for cmd in cmds.drain(..) {
             match cmd {
                 Cmd::Send { to, msg } => self.route(from, Dest::One(to), msg),
                 Cmd::Multicast { to, msg } => self.route(from, Dest::Many(to), msg),
@@ -274,14 +304,20 @@ impl<M: 'static> World<M> {
                 Cmd::Stop => self.stopped = true,
             }
         }
+        // Hand the drained buffer back for the next handler.
+        self.cmd_buf = cmds;
     }
 
     fn route(&mut self, from: ActorId, dest: Dest, msg: M) {
-        let deliveries = self.medium.route(self.now, &mut self.rng, from, dest, msg);
-        for Delivery { at, to, msg } in deliveries {
+        let mut buf = std::mem::take(&mut self.route_buf);
+        debug_assert!(buf.is_empty());
+        self.medium
+            .route(self.now, &mut self.rng, from, dest, msg, &mut buf);
+        for Delivery { at, to, msg } in buf.drain(..) {
             debug_assert!(at >= self.now);
             self.queue.push(at, WorldEvent::Deliver { from, to, msg });
         }
+        self.route_buf = buf;
     }
 }
 

@@ -5,23 +5,80 @@ use lease_sim::{Actor, ActorId, Ctx, EventQueue, PerfectMedium, SimRng, World};
 use proptest::prelude::*;
 
 proptest! {
-    /// The event queue pops in non-decreasing time order, FIFO on ties.
+    /// The event queue pops in non-decreasing time order, FIFO on ties —
+    /// on both backends.
     #[test]
     fn queue_pops_sorted_fifo(times in proptest::collection::vec(0u64..1000, 1..200)) {
-        let mut q = EventQueue::new();
-        for (i, t) in times.iter().enumerate() {
-            q.push(Time(*t), i);
-        }
-        let mut last: Option<(Time, usize)> = None;
-        while let Some((at, seq)) = q.pop() {
-            if let Some((lat, lseq)) = last {
-                prop_assert!(at >= lat);
-                if at == lat {
-                    prop_assert!(seq > lseq, "ties must pop FIFO");
-                }
+        for kind in [lease_sim::QueueKind::Wheel, lease_sim::QueueKind::Heap] {
+            let mut q = EventQueue::with_kind(kind);
+            for (i, t) in times.iter().enumerate() {
+                q.push(Time(*t), i);
             }
-            last = Some((at, seq));
+            let mut last: Option<(Time, usize)> = None;
+            while let Some((at, seq)) = q.pop() {
+                if let Some((lat, lseq)) = last {
+                    prop_assert!(at >= lat);
+                    if at == lat {
+                        prop_assert!(seq > lseq, "ties must pop FIFO");
+                    }
+                }
+                last = Some((at, seq));
+            }
         }
+    }
+
+    /// The wheel-backed queue is observationally equivalent to the
+    /// binary-heap executable spec under arbitrary push/pop/cancel/peek
+    /// interleavings — including same-instant FIFO tie-breaks, sub-tick
+    /// instants, and far-future deadlines (the determinism contract
+    /// documented in `event.rs`).
+    #[test]
+    fn wheel_queue_matches_heap_spec(
+        ops in proptest::collection::vec((0u8..8, any::<u64>()), 1..400),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::heap();
+        let mut handles = Vec::new();
+        let mut next_val = 0u64;
+        for (op, x) in ops {
+            match op {
+                // Pushes dominate so the drain below has work to compare.
+                0..=3 => {
+                    // A mix of dense ties, tick-aligned, sub-tick, and
+                    // far-future instants (the wheel's three routing
+                    // regimes plus its quantization boundary).
+                    let at = match x % 4 {
+                        0 => Time(x % 100),
+                        1 => Time((x % 50) * 1_000),
+                        2 => Time(x % 10_000_000),
+                        _ => Time(u64::MAX - (x % 1000)),
+                    };
+                    let v = next_val;
+                    next_val += 1;
+                    let hw = wheel.push(at, v);
+                    let hh = heap.push(at, v);
+                    prop_assert_eq!(hw, hh, "handles must mirror");
+                    handles.push(hw);
+                }
+                4 | 5 => prop_assert_eq!(wheel.pop(), heap.pop()),
+                6 => {
+                    if !handles.is_empty() {
+                        let h = handles[(x as usize) % handles.len()];
+                        wheel.cancel(h);
+                        heap.cancel(h);
+                    }
+                }
+                _ => prop_assert_eq!(wheel.peek_time(), heap.peek_time()),
+            }
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(&a, &b, "drain order must match");
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty() && heap.is_empty());
     }
 
     /// Forked RNG streams are independent of sibling draw order.
