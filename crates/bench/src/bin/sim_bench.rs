@@ -43,7 +43,10 @@ sim_bench: simulation engine + sweep-runner perf trajectory
                   of writing: sweep digests must match across thread
                   counts, and the wheel/heap events-per-second ratio and
                   the 4-thread sweep speedup must each stay within 25% of
-                  the baseline's. One re-measure before failing.
+                  the baseline's. The baseline must have been recorded in
+                  the same mode (quick/full) as this run — comparing
+                  ratios across workloads is meaningless. One re-measure
+                  before failing.
   --help          this text
 
 On a single hardware thread the sweep speedups land near 1.0x (workers
@@ -196,6 +199,17 @@ fn check(fresh: &SimBench, baseline_path: &str) -> Result<(), String> {
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
     let baseline: SimBench =
         serde_json::from_str(&text).map_err(|e| format!("cannot parse {baseline_path}: {e:?}"))?;
+    // Ratios only make sense against a baseline measured on the same
+    // workload and budget, so the recorded mode must match the gate's.
+    if fresh.quick != baseline.quick {
+        let mode = |quick: bool| if quick { "quick" } else { "full" };
+        return Err(format!(
+            "baseline {baseline_path} was recorded in {} mode but this run is {} mode; \
+             re-record it with the gate's flags (CI uses --quick)",
+            mode(baseline.quick),
+            mode(fresh.quick),
+        ));
+    }
     for (what, got, base) in [
         (
             "wheel/heap",

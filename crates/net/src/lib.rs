@@ -25,7 +25,8 @@
 //! let params = NetParams { m_prop: Dur::from_micros(500), m_proc: Dur::from_micros(500) };
 //! let mut net = SimNet::new(params);
 //! let mut rng = SimRng::seed(0);
-//! let d = net.route(Time::ZERO, &mut rng, ActorId(0), Dest::One(ActorId(1)), ());
+//! let mut d = Vec::new();
+//! net.route(Time::ZERO, &mut rng, ActorId(0), Dest::One(ActorId(1)), (), &mut d);
 //! // One m_proc at the sender, m_prop on the wire, one m_proc at the receiver.
 //! assert_eq!(d[0].at, Time::from_micros(1500));
 //! ```
