@@ -1,0 +1,212 @@
+//! Seeded chaos sweep over the *replicated* deployment.
+//!
+//! The replicated sibling of `chaos`: for each seed this builds a
+//! 3-grantor [`ReplicatedSystem`] under a fault plan derived from that
+//! seed — a mid-run grantor-replica kill (whole host: election state and
+//! service shards), a later partition of another replica, message
+//! drops/duplicates/delays on every link, and on every third seed a
+//! 2x-fast replica clock — drives a read/write workload from two
+//! clients, and judges the recorded true-time history with
+//! `lease_faults::check_history` (client consistency *and* the
+//! at-most-one-grantor invariant). Exits non-zero on any violation so CI
+//! can run it as a smoke test.
+//!
+//! Environment knobs:
+//!
+//! | variable              | meaning                        | default     |
+//! |-----------------------|--------------------------------|-------------|
+//! | `LEASE_QCHAOS_SEEDS`  | comma-separated seeds to sweep | 1,2,3,4,5,6 |
+//! | `LEASE_QCHAOS_MS`     | workload duration per seed     | 1500        |
+//! | `LEASE_QCHAOS_TERM_MS`| file lease term                | 150         |
+
+use std::time::{Duration, Instant};
+
+use lease_bench::sweep::{self, take_threads_arg};
+use lease_clock::{ClockModel, Dur};
+use lease_faults::check_history;
+use lease_quorum::QuorumConfig;
+use lease_rt::{FaultPlan, ReplicatedSystem};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_seeds() -> Vec<u64> {
+    std::env::var("LEASE_QCHAOS_SEEDS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<u64>| !v.is_empty())
+        .unwrap_or_else(|| (1..=6).collect())
+}
+
+/// Fast quorum tuning so grantor takeovers resolve well inside a seed's
+/// workload window.
+fn chaos_quorum() -> QuorumConfig {
+    QuorumConfig {
+        term: Dur::from_millis(250),
+        max_term: Dur::from_millis(550),
+        op_timeout: Dur::from_millis(60),
+        retry_base: Dur::from_millis(10),
+        stagger: Dur::from_millis(15),
+        ..QuorumConfig::default()
+    }
+}
+
+struct SeedReport {
+    seed: u64,
+    ops: u64,
+    timeouts: u64,
+    max_write_delay: Duration,
+    grantor_changes: usize,
+    violations: usize,
+}
+
+fn run_seed(seed: u64, term_ms: u64, duration: Duration) -> SeedReport {
+    let replicas = 3u64;
+    let dur_ms = duration.as_millis() as u64;
+    // Derive every fault from the seed: kill one grantor replica a third
+    // of the way in, partition a different one later, spice the links,
+    // and every third seed give one replica a clock running at twice
+    // true rate (beyond the drift bound — the quorum majority masks it).
+    let victim = (seed % replicas) as usize;
+    let cut = ((seed + 1) % replicas) as usize;
+    let mut plan = FaultPlan::new(seed)
+        .kill_replica(Dur::from_millis(dur_ms / 3), victim)
+        .cut_replica(
+            Dur::from_millis(2 * dur_ms / 3),
+            Dur::from_millis(2 * dur_ms / 3 + 250),
+            cut,
+        )
+        .drop_messages(0.02 + (seed % 5) as f64 * 0.01)
+        .duplicate_messages(0.02)
+        .delay_messages(Dur::from_millis(1 + seed % 4));
+    if seed.is_multiple_of(3) {
+        plan = plan.with_replica_clock(
+            ((seed + 2) % replicas) as usize,
+            ClockModel::drifting(1_000_000.0),
+        );
+    }
+    let sys = ReplicatedSystem::builder()
+        .term(Dur::from_millis(term_ms))
+        .epsilon(Dur::from_millis(5))
+        .retry_interval(Dur::from_millis(15))
+        .max_retries(800)
+        .quorum(chaos_quorum())
+        .clients(2)
+        .shards(2)
+        .file("/data/a", b"a0".as_ref())
+        .file("/data/b", b"b0".as_ref())
+        .chaos(plan)
+        .start();
+    let a = sys.lookup("/data/a").unwrap();
+    let b = sys.lookup("/data/b").unwrap();
+    let (c0, c1) = (sys.client(0), sys.client(1));
+
+    let start = Instant::now();
+    let mut ops = 0u64;
+    let mut timeouts = 0u64;
+    let mut max_write_delay = Duration::ZERO;
+    let mut k = 0u64;
+    while start.elapsed() < duration {
+        let (reader, writer, r, w) = if k.is_multiple_of(2) {
+            (&c0, &c1, a, b)
+        } else {
+            (&c1, &c0, b, a)
+        };
+        if reader.read(r).is_err() {
+            timeouts += 1;
+        }
+        ops += 1;
+        let t0 = Instant::now();
+        match writer.write(w, format!("v{k}").into_bytes()) {
+            Ok(_) => max_write_delay = max_write_delay.max(t0.elapsed()),
+            Err(_) => timeouts += 1,
+        }
+        ops += 1;
+        k += 1;
+    }
+
+    let history = sys.history();
+    sys.shutdown();
+    let grantor_changes = history
+        .events
+        .iter()
+        .filter(|e| matches!(e, lease_vsys::HistoryEvent::GrantorAcquired { .. }))
+        .count();
+    let violations = match check_history(&history) {
+        Ok(()) => 0,
+        Err(v) => {
+            for violation in v.iter().take(3) {
+                eprintln!("seed {seed}: {violation:?}");
+            }
+            v.len()
+        }
+    };
+    SeedReport {
+        seed,
+        ops,
+        timeouts,
+        max_write_delay,
+        grantor_changes,
+        violations,
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Serial by default: each seed spins up 3 service replicas plus the
+    // quorum threads, all wall-clock driven, so overlapping seeds shifts
+    // timings (never correctness — the oracle judges the history either
+    // way). `--threads N` opts into a faster overlapped sweep.
+    let threads = take_threads_arg(&mut args, 1).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if let Some(a) = args.first() {
+        eprintln!("unknown argument {a} (only --threads N|auto is accepted)");
+        std::process::exit(2);
+    }
+    let seeds = env_seeds();
+    let duration = Duration::from_millis(env_u64("LEASE_QCHAOS_MS", 1500));
+    let term_ms = env_u64("LEASE_QCHAOS_TERM_MS", 150);
+    // Worst-case write stall: the grantor lease must expire on the
+    // surviving acceptors (~quorum term), a successor must win, and its
+    // §5 recovery must wait out the predecessor's file leases (~one file
+    // term); the rest is retry slack worth seeing in the table.
+    let delay_bound = Duration::from_millis(2 * (250 + term_ms));
+
+    println!(
+        "replicated chaos sweep: 3 grantors, file term={term_ms}ms, window={}ms, write-delay bound ~{delay_bound:?}",
+        duration.as_millis()
+    );
+    println!("| seed | ops | timeouts | grantor claims | max write delay | oracle |");
+    println!("|-----:|----:|---------:|---------------:|----------------:|--------|");
+    let mut failed = false;
+    let reports = sweep::run(threads, &seeds, |_, &seed| {
+        run_seed(seed, term_ms, duration)
+    });
+    for r in reports {
+        let verdict = if r.violations == 0 {
+            "ok".to_string()
+        } else {
+            failed = true;
+            format!("{} violation(s)", r.violations)
+        };
+        let over = if r.max_write_delay > delay_bound {
+            " (over bound)"
+        } else {
+            ""
+        };
+        println!(
+            "| {} | {} | {} | {} | {:?}{} | {} |",
+            r.seed, r.ops, r.timeouts, r.grantor_changes, r.max_write_delay, over, verdict
+        );
+    }
+    if failed {
+        eprintln!("replicated chaos sweep: consistency violations found");
+        std::process::exit(1);
+    }
+}

@@ -143,6 +143,24 @@ impl ClockModel {
         true_now + crate::time::Dur::from_secs_f64(local_dur.as_secs_f64() / rate)
     }
 
+    /// The true instant at which this clock read `local_dur` *less* than
+    /// its reading at `true_now` — the inverse of [`ClockModel::true_after`],
+    /// assuming the current segment's rate held over the interval.
+    ///
+    /// Harnesses use this to backdate events a thread only *notices* after
+    /// the fact: if a local deadline was overshot by `local_dur` on this
+    /// clock, the deadline was actually crossed at
+    /// `true_before(true_now, local_dur)` in true time. On a fast clock
+    /// (rate > 1) the true interval is *shorter* than the local one, so the
+    /// backdated instant stays conservative for expiry accounting.
+    pub fn true_before(&self, true_now: Time, local_dur: crate::time::Dur) -> Time {
+        if local_dur.is_infinite() {
+            return Time::ZERO;
+        }
+        let rate = self.rate_at(true_now).max(1e-9);
+        true_now - crate::time::Dur::from_secs_f64(local_dur.as_secs_f64() / rate)
+    }
+
     /// Absolute error `|local(t) - t|` at true time `t`, in nanoseconds.
     pub fn error_at(&self, t: Time) -> u64 {
         let local = self.local(t);
@@ -305,6 +323,32 @@ mod tests {
             Time::from_secs(4)
         );
         assert_eq!(perfect.true_after(Time::ZERO, Dur::MAX), Time::MAX);
+    }
+
+    #[test]
+    fn true_before_inverts_true_after() {
+        // A 2x-fast clock overshot a local deadline by 10 s: the deadline
+        // was crossed 5 s of true time ago.
+        let fast = ClockModel::drifting(1_000_000.0);
+        let t = fast.true_before(Time::from_secs(100), Dur::from_secs(10));
+        assert_eq!(t, Time::from_secs(95));
+        // Round trip with true_after on a homogeneous segment.
+        let slow = ClockModel::drifting(-500_000.0);
+        let fwd = slow.true_after(Time::from_secs(50), Dur::from_secs(4));
+        assert_eq!(
+            slow.true_before(fwd, Dur::from_secs(4)),
+            Time::from_secs(50)
+        );
+        // Saturates at the epoch and treats infinite spans as "forever ago".
+        let perfect = ClockModel::perfect();
+        assert_eq!(
+            perfect.true_before(Time::from_secs(1), Dur::from_secs(9)),
+            Time::ZERO
+        );
+        assert_eq!(
+            perfect.true_before(Time::from_secs(1), Dur::MAX),
+            Time::ZERO
+        );
     }
 
     #[test]

@@ -60,6 +60,26 @@ pub enum Violation {
         /// The version the client believed committed.
         version: Version,
     },
+    /// Two distinct grantor replicas both held a live grantor claim over
+    /// the same true-time window — the replicated grantor's analogue of a
+    /// broken lease. With two grantors serving at once, each can grant
+    /// conflicting file leases, so single-copy semantics are gone even if
+    /// no client happened to observe it in this run.
+    TwoGrantors {
+        /// The replica whose claim started first.
+        replica_a: u32,
+        /// Its ballot.
+        ballot_a: u64,
+        /// The other replica.
+        replica_b: u32,
+        /// Its ballot.
+        ballot_b: u64,
+        /// Start of the overlap (true time).
+        overlap_from: Time,
+        /// End of the overlap (true time); [`Time::MAX`] when both claims
+        /// were still open at the end of the recorded history.
+        overlap_until: Time,
+    },
 }
 
 /// Checks a recorded execution against single-copy (atomic) semantics.
@@ -71,8 +91,19 @@ pub enum Violation {
 /// completion. This is exactly the paper's definition of consistency:
 /// "the behavior is equivalent to there being only a single (uncached)
 /// copy of the data except for the performance benefit of the cache" (§1).
+///
+/// Replicated-grantor histories are additionally checked for the quorum
+/// invariant: **at most one valid grantor at any true time**. Serving
+/// claims are the half-open intervals `[GrantorAcquired, GrantorCeded)`
+/// per `(replica, ballot)`; a claim never ceded stays open to the end of
+/// the history. Any true-time overlap between claims of *distinct*
+/// replicas is a [`Violation::TwoGrantors`] — flagged even if no client
+/// request happened to land in the window, because the hazard (two
+/// grantors free to issue conflicting file leases) exists regardless.
 pub fn check_history(history: &History) -> Result<(), Vec<Violation>> {
     let mut violations = Vec::new();
+
+    check_grantor_claims(history, &mut violations);
 
     // Collect commit timelines and discards (write-back lost writes) per
     // resource.
@@ -232,8 +263,95 @@ pub fn check_history(history: &History) -> Result<(), Vec<Violation>> {
     }
 }
 
+/// One grantor serving claim: `[from, until)` in true time.
+struct Claim {
+    replica: u32,
+    ballot: u64,
+    from: Time,
+    until: Time,
+}
+
+/// Collects grantor serving intervals and flags any true-time overlap
+/// between claims of distinct replicas.
+fn check_grantor_claims(history: &History, violations: &mut Vec<Violation>) {
+    let mut open: Vec<(u32, u64, Time)> = Vec::new();
+    let mut claims: Vec<Claim> = Vec::new();
+    for e in &history.events {
+        match e {
+            HistoryEvent::GrantorAcquired {
+                replica,
+                ballot,
+                at,
+            } => {
+                open.push((*replica, *ballot, *at));
+            }
+            HistoryEvent::GrantorCeded {
+                replica,
+                ballot,
+                at,
+            } => {
+                // Match the earliest open claim with the same identity;
+                // a cede without a matching acquire is ignored (a replica
+                // may notice expiry of a claim recorded before the
+                // recorder attached).
+                if let Some(pos) = open
+                    .iter()
+                    .position(|(r, b, _)| r == replica && b == ballot)
+                {
+                    let (_, _, from) = open.remove(pos);
+                    claims.push(Claim {
+                        replica: *replica,
+                        ballot: *ballot,
+                        // Backdated cedes saturate at the acquire instant:
+                        // an empty claim is fine, a negative one is not
+                        // representable.
+                        until: (*at).max(from),
+                        from,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    // Claims never ceded stay open to the end of the recorded history.
+    for (replica, ballot, from) in open {
+        claims.push(Claim {
+            replica,
+            ballot,
+            from,
+            until: Time::MAX,
+        });
+    }
+    claims.sort_by_key(|c| (c.from, c.replica, c.ballot));
+    for i in 0..claims.len() {
+        for j in i + 1..claims.len() {
+            let (a, b) = (&claims[i], &claims[j]);
+            if a.replica == b.replica {
+                // One host re-acquiring (renewal, or a fresh ballot after
+                // its own claim lapsed) is not a split brain.
+                continue;
+            }
+            let overlap_from = a.from.max(b.from);
+            let overlap_until = a.until.min(b.until);
+            if overlap_from < overlap_until {
+                violations.push(Violation::TwoGrantors {
+                    replica_a: a.replica,
+                    ballot_a: a.ballot,
+                    replica_b: b.replica,
+                    ballot_b: b.ballot,
+                    overlap_from,
+                    overlap_until,
+                });
+            }
+        }
+    }
+}
+
 /// The staleness of each violating read: how long before the read
-/// *completed* its returned version had already been superseded.
+/// *completed* its returned version had already been superseded. For
+/// [`Violation::TwoGrantors`] the reported span is the length of the
+/// split-brain window itself (saturating when a claim was still open at
+/// the end of the history).
 pub fn staleness_of(violations: &[Violation]) -> Vec<Dur> {
     violations
         .iter()
@@ -241,6 +359,11 @@ pub fn staleness_of(violations: &[Violation]) -> Vec<Dur> {
             Violation::StaleRead {
                 end, valid_until, ..
             } => Some(end.saturating_since(*valid_until)),
+            Violation::TwoGrantors {
+                overlap_from,
+                overlap_until,
+                ..
+            } => Some(overlap_until.saturating_since(*overlap_from)),
             _ => None,
         })
         .collect()
@@ -396,6 +519,97 @@ mod tests {
             version: Version(2),
             at: Time::from_secs(2),
         });
+        assert!(check_history(&h).is_ok());
+    }
+
+    fn acquire(h: &mut History, replica: u32, ballot: u64, at_s: u64) {
+        h.push(HistoryEvent::GrantorAcquired {
+            replica,
+            ballot,
+            at: Time::from_secs(at_s),
+        });
+    }
+
+    fn cede(h: &mut History, replica: u32, ballot: u64, at_s: u64) {
+        h.push(HistoryEvent::GrantorCeded {
+            replica,
+            ballot,
+            at: Time::from_secs(at_s),
+        });
+    }
+
+    #[test]
+    fn sequential_grantor_handoff_is_legal() {
+        let mut h = History::new();
+        acquire(&mut h, 0, 10, 1);
+        cede(&mut h, 0, 10, 5);
+        acquire(&mut h, 1, 21, 5); // back-to-back handoff at the boundary
+        cede(&mut h, 1, 21, 9);
+        acquire(&mut h, 2, 32, 12);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn overlapping_grantors_are_flagged_with_the_window() {
+        let mut h = History::new();
+        acquire(&mut h, 0, 10, 1);
+        acquire(&mut h, 1, 21, 4);
+        cede(&mut h, 0, 10, 6);
+        cede(&mut h, 1, 21, 9);
+        let violations = check_history(&h).unwrap_err();
+        assert_eq!(violations.len(), 1);
+        match &violations[0] {
+            Violation::TwoGrantors {
+                replica_a,
+                replica_b,
+                overlap_from,
+                overlap_until,
+                ..
+            } => {
+                assert_eq!((*replica_a, *replica_b), (0, 1));
+                assert_eq!(*overlap_from, Time::from_secs(4));
+                assert_eq!(*overlap_until, Time::from_secs(6));
+            }
+            other => panic!("expected TwoGrantors, got {other:?}"),
+        }
+        // staleness_of reports the split-brain window length.
+        assert_eq!(staleness_of(&violations), vec![Dur::from_secs(2)]);
+    }
+
+    #[test]
+    fn unceded_claim_overlaps_everything_after_it() {
+        let mut h = History::new();
+        acquire(&mut h, 0, 10, 1); // never ceded — e.g. fencing disabled
+        acquire(&mut h, 1, 21, 50);
+        let violations = check_history(&h).unwrap_err();
+        assert!(matches!(
+            violations[0],
+            Violation::TwoGrantors {
+                overlap_until: Time::MAX,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn same_replica_reacquiring_is_not_split_brain() {
+        let mut h = History::new();
+        // Renewal under a new ballot before the backdated cede of the old
+        // claim lands: one host, no hazard.
+        acquire(&mut h, 2, 10, 1);
+        acquire(&mut h, 2, 30, 4);
+        cede(&mut h, 2, 10, 6);
+        cede(&mut h, 2, 30, 9);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn backdated_cede_before_acquire_clamps_to_empty_claim() {
+        let mut h = History::new();
+        acquire(&mut h, 0, 10, 5);
+        cede(&mut h, 0, 10, 3); // backdated past the acquire: clamps to [5,5)
+        acquire(&mut h, 1, 21, 4);
+        cede(&mut h, 1, 21, 9);
         assert!(check_history(&h).is_ok());
     }
 

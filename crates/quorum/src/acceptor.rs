@@ -1,0 +1,242 @@
+//! The diskless acceptor half of a grantor replica.
+
+use lease_clock::{Dur, Time};
+
+use crate::msg::{Ballot, QuorumMsg};
+
+/// A diskless PaxosLease acceptor.
+///
+/// Classic Paxos acceptors must persist `promised`/`accepted` across
+/// crashes; here both are volatile. Safety survives because every accepted
+/// value is a *lease*: it expires `term` after acceptance on the
+/// acceptor's own clock, so any state a crash destroys would have evaporated
+/// on its own anyway — provided the restarted acceptor stays silent until
+/// everything it might have promised or accepted has expired. That is the
+/// paper's §5 MaxTerm trick applied to the grantor election itself:
+/// [`Acceptor::restart`] refuses all participation for `max_term` of local
+/// time instead of reading a disk.
+///
+/// All times are readings of the acceptor's local clock; the caller passes
+/// `now` explicitly (sans-IO, like `lease-core`).
+#[derive(Debug, Clone)]
+pub struct Acceptor {
+    /// Highest ballot promised; ballots below it are nacked.
+    promised: Ballot,
+    /// The accepted grantor lease, if still live: `(ballot, holder,
+    /// local expiry)`.
+    accepted: Option<(Ballot, u32, Time)>,
+    /// Local instant before which this acceptor is recovering and must
+    /// not respond at all.
+    ready_at: Time,
+}
+
+impl Acceptor {
+    /// A fresh acceptor with no obligations, ready immediately.
+    ///
+    /// Only a *first boot* may start ready; any later reboot must go
+    /// through [`Acceptor::restart`].
+    pub fn new() -> Acceptor {
+        Acceptor {
+            promised: Ballot::ZERO,
+            accepted: None,
+            ready_at: Time::ZERO,
+        }
+    }
+
+    /// Crash-restart: all volatile state is lost and the acceptor goes
+    /// silent until `now + max_term` on its local clock, by which point
+    /// any promise or accepted lease from the previous incarnation has
+    /// expired everywhere that mattered.
+    pub fn restart(&mut self, now: Time, max_term: Dur) {
+        self.promised = Ballot::ZERO;
+        self.accepted = None;
+        self.ready_at = now + max_term;
+    }
+
+    /// Whether the acceptor is still sitting out its restart window.
+    pub fn recovering(&self, now: Time) -> bool {
+        now < self.ready_at
+    }
+
+    /// The live accepted value at `now`, if any (expired values are
+    /// dropped lazily).
+    pub fn live_accepted(&self, now: Time) -> Option<(Ballot, u32, Time)> {
+        self.accepted.filter(|&(_, _, expires)| now < expires)
+    }
+
+    /// Handles one protocol message, returning the reply (if any — a
+    /// recovering acceptor is silent, which callers cannot distinguish
+    /// from a lost message; that is the point).
+    pub fn handle(&mut self, now: Time, msg: QuorumMsg) -> Option<QuorumMsg> {
+        if self.recovering(now) {
+            return None;
+        }
+        // Forget expired accepted leases eagerly so replies never carry
+        // them.
+        if self.live_accepted(now).is_none() {
+            self.accepted = None;
+        }
+        match msg {
+            QuorumMsg::Prepare { b } => {
+                if b < self.promised {
+                    Some(QuorumMsg::PrepareNack {
+                        b,
+                        promised: self.promised,
+                    })
+                } else {
+                    // `>=` keeps re-prepares idempotent under duplication.
+                    self.promised = b;
+                    let accepted = self
+                        .live_accepted(now)
+                        .map(|(ab, holder, expires)| (ab, holder, expires.saturating_since(now)));
+                    Some(QuorumMsg::Promise { b, accepted })
+                }
+            }
+            QuorumMsg::Propose { b, holder, term } => {
+                if b < self.promised {
+                    Some(QuorumMsg::ProposeNack {
+                        b,
+                        promised: self.promised,
+                    })
+                } else {
+                    self.promised = b;
+                    // The lease clock starts at *acceptance*, which is
+                    // always at or after the proposer's conservative
+                    // start (its prepare-send instant).
+                    self.accepted = Some((b, holder, now + term));
+                    Some(QuorumMsg::Accept { b })
+                }
+            }
+            // Replies are for proposers; an acceptor ignores them.
+            _ => None,
+        }
+    }
+}
+
+impl Default for Acceptor {
+    fn default() -> Acceptor {
+        Acceptor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TERM: Dur = Dur::from_millis(500);
+
+    fn prepare(a: &mut Acceptor, now_ms: u64, round: u32, replica: u32) -> Option<QuorumMsg> {
+        a.handle(
+            Time::from_millis(now_ms),
+            QuorumMsg::Prepare {
+                b: Ballot::new(round, replica),
+            },
+        )
+    }
+
+    #[test]
+    fn promise_then_accept_then_expire() {
+        let mut a = Acceptor::new();
+        assert_eq!(
+            prepare(&mut a, 0, 1, 0),
+            Some(QuorumMsg::Promise {
+                b: Ballot::new(1, 0),
+                accepted: None
+            })
+        );
+        let accept = a.handle(
+            Time::from_millis(1),
+            QuorumMsg::Propose {
+                b: Ballot::new(1, 0),
+                holder: 0,
+                term: TERM,
+            },
+        );
+        assert_eq!(
+            accept,
+            Some(QuorumMsg::Accept {
+                b: Ballot::new(1, 0)
+            })
+        );
+        // A later prepare inside the lease reports the live value with the
+        // remaining term.
+        match prepare(&mut a, 101, 2, 1) {
+            Some(QuorumMsg::Promise {
+                accepted: Some((ab, holder, remaining)),
+                ..
+            }) => {
+                assert_eq!(ab, Ballot::new(1, 0));
+                assert_eq!(holder, 0);
+                assert_eq!(remaining, Dur::from_millis(400));
+            }
+            other => panic!("expected live accepted, got {other:?}"),
+        }
+        // After expiry the acceptor has forgotten it.
+        match prepare(&mut a, 502, 3, 1) {
+            Some(QuorumMsg::Promise { accepted: None, .. }) => {}
+            other => panic!("expected empty promise, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lower_ballots_are_nacked() {
+        let mut a = Acceptor::new();
+        prepare(&mut a, 0, 5, 2);
+        assert_eq!(
+            prepare(&mut a, 1, 4, 9),
+            Some(QuorumMsg::PrepareNack {
+                b: Ballot::new(4, 9),
+                promised: Ballot::new(5, 2),
+            })
+        );
+        assert_eq!(
+            a.handle(
+                Time::from_millis(2),
+                QuorumMsg::Propose {
+                    b: Ballot::new(4, 9),
+                    holder: 9,
+                    term: TERM,
+                },
+            ),
+            Some(QuorumMsg::ProposeNack {
+                b: Ballot::new(4, 9),
+                promised: Ballot::new(5, 2),
+            })
+        );
+    }
+
+    #[test]
+    fn restart_goes_silent_for_max_term() {
+        let mut a = Acceptor::new();
+        prepare(&mut a, 0, 1, 0);
+        a.handle(
+            Time::from_millis(1),
+            QuorumMsg::Propose {
+                b: Ballot::new(1, 0),
+                holder: 0,
+                term: TERM,
+            },
+        );
+        a.restart(Time::from_millis(100), Dur::from_millis(800));
+        // Silent through the whole window, even for high ballots.
+        assert_eq!(prepare(&mut a, 100, 9, 1), None);
+        assert_eq!(prepare(&mut a, 899, 9, 1), None);
+        assert!(a.recovering(Time::from_millis(899)));
+        // Fresh after the window, with all state forgotten.
+        assert_eq!(
+            prepare(&mut a, 900, 1, 1),
+            Some(QuorumMsg::Promise {
+                b: Ballot::new(1, 1),
+                accepted: None
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_prepare_is_idempotent() {
+        let mut a = Acceptor::new();
+        let first = prepare(&mut a, 0, 3, 1);
+        let dup = prepare(&mut a, 1, 3, 1);
+        assert_eq!(first, dup);
+    }
+}

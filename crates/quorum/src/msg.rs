@@ -1,0 +1,132 @@
+//! Ballots and the quorum wire protocol.
+
+use lease_clock::Dur;
+
+/// A totally ordered ballot number: `(round, replica)` compared
+/// lexicographically, so two proposers can never draw the same ballot.
+///
+/// # Examples
+///
+/// ```
+/// use lease_quorum::Ballot;
+///
+/// let a = Ballot::new(1, 2);
+/// let b = Ballot::new(2, 0);
+/// assert!(a < b); // round dominates
+/// assert!(Ballot::new(1, 0) < Ballot::new(1, 1)); // replica breaks ties
+/// assert_eq!(Ballot::unpack(a.as_u64()), a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ballot {
+    /// The proposer-chosen round; bumped past any competing round seen.
+    pub round: u32,
+    /// The proposing replica, as the tie-breaker.
+    pub replica: u32,
+}
+
+impl Ballot {
+    /// The null ballot, smaller than every real ballot (real rounds start
+    /// at 1).
+    pub const ZERO: Ballot = Ballot {
+        round: 0,
+        replica: 0,
+    };
+
+    /// Creates a ballot.
+    pub fn new(round: u32, replica: u32) -> Ballot {
+        Ballot { round, replica }
+    }
+
+    /// Packs the ballot into one `u64` (`round` in the high half) whose
+    /// numeric order equals ballot order — the form history events and
+    /// fencing gates carry.
+    pub fn as_u64(self) -> u64 {
+        (u64::from(self.round) << 32) | u64::from(self.replica)
+    }
+
+    /// Inverse of [`Ballot::as_u64`].
+    pub fn unpack(v: u64) -> Ballot {
+        Ballot {
+            round: (v >> 32) as u32,
+            replica: v as u32,
+        }
+    }
+}
+
+/// One message of the grantor-lease protocol (PaxosLease-style: plain
+/// Paxos prepare/propose, except accepted values *expire* on the
+/// acceptor's local clock, which is what makes the acceptors diskless).
+///
+/// The `Ord` impl is arbitrary; it exists so event queues can order
+/// same-instant events deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QuorumMsg {
+    /// Phase 1a: a proposer asks for a promise under `b`.
+    Prepare {
+        /// The proposer's ballot.
+        b: Ballot,
+    },
+    /// Phase 1b: the acceptor promises to ignore ballots below `b` and
+    /// reports any still-live accepted grantor lease.
+    Promise {
+        /// The ballot being promised.
+        b: Ballot,
+        /// A live accepted value, if one exists: the ballot it was
+        /// accepted under, the replica holding the grantor lease, and the
+        /// remaining term on the acceptor's clock.
+        accepted: Option<(Ballot, u32, Dur)>,
+    },
+    /// Phase 1 refusal: the acceptor already promised `promised > b`.
+    PrepareNack {
+        /// The refused ballot.
+        b: Ballot,
+        /// The ballot the acceptor is bound to.
+        promised: Ballot,
+    },
+    /// Phase 2a: the proposer asks the acceptor to hold the grantor lease
+    /// for `holder` for `term` (on the acceptor's clock).
+    Propose {
+        /// The proposer's ballot.
+        b: Ballot,
+        /// The replica that will be the grantor.
+        holder: u32,
+        /// The lease term, started when the acceptor accepts.
+        term: Dur,
+    },
+    /// Phase 2b: accepted.
+    Accept {
+        /// The accepted ballot.
+        b: Ballot,
+    },
+    /// Phase 2 refusal.
+    ProposeNack {
+        /// The refused ballot.
+        b: Ballot,
+        /// The ballot the acceptor is bound to.
+        promised: Ballot,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_order_matches_packed_order() {
+        let mut ballots = vec![
+            Ballot::new(2, 1),
+            Ballot::new(1, 2),
+            Ballot::ZERO,
+            Ballot::new(1, 0),
+            Ballot::new(2, 0),
+        ];
+        ballots.sort();
+        let packed: Vec<u64> = ballots.iter().map(|b| b.as_u64()).collect();
+        let mut sorted = packed.clone();
+        sorted.sort_unstable();
+        assert_eq!(packed, sorted);
+        for b in ballots {
+            assert_eq!(Ballot::unpack(b.as_u64()), b);
+        }
+    }
+}

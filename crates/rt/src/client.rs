@@ -15,7 +15,7 @@ use lease_core::{
 use lease_vsys::HistoryEvent;
 
 use crate::record::Recorder;
-use crate::server::{PortVerdict, Res, ServerPort, RETRY_AFTER};
+use crate::server::{Port, PortVerdict, Res, RETRY_AFTER};
 
 /// An error from a real-time cache operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,7 +138,7 @@ struct Waiting {
 struct Worker {
     id: ClientId,
     cache: LeaseClient<Res, Bytes>,
-    port: ServerPort,
+    port: Arc<dyn Port>,
     /// This host's clock — possibly a skewed chaos model.
     clock: Arc<dyn Clock>,
     /// The perfect observer (true time), if history is being recorded.
@@ -320,7 +320,7 @@ pub(crate) fn spawn_client(
     cache: LeaseClient<Res, Bytes>,
     cmd_rx: Receiver<ClientCmd>,
     net_rx: Receiver<ToClient<Res, Bytes>>,
-    port: ServerPort,
+    port: Arc<dyn Port>,
     clock: Arc<dyn Clock>,
     recorder: Option<Arc<Recorder>>,
 ) -> JoinHandle<()> {

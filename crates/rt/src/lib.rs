@@ -38,12 +38,15 @@
 pub mod client;
 pub mod naming;
 pub mod record;
+pub mod replicated;
 pub mod server;
 pub mod system;
 
 pub use client::{RtClientHandle, RtError};
+pub use lease_quorum::QuorumConfig;
 pub use lease_svc::chaos::FaultPlan;
 pub use naming::{Binding, NameOp};
 pub use record::Recorder;
+pub use replicated::{ReplicatedSystem, ReplicatedSystemBuilder};
 pub use server::ServerStats;
 pub use system::{RtSystem, RtSystemBuilder};

@@ -210,6 +210,12 @@ impl ChaosNet {
         self.plan.cut_active(client, self.elapsed())
     }
 
+    /// Whether a plan cut window covers grantor replica `replica` now
+    /// (host-level partitions in the replicated topology).
+    pub fn replica_cut(&self, replica: usize) -> bool {
+        self.plan.replica_cut_active(replica, self.elapsed())
+    }
+
     pub fn s2c(&self, client: usize) -> Delivery {
         self.s2c[client].next()
     }
@@ -227,14 +233,46 @@ pub struct ClientLink {
     pub cut: Arc<AtomicBool>,
 }
 
+/// Egress fencing for one replica of the replicated topology: which
+/// replica this service is, and the grantor gate its replies must pass.
+pub(crate) struct RtFence {
+    /// This service's replica index (for plan-relative cut windows).
+    pub replica: usize,
+    /// The replica's serving gate: while it is closed — never elected,
+    /// lease lapsed, stale after a partition — every reply is dropped, so
+    /// a stale grantor's grants and approvals cannot reach clients.
+    pub gate: Arc<lease_quorum::GrantorGate>,
+}
+
 /// Delivers shard output to client threads over their channels.
 pub(crate) struct RtSink {
     pub links: Vec<ClientLink>,
     pub chaos: Option<Arc<ChaosNet>>,
+    /// Present only in the replicated topology.
+    pub fence: Option<RtFence>,
+}
+
+impl RtSink {
+    /// Whether the replica may emit anything at all right now.
+    fn fenced(&self) -> bool {
+        match &self.fence {
+            None => false,
+            Some(f) => {
+                !f.gate.is_open()
+                    || self
+                        .chaos
+                        .as_ref()
+                        .is_some_and(|c| c.replica_cut(f.replica))
+            }
+        }
+    }
 }
 
 impl ClientSink<Res, Bytes> for RtSink {
     fn deliver(&self, to: ClientId, msg: ToClient<Res, Bytes>) {
+        if self.fenced() {
+            return;
+        }
         let link = &self.links[to.0 as usize];
         if link.cut.load(Ordering::Relaxed) {
             return;
@@ -267,9 +305,10 @@ impl ClientSink<Res, Bytes> for RtSink {
     }
 
     fn deliver_batch(&self, msgs: &mut Vec<(ClientId, ToClient<Res, Bytes>)>) {
-        if self.chaos.is_some() {
-            // Chaos rolls per-message dice (drop/delay/duplicate); keep
-            // the one-at-a-time path so fault plans replay identically.
+        if self.chaos.is_some() || self.fence.is_some() {
+            // Chaos rolls per-message dice (drop/delay/duplicate) and the
+            // fence must be re-checked per message (the gate can lapse
+            // mid-batch); keep the one-at-a-time path.
             for (to, msg) in msgs.drain(..) {
                 self.deliver(to, msg);
             }
@@ -310,6 +349,18 @@ pub(crate) enum PortVerdict {
     RetryAfter(ToServer<Res, Bytes>),
 }
 
+/// Where a client thread submits protocol messages: the single-server
+/// topology's [`ServerPort`], or the replicated topology's failover port
+/// that hunts for the current grantor. Implementations never block on a
+/// saturated shard — backpressure degrades into
+/// [`PortVerdict::RetryAfter`], and unreachability into
+/// [`PortVerdict::Dropped`] (the client's retransmission backoff is the
+/// retry schedule).
+pub(crate) trait Port: Send + Sync {
+    /// Submits one client message, unless faults interfere.
+    fn send(&self, from: ClientId, msg: ToServer<Res, Bytes>) -> PortVerdict;
+}
+
 /// What client threads hold instead of a channel to a server thread: the
 /// sharded service handle, the cut switches, and the chaos dice for the
 /// inbound direction.
@@ -320,11 +371,8 @@ pub(crate) struct ServerPort {
     pub chaos: Option<Arc<ChaosNet>>,
 }
 
-impl ServerPort {
-    /// Submits one client message, unless faults interfere. Never blocks
-    /// on a saturated shard: backpressure degrades into
-    /// [`PortVerdict::RetryAfter`].
-    pub fn send(&self, from: ClientId, msg: ToServer<Res, Bytes>) -> PortVerdict {
+impl Port for ServerPort {
+    fn send(&self, from: ClientId, msg: ToServer<Res, Bytes>) -> PortVerdict {
         if self.cuts[from.0 as usize].load(Ordering::Relaxed) {
             return PortVerdict::Dropped; // Fault injection: drop inbound too.
         }

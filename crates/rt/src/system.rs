@@ -250,6 +250,7 @@ impl RtSystemBuilder {
             Arc::new(RtSink {
                 links,
                 chaos: chaos_net.clone(),
+                fence: None,
             }),
             hooks,
             move |i| {
@@ -317,11 +318,11 @@ impl RtSystemBuilder {
         }
 
         // Client threads submit through the service handle.
-        let port = ServerPort {
+        let port = Arc::new(ServerPort {
             svc: svc.clone(),
             cuts: Arc::new(cuts.clone()),
             chaos: chaos_net,
-        };
+        });
         let mut client_handles = Vec::new();
         let mut client_cmd_txs: Vec<Sender<ClientCmd>> = Vec::new();
         for (i, net_rx) in net_rxs.into_iter().enumerate() {

@@ -31,6 +31,17 @@ use crate::shard::INJECTED_KILL;
 /// All instants are relative to the start of the run. The default plan is
 /// fault-free; builders add one fault class at a time.
 ///
+/// Faults come at two granularities:
+///
+/// * **shard-level** ([`FaultPlan::kill_shard`]) — panic one shard worker
+///   inside a single server; the supervisor restarts it through §5
+///   MaxTerm recovery.
+/// * **host-level** ([`FaultPlan::kill_replica`], [`FaultPlan::cut_replica`],
+///   [`FaultPlan::with_replica_clock`]) — crash, isolate, or clock-skew a
+///   whole grantor replica in a replicated (`lease-quorum`) topology.
+///   Replica indices live in their own namespace; they are **not** shard
+///   ids.
+///
 /// # Examples
 ///
 /// ```
@@ -65,7 +76,21 @@ pub struct FaultPlan {
     pub server_clock: Option<ClockModel>,
     /// Per-client clock models as `(client index, model)` pairs.
     pub client_clocks: Vec<(usize, ClockModel)>,
+    /// `(when, replica)`: crash-restart grantor replica `replica` at
+    /// `when`. Host-level — distinct from [`FaultPlan::kills`], whose
+    /// indices name shards *within* one server.
+    pub replica_kills: Vec<(Dur, usize)>,
+    /// `(from, until, replica)`: windows in which `replica` is partitioned
+    /// from every peer (and from clients routed to it).
+    pub replica_cuts: Vec<(Dur, Dur, usize)>,
+    /// Per-replica clock models as `(replica index, model)` pairs.
+    pub replica_clocks: Vec<(usize, ClockModel)>,
 }
+
+/// High bit namespace for replica↔replica decision streams, so quorum
+/// traffic never collides with the client link streams (`client` and
+/// `client | 1<<32`). See [`FaultPlan::replica_link`].
+pub const REPLICA_STREAM: u64 = 1 << 33;
 
 impl FaultPlan {
     /// A fault-free plan with the given seed.
@@ -77,8 +102,39 @@ impl FaultPlan {
     }
 
     /// Adds a shard kill at `when`.
-    pub fn kill(mut self, when: Dur, shard: usize) -> FaultPlan {
+    ///
+    /// Alias of [`FaultPlan::kill_shard`], kept for existing plans; the
+    /// index names a *shard within one server*, not a replica.
+    pub fn kill(self, when: Dur, shard: usize) -> FaultPlan {
+        self.kill_shard(when, shard)
+    }
+
+    /// Adds a shard-level kill at `when`: panic the worker that owns
+    /// shard `shard` inside a single server. For crashing a whole grantor
+    /// replica, use [`FaultPlan::kill_replica`].
+    pub fn kill_shard(mut self, when: Dur, shard: usize) -> FaultPlan {
         self.kills.push((when, shard));
+        self
+    }
+
+    /// Adds a host-level kill at `when`: crash-restart grantor replica
+    /// `replica` (its quorum node forgets all volatile ballot state and
+    /// must wait out MaxTerm before re-promising; its service shards die
+    /// with it).
+    pub fn kill_replica(mut self, when: Dur, replica: usize) -> FaultPlan {
+        self.replica_kills.push((when, replica));
+        self
+    }
+
+    /// Partitions replica `replica` from all peers during `[from, until)`.
+    pub fn cut_replica(mut self, from: Dur, until: Dur, replica: usize) -> FaultPlan {
+        self.replica_cuts.push((from, until, replica));
+        self
+    }
+
+    /// Subjects grantor replica `replica` to `model`.
+    pub fn with_replica_clock(mut self, replica: usize, model: ClockModel) -> FaultPlan {
+        self.replica_clocks.push((replica, model));
         self
     }
 
@@ -150,6 +206,30 @@ impl FaultPlan {
             .iter()
             .find(|(c, _)| *c == client)
             .map(|(_, m)| m.clone())
+    }
+
+    /// Whether some replica-cut window covers `replica` at `elapsed`.
+    /// Half-open like [`FaultPlan::cut_active`]: a link between replicas
+    /// `i` and `j` is severed while *either* endpoint is cut.
+    pub fn replica_cut_active(&self, replica: usize, elapsed: Dur) -> bool {
+        self.replica_cuts
+            .iter()
+            .any(|&(from, until, r)| r == replica && elapsed >= from && elapsed < until)
+    }
+
+    /// The clock model for grantor replica `replica`, if the plan sets one.
+    pub fn replica_clock(&self, replica: usize) -> Option<ClockModel> {
+        self.replica_clocks
+            .iter()
+            .find(|(r, _)| *r == replica)
+            .map(|(_, m)| m.clone())
+    }
+
+    /// The deterministic fault decider for the directed replica link
+    /// `from → to`, in the [`REPLICA_STREAM`] namespace. Direction matters:
+    /// `replica_link(0, 1)` and `replica_link(1, 0)` draw independently.
+    pub fn replica_link(&self, from: usize, to: usize) -> LinkChaos {
+        self.link(REPLICA_STREAM | ((from as u64) << 16) | to as u64)
     }
 }
 
@@ -294,5 +374,73 @@ mod tests {
         assert!(plan.cut_active(3, Dur::from_millis(199)));
         assert!(!plan.cut_active(3, Dur::from_millis(200)));
         assert!(!plan.cut_active(2, Dur::from_millis(150)));
+    }
+
+    #[test]
+    fn replica_faults_live_in_their_own_namespace() {
+        let plan = FaultPlan::new(1)
+            .kill_shard(Dur::from_millis(10), 2)
+            .kill_replica(Dur::from_millis(20), 2)
+            .cut_replica(Dur::from_millis(50), Dur::from_millis(60), 1)
+            .with_replica_clock(0, ClockModel::drifting(1_000_000.0));
+        // Shard kill and replica kill with the same index are distinct
+        // faults in distinct schedules.
+        assert_eq!(plan.kills, vec![(Dur::from_millis(10), 2)]);
+        assert_eq!(plan.replica_kills, vec![(Dur::from_millis(20), 2)]);
+        // Replica cuts are half-open like client cuts.
+        assert!(!plan.replica_cut_active(1, Dur::from_millis(49)));
+        assert!(plan.replica_cut_active(1, Dur::from_millis(50)));
+        assert!(plan.replica_cut_active(1, Dur::from_millis(59)));
+        assert!(!plan.replica_cut_active(1, Dur::from_millis(60)));
+        assert!(!plan.replica_cut_active(0, Dur::from_millis(55)));
+        // Replica clocks resolve per index; clients are unaffected.
+        assert!(plan.replica_clock(0).is_some());
+        assert!(plan.replica_clock(1).is_none());
+        assert!(plan.client_clock(0).is_none());
+    }
+
+    /// Pins full-plan replay determinism: rebuilding the same plan from
+    /// the same seed replays identical decision streams across shard,
+    /// client, and replica links — and the replica-link namespace never
+    /// collides with client streams even at the same numeric index.
+    #[test]
+    fn chaos_plan_replay_is_deterministic() {
+        let build = || {
+            FaultPlan::new(0xfeed)
+                .kill_shard(Dur::from_millis(5), 1)
+                .kill_replica(Dur::from_millis(7), 0)
+                .drop_messages(0.2)
+                .duplicate_messages(0.1)
+                .delay_messages(Dur::from_millis(15))
+        };
+        let (a, b) = (build(), build());
+        for stream in [0u64, 1, 1 << 32, REPLICA_STREAM | 3] {
+            let (la, lb) = (a.link(stream), b.link(stream));
+            let da: Vec<Delivery> = (0..128).map(|_| la.next()).collect();
+            let db: Vec<Delivery> = (0..128).map(|_| lb.next()).collect();
+            assert_eq!(da, db, "stream {stream:#x} must replay identically");
+        }
+        for (from, to) in [(0usize, 1usize), (1, 0), (1, 2)] {
+            let (la, lb) = (a.replica_link(from, to), b.replica_link(from, to));
+            let da: Vec<Delivery> = (0..128).map(|_| la.next()).collect();
+            let db: Vec<Delivery> = (0..128).map(|_| lb.next()).collect();
+            assert_eq!(da, db, "replica link {from}->{to} must replay identically");
+        }
+        // Directionality: the two directions of one replica pair diverge.
+        let fwd: Vec<Delivery> = {
+            let l = a.replica_link(0, 1);
+            (0..128).map(|_| l.next()).collect()
+        };
+        let rev: Vec<Delivery> = {
+            let l = a.replica_link(1, 0);
+            (0..128).map(|_| l.next()).collect()
+        };
+        assert_ne!(fwd, rev, "directed replica links draw independently");
+        // Replica stream 0->1 differs from the client-1 s2c stream.
+        let client1: Vec<Delivery> = {
+            let l = a.link(1);
+            (0..128).map(|_| l.next()).collect()
+        };
+        assert_ne!(fwd, client1, "replica links must not alias client links");
     }
 }

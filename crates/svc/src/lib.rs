@@ -101,7 +101,7 @@ mod shard;
 /// wheel property tests) working unchanged.
 pub use lease_core::wheel;
 
-pub use chaos::{Delivery, FaultPlan, LinkChaos};
+pub use chaos::{Delivery, FaultPlan, LinkChaos, REPLICA_STREAM};
 pub use service::{
     shard_of, BatchBuf, ClientSink, LeaseService, SvcConfig, SvcError, SvcHandle, SvcHooks,
     SvcStats,

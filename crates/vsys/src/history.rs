@@ -93,6 +93,31 @@ pub enum HistoryEvent {
         /// True completion time.
         at: Time,
     },
+    /// A grantor replica began *serving* under a quorum-granted grantor
+    /// lease (the PaxosLease ballot it won). Recorded by replicated
+    /// topologies; single-server runs never emit it. Plain integers keep
+    /// the history independent of the quorum crate's types.
+    GrantorAcquired {
+        /// The replica that became the grantor.
+        replica: u32,
+        /// The winning ballot, packed `(round << 32) | replica`.
+        ballot: u64,
+        /// True time at which serving began.
+        at: Time,
+    },
+    /// A grantor replica stopped serving — its grantor lease expired on
+    /// its own clock, it was killed, or it observed a higher ballot. `at`
+    /// is the (backdated) true instant the claim ended; paired with the
+    /// matching [`HistoryEvent::GrantorAcquired`] it closes a half-open
+    /// serving interval `[acquired, ceded)`.
+    GrantorCeded {
+        /// The replica that ceded.
+        replica: u32,
+        /// The ballot it held.
+        ballot: u64,
+        /// True end of the claim.
+        at: Time,
+    },
 }
 
 impl HistoryEvent {
@@ -104,7 +129,9 @@ impl HistoryEvent {
             | HistoryEvent::WriteStart { at, .. }
             | HistoryEvent::Commit { at, .. }
             | HistoryEvent::Discard { at, .. }
-            | HistoryEvent::WriteDone { at, .. } => *at,
+            | HistoryEvent::WriteDone { at, .. }
+            | HistoryEvent::GrantorAcquired { at, .. }
+            | HistoryEvent::GrantorCeded { at, .. } => *at,
         }
     }
 }
