@@ -21,11 +21,12 @@
 //!   forgot has expired by the time the replica speaks again.
 //! * **Conservative timers.** The holder starts its lease at the
 //!   *prepare-send* instant and trusts only
-//!   [`QuorumConfig::usable_term`] — the granted term discounted by the
-//!   tolerated clock-drift bound — while acceptors hold the full term
-//!   from the (strictly later) accept instant. A holder with a clock
-//!   within the bound therefore always stops serving before any correct
-//!   acceptor lets a rival in.
+//!   [`QuorumConfig::usable_term`] — the granted term discounted by
+//!   *both* edges of the clock-drift bound, `term * (1 - d) / (1 + d)`,
+//!   covering a slow holder clock paired with fast acceptor clocks —
+//!   while acceptors hold the full term from the (strictly later) accept
+//!   instant. A holder with a clock within the bound therefore always
+//!   stops serving before any correct acceptor lets a rival in.
 //! * **Quorum intersection masks bad minority clocks.** One 2×-fast
 //!   acceptor forgets early, but a new proposer still needs a majority,
 //!   and some correct acceptor in any majority still remembers the live

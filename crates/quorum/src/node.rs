@@ -17,15 +17,18 @@ pub struct QuorumConfig {
     /// Restart silence window (§5 MaxTerm): must cover the longest time
     /// any promise or accepted lease from a dead incarnation can matter.
     /// [`QuorumConfig::validate`] requires `max_term >= term * (1 +
-    /// drift_bound)`.
+    /// drift_bound) / (1 - drift_bound)`: the restarting replica may wait
+    /// on a fast clock while the lease it enabled lives on a slow one.
     pub max_term: Dur,
     /// Fraction of the usable term after which the holder renews.
     pub renew_frac: f64,
-    /// The clock-rate error (ppm) the protocol tolerates on the *leader's
-    /// own* clock: the leader only trusts `term / (1 + bound)` of its
-    /// lease. A leader whose clock runs slower than `1 - bound` of true
-    /// rate is outside the fault model and may produce two grantors — the
-    /// oracle's job to catch.
+    /// The clock-rate error (ppm) the protocol tolerates on *any*
+    /// replica's clock, leader and acceptors alike: every clock's rate is
+    /// assumed within `[1 - bound, 1 + bound]` of true rate. The leader
+    /// only trusts [`QuorumConfig::usable_term`] of its lease, which
+    /// discounts both a slow leader clock and fast acceptor clocks. A
+    /// clock outside the bound is outside the fault model and may produce
+    /// two grantors — the oracle's job to catch.
     pub drift_bound_ppm: f64,
     /// Abort a prepare/propose round not done within this local span.
     pub op_timeout: Dur,
@@ -65,12 +68,19 @@ impl QuorumConfig {
         self.replicas / 2 + 1
     }
 
-    /// The portion of the term the *holder* may trust: the granted term
-    /// discounted by the worst slow-clock rate in the fault model, so a
-    /// leader with a `1 - bound` clock still expires (in true time) no
-    /// later than the fastest correct acceptor forgets.
+    /// The portion of the term the *holder* may trust: `term * (1 - d) /
+    /// (1 + d)`, discounting both ends of the fault model at once. A
+    /// leader clock at the slow edge (`1 - d`) stretches a local span by
+    /// `1 / (1 - d)` in true time, so the leader's view lives
+    /// `term * (1 - d) / (1 + d) / (1 - d) = term / (1 + d)` of true time
+    /// — exactly when an acceptor clock at the fast edge (`1 + d`)
+    /// forgets its accepted lease, which started no earlier than the
+    /// leader's timer. Discounting only the slow side (`term * (1 - d)`)
+    /// would leave a `~term * 2d / (1 + d)` window where a fast acceptor
+    /// has forgotten while the slow leader still serves.
     pub fn usable_term(&self) -> Dur {
-        self.term.mul_f64(1.0 - self.drift_bound_ppm / 1e6)
+        let d = self.drift_bound_ppm / 1e6;
+        self.term.mul_f64((1.0 - d) / (1.0 + d))
     }
 
     /// Checks internal consistency (quorum arithmetic and MaxTerm cover).
@@ -90,10 +100,15 @@ impl QuorumConfig {
                 self.drift_bound_ppm
             ));
         }
-        let cover = self.term.mul_f64(1.0 + self.drift_bound_ppm / 1e6);
+        // A restarting replica may wait out max_term on a fast clock
+        // (true wait max_term / (1 + d)) while a lease it promised or
+        // accepted lives out its term on a slow peer's clock (true life
+        // term / (1 - d)); the silence must cover the life.
+        let d = self.drift_bound_ppm / 1e6;
+        let cover = self.term.mul_f64((1.0 + d) / (1.0 - d));
         if self.max_term < cover {
             return Err(format!(
-                "max_term {} does not cover term*(1+drift) = {}",
+                "max_term {} does not cover term*(1+drift)/(1-drift) = {}",
                 self.max_term, cover
             ));
         }

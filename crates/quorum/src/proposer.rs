@@ -203,11 +203,14 @@ impl Proposer {
                     let usable = self.cfg.usable_term();
                     let fresh = match self.claim.take() {
                         Some(old) => {
-                            // Renewal: the old claim hands over to the new
-                            // one with no gap (same replica, so no hazard
-                            // either way). A claim that had already lapsed
-                            // does not chain: that serving session broke.
-                            out.push(PropAction::Ceded(old.b, Dur::ZERO));
+                            // Renewal: a still-live claim hands over to the
+                            // new one with no gap (same replica, so no
+                            // hazard either way; overshoot zero). A claim
+                            // that had already lapsed does not chain — that
+                            // serving session broke at its expiry, so the
+                            // cede is backdated to the true lapse instant,
+                            // not the (later) accept-quorum instant.
+                            out.push(PropAction::Ceded(old.b, now.saturating_since(old.expires)));
                             now >= old.expires
                         }
                         None => true,

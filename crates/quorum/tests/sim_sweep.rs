@@ -152,6 +152,38 @@ fn majority_fast_acceptor_clocks_split_brain_is_caught() {
     );
 }
 
+/// The worst *in-bound* pairing: leader clock at the slow edge
+/// (−100k ppm) while both other replicas run at the fast edge
+/// (+100k ppm), with the leader cut off across its claim's tail so it
+/// rides the lease out alone. A one-sided discount (`term · (1 − d)`)
+/// leaves a ~`term · 2d / (1 + d)` split-brain window here; the
+/// two-sided `usable_term` must leave none, for every seed and cut
+/// placement.
+#[test]
+fn slow_leader_fast_acceptors_within_bound_are_safe() {
+    for seed in 0..10u64 {
+        for cut_ms in [450u64, 500, 700, 900, 1300, 1800, 2400] {
+            let plan = FaultPlan::new(seed)
+                .with_replica_clock(0, ClockModel::drifting(-100_000.0))
+                .with_replica_clock(1, ClockModel::drifting(100_000.0))
+                .with_replica_clock(2, ClockModel::drifting(100_000.0))
+                .cut_replica(Dur::from_millis(cut_ms), Dur::from_secs(6), 0);
+            let out = run(&SimConfig {
+                plan,
+                duration: Dur::from_secs(8),
+                ..SimConfig::default()
+            });
+            let res = check_history(&out.history);
+            assert!(
+                res.is_ok(),
+                "seed {seed} cut {cut_ms}: {:?}\nhistory: {:?}",
+                res.as_ref().err(),
+                out.history.events
+            );
+        }
+    }
+}
+
 /// A leader whose clock runs slower than the tolerated drift bound trusts
 /// its lease for longer (in true time) than the acceptors hold it: caught.
 #[test]
