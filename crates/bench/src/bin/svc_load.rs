@@ -41,7 +41,9 @@ use lease_clock::Dur;
 use lease_core::{
     ClientId, LeaseServer, MemStorage, ReqId, ServerConfig, Storage, ToClient, ToServer,
 };
-use lease_svc::{BatchBuf, ClientSink, LeaseService, SvcConfig, SvcHandle, SvcHooks};
+use lease_svc::{
+    BatchBuf, ClientSink, FaultPlan, LeaseService, OverloadPlan, SvcConfig, SvcHandle, SvcHooks,
+};
 
 type R = u64;
 type D = u64;
@@ -55,6 +57,14 @@ svc_load: closed-loop load generator for the sharded lease service
   --ms N          measured window per configuration in ms (default 1000)
   --files N       distinct resources (default 256)
   --batch N       client batch size for the batched rows (default 32)
+  --open-loop R   open-loop mode: replace the closed-loop rows with one
+                  row per shard count driving Poisson arrivals at R
+                  ops/sec total (split across clients), submitted with
+                  try_send — arrivals the mailboxes refuse are dropped,
+                  and latency is measured from the *intended* arrival
+                  instant. Rows are marked batch=0; not compatible with
+                  --check (the scaling gate needs the batched rows).
+                  Env: LEASE_LOAD_RATE.
   --json PATH     where to write the sweep results (default BENCH_svc.json)
   --check PATH    measure, then gate against the baseline at PATH instead
                   of writing: fail unless batched ops/s at shards=4 beats
@@ -292,6 +302,128 @@ fn client_loop_batched(
     latencies
 }
 
+/// One open-loop client: fire fetches (and the occasional write) at
+/// deterministic Poisson arrival instants at `rate` ops/sec, whether or
+/// not earlier ops have completed, draining replies between arrivals.
+/// Arrivals the mailbox refuses (`try_send` backpressure) are dropped on
+/// the floor — open loop means the generator does not slow down — and
+/// latency is measured from the *intended* arrival instant, so queueing
+/// delay under overload is visible instead of throttling the offered
+/// load. Returns per-op latencies in nanoseconds.
+fn client_loop_open(
+    id: ClientId,
+    handle: SvcHandle<R, D>,
+    rx: Receiver<ToClient<R, D>>,
+    files: u64,
+    stop: Arc<AtomicBool>,
+    rate: f64,
+) -> Vec<u64> {
+    pin_to_core(id.0 as usize);
+    let mut arr = FaultPlan::new(rng_seed(id))
+        .with_overload(OverloadPlan {
+            base_rate: rate,
+            burst_rate: rate,
+            burst_at: Dur::ZERO,
+            burst_len: Dur::ZERO,
+            herd: false,
+        })
+        .arrivals(u64::from(id.0))
+        .expect("overload plan");
+    let mut rng = rng_seed(id);
+    let mut next_req: u64 = 1;
+    let mut latencies = Vec::new();
+    // In-flight ops: req id -> (intended arrival, target resource).
+    let mut pending: HashMap<u64, (Instant, u64)> = HashMap::new();
+    let start = Instant::now();
+    let mut drain_until: Option<Instant> = None;
+    loop {
+        let stopping = stop.load(Ordering::Relaxed);
+        if stopping {
+            if pending.is_empty()
+                || Instant::now()
+                    >= *drain_until.get_or_insert_with(|| Instant::now() + Duration::from_secs(2))
+            {
+                break;
+            }
+        } else {
+            let at = Duration::from(arr.next_at());
+            // Drain replies until the next arrival instant.
+            loop {
+                let now = start.elapsed();
+                if now >= at {
+                    break;
+                }
+                match rx.recv_timeout((at - now).min(Duration::from_millis(1))) {
+                    Ok(m) => drain_open(&handle, id, m, &mut pending, &mut latencies),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return latencies,
+                }
+            }
+            let resource = (rng_next(&mut rng) >> 33) % files;
+            let req = next_req;
+            next_req += 1;
+            let msg = if next_req.is_multiple_of(32) {
+                ToServer::Write {
+                    req: ReqId(req),
+                    resource,
+                    data: next_req,
+                }
+            } else {
+                ToServer::Fetch {
+                    req: ReqId(req),
+                    resource,
+                    cached: None,
+                    also_extend: Vec::new(),
+                }
+            };
+            if handle.try_send(id, msg).is_ok() {
+                pending.insert(req, (start + at, resource));
+            }
+            continue;
+        }
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(m) => drain_open(&handle, id, m, &mut pending, &mut latencies),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    latencies
+}
+
+/// Handles one reply in the open loop: completions are timed from the
+/// intended arrival instant; approval requests are answered immediately
+/// (a peer's write is blocked on them).
+fn drain_open(
+    handle: &SvcHandle<R, D>,
+    id: ClientId,
+    m: ToClient<R, D>,
+    pending: &mut HashMap<u64, (Instant, u64)>,
+    latencies: &mut Vec<u64>,
+) {
+    match m {
+        ToClient::Grants { req, grants } => {
+            if let Some(&(t0, resource)) = pending.get(&req.0) {
+                if grants.iter().any(|g| g.resource == resource) {
+                    pending.remove(&req.0);
+                    latencies.push(t0.elapsed().as_nanos() as u64);
+                }
+            }
+        }
+        ToClient::WriteDone { req, .. } => {
+            if let Some((t0, _)) = pending.remove(&req.0) {
+                latencies.push(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        ToClient::Error { req, .. } => {
+            pending.remove(&req.0);
+        }
+        ToClient::ApprovalRequest { write_id, .. } => {
+            let _ = handle.try_send(id, ToServer::Approve { write_id });
+        }
+        _ => {}
+    }
+}
+
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
@@ -323,7 +455,20 @@ struct SvcBench {
     rows: Vec<SweepRow>,
 }
 
-fn run_config(shards: usize, clients: u32, files: u64, window: Duration, batch: usize) -> SweepRow {
+/// Runs one configuration. `batch == 1` uses the per-op closed loop,
+/// larger batches the windowed pipelined loop; `open_loop = Some(rate)`
+/// instead drives Poisson arrivals at `rate` ops/sec split across the
+/// clients (the row is marked `batch = 0`).
+fn run_config(
+    shards: usize,
+    clients: u32,
+    files: u64,
+    window: Duration,
+    batch: usize,
+    open_loop: Option<f64>,
+) -> SweepRow {
+    // Open-loop rows are tagged batch=0 in the sweep output.
+    let batch = if open_loop.is_some() { 0 } else { batch };
     let mut txs = Vec::new();
     let mut rxs = Vec::new();
     for _ in 0..clients {
@@ -365,7 +510,9 @@ fn run_config(shards: usize, clients: u32, files: u64, window: Duration, batch: 
             let stop = stop.clone();
             std::thread::spawn(move || {
                 let id = ClientId(i as u32);
-                if batch > 1 {
+                if let Some(rate) = open_loop {
+                    client_loop_open(id, handle, rx, files, stop, rate / f64::from(clients))
+                } else if batch > 1 {
                     client_loop_batched(id, handle, rx, files, stop, batch, shards)
                 } else {
                     client_loop(id, handle, rx, files, stop)
@@ -416,14 +563,20 @@ struct Opts {
     files: u64,
     batch: usize,
     shard_counts: Vec<usize>,
+    open_loop: Option<f64>,
 }
 
-/// Runs the full sweep: a per-op row and a batched row per shard count.
+/// Runs the full sweep: a per-op row and a batched row per shard count
+/// (or one open-loop row per shard count in `--open-loop` mode).
 fn measure(o: &Opts) -> SvcBench {
     let mut rows = Vec::new();
     for &s in &o.shard_counts {
-        rows.push(run_config(s, o.clients, o.files, o.window, 1));
-        rows.push(run_config(s, o.clients, o.files, o.window, o.batch));
+        if o.open_loop.is_some() {
+            rows.push(run_config(s, o.clients, o.files, o.window, 0, o.open_loop));
+        } else {
+            rows.push(run_config(s, o.clients, o.files, o.window, 1, None));
+            rows.push(run_config(s, o.clients, o.files, o.window, o.batch, None));
+        }
     }
     SvcBench {
         schema: "lease-bench/BENCH_svc/v2".to_string(),
@@ -480,6 +633,9 @@ fn main() {
     let mut clients = env_u64("LEASE_LOAD_CLIENTS", 4) as u32;
     let mut files = env_u64("LEASE_LOAD_FILES", 256);
     let mut batch = env_u64("LEASE_LOAD_BATCH", 32) as usize;
+    let mut open_loop: Option<f64> = std::env::var("LEASE_LOAD_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok());
     let mut shard_list = std::env::var("LEASE_LOAD_SHARDS").unwrap_or_else(|_| "1,2,4,8".into());
     let mut json_path = "BENCH_svc.json".to_string();
     let mut check_path: Option<String> = None;
@@ -516,6 +672,16 @@ fn main() {
                 batch = v.parse::<usize>().unwrap_or(32).max(2);
                 i += 2;
             }
+            ("--open-loop", Some(v)) => {
+                match v.parse::<f64>() {
+                    Ok(r) if r > 0.0 => open_loop = Some(r),
+                    _ => {
+                        eprintln!("--open-loop needs a positive ops/sec rate, got {v}");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
             ("--json", Some(v)) => {
                 json_path = v.clone();
                 i += 2;
@@ -531,11 +697,16 @@ fn main() {
         }
     }
 
+    if open_loop.is_some() && check_path.is_some() {
+        eprintln!("--check needs the closed-loop batched rows; drop --open-loop");
+        std::process::exit(2);
+    }
     let opts = Opts {
         window,
         clients,
         files,
         batch,
+        open_loop,
         shard_counts: shard_list
             .split(',')
             .filter_map(|s| s.trim().parse::<usize>().ok())
@@ -543,7 +714,11 @@ fn main() {
             .collect(),
     };
     println!(
-        "svc_load: {clients} closed-loop clients, {files} files, batch {batch}, {}ms window per config ({} cores)",
+        "svc_load: {clients} {} clients, {files} files, batch {batch}, {}ms window per config ({} cores)",
+        match open_loop {
+            Some(r) => format!("open-loop ({r:.0} ops/s)"),
+            None => "closed-loop".to_string(),
+        },
         window.as_millis(),
         std::thread::available_parallelism()
             .map(|n| n.get())

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 
 use lease_clock::{Dur, Time};
 
-use crate::msg::{Grant, ToClient, ToServer};
+use crate::msg::{ErrorReason, Grant, ToClient, ToServer};
 use crate::types::{ClientId, LeaseHandle, OpId, ReqId, Resource, Version};
 
 /// Client cache configuration.
@@ -46,6 +46,12 @@ pub struct ClientConfig {
     /// [`OpError::Timeout`] even if retransmissions remain. `None` = only
     /// the retry budget bounds the op.
     pub op_deadline: Option<Dur>,
+    /// Token-bucket cap on retransmission work across *all* this client's
+    /// in-flight requests. Backoff paces each request individually; the
+    /// budget bounds the client's aggregate retry rate, so N clients
+    /// cannot amplify a server brownout into a retry storm. `None` = no
+    /// budget (retries limited only by backoff and `max_retries`).
+    pub retry_budget: Option<RetryBudget>,
     /// Piggyback extension of all held leases on every fetch (§3.1: batch
     /// extensions).
     pub batch_extensions: bool,
@@ -64,6 +70,7 @@ impl Default for ClientConfig {
             max_retries: 20,
             backoff: Backoff::default(),
             op_deadline: None,
+            retry_budget: None,
             batch_extensions: true,
             anticipatory: None,
             capacity: 0,
@@ -149,6 +156,33 @@ impl Backoff {
         // 53 uniform mantissa bits in [0, 1), derived from the salt.
         let unit = (splitmix64(salt) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         nominal.saturating_sub(nominal.mul_f64(self.jitter.min(1.0) * unit))
+    }
+}
+
+/// A token-bucket retry budget: at most `burst` retransmissions at once,
+/// refilling at `rate` per second.
+///
+/// A retry that finds the bucket empty is *deferred* (re-checked once a
+/// token would be available), not dropped — it consumes no attempt from
+/// `max_retries`, though the per-op deadline still bounds total waiting.
+/// The budget is per client and shared across all its in-flight requests:
+/// it caps the aggregate retransmission load this client can put on a
+/// struggling server.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBudget {
+    /// Tokens added per second.
+    pub rate: f64,
+    /// Bucket capacity (maximum saved-up retries).
+    pub burst: f64,
+}
+
+impl RetryBudget {
+    /// A budget of `rate` retries per second with a one-second burst.
+    pub fn per_sec(rate: f64) -> RetryBudget {
+        RetryBudget {
+            rate,
+            burst: rate.max(1.0),
+        }
     }
 }
 
@@ -270,6 +304,11 @@ pub struct ClientCounters {
     pub evictions: u64,
     /// Operations failed by retry exhaustion.
     pub timeouts: u64,
+    /// `Shed` refusals received from an overloaded server.
+    pub sheds: u64,
+    /// Retries deferred by the [`RetryBudget`] (re-attempted later; not
+    /// counted against `max_retries`).
+    pub budget_deferred: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -324,6 +363,11 @@ pub struct LeaseClient<R: Resource, D: Clone> {
     /// duplicated, or reordered replies re-installing stale data.
     floor: HashMap<R, Version>,
     next_req: u64,
+    /// Retry-budget bucket level; meaningless when `cfg.retry_budget` is
+    /// `None`. `budget_at` is the instant of the last refill (`None` =
+    /// bucket starts full on first use).
+    budget_tokens: f64,
+    budget_at: Option<Time>,
     /// Counters for experiments.
     pub counters: ClientCounters,
 }
@@ -339,6 +383,8 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
             requests: HashMap::new(),
             floor: HashMap::new(),
             next_req: 0,
+            budget_tokens: 0.0,
+            budget_at: None,
             counters: ClientCounters::default(),
         }
     }
@@ -395,6 +441,8 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
         self.fetch_inflight.clear();
         self.requests.clear();
         self.floor.clear();
+        self.budget_tokens = 0.0;
+        self.budget_at = None;
     }
 
     fn fresh_req(&mut self) -> ReqId {
@@ -594,7 +642,34 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
                     }
                 }
             }
-            ToClient::Error { req, .. } => {
+            ToClient::Error {
+                req,
+                reason: ErrorReason::Shed { retry_after },
+            } => {
+                // The server refused to *process* the request (overload),
+                // not to serve the resource: the op stays pending and its
+                // retry timer is re-armed at the server's suggested pace.
+                // The next retry fire still applies the deadline, retry
+                // budget, and max_retries — shedding never grants an op
+                // extra lifetime.
+                if !self.requests.contains_key(&req) {
+                    return; // Completed meanwhile; stale shed.
+                }
+                self.counters.sheds += 1;
+                if matches!(self.requests.get(&req), Some(Pending::Renew { .. })) {
+                    // Renewals are fire-and-forget; a shed one just ends.
+                    self.requests.remove(&req);
+                    return;
+                }
+                out.push(ClientOutput::SetTimer {
+                    at: now + retry_after,
+                    timer: ClientTimer::Retry(req),
+                });
+            }
+            ToClient::Error {
+                req,
+                reason: ErrorReason::NoSuchResource,
+            } => {
                 let Some(pending) = self.requests.remove(&req) else {
                     return;
                 };
@@ -868,11 +943,36 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
         }
     }
 
+    /// Takes one retry token, refilling the bucket for the time elapsed
+    /// since the last take. `Err` carries how long until a token would be
+    /// available (bounded, so a zero-rate budget still re-checks).
+    fn budget_take(&mut self, now: Time, b: RetryBudget) -> Result<(), Dur> {
+        match self.budget_at {
+            None => self.budget_tokens = b.burst.max(1.0), // Starts full.
+            Some(last) => {
+                let refill = now.saturating_since(last).as_secs_f64() * b.rate;
+                self.budget_tokens = (self.budget_tokens + refill).min(b.burst.max(1.0));
+            }
+        }
+        self.budget_at = Some(now);
+        if self.budget_tokens >= 1.0 {
+            self.budget_tokens -= 1.0;
+            Ok(())
+        } else if b.rate > 0.0 {
+            Err(Dur::from_secs_f64(
+                ((1.0 - self.budget_tokens) / b.rate).min(60.0),
+            ))
+        } else {
+            Err(Dur::from_secs(60))
+        }
+    }
+
     fn on_retry(&mut self, now: Time, req: ReqId, out: &mut Vec<ClientOutput<R, D>>) {
-        let Some(pending) = self.requests.get_mut(&req) else {
+        let Some(pending) = self.requests.get(&req) else {
             return; // Completed; stale timer.
         };
-        let mut attempt = 0;
+        // Exhaustion first (read-only): deadline and attempt limits
+        // dominate everything else, including budget deferrals.
         let exhausted = match pending {
             Pending::Fetch {
                 retries,
@@ -884,13 +984,11 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
                 first_sent,
                 ..
             } => {
-                *retries += 1;
-                attempt = *retries;
                 let over_deadline = self
                     .cfg
                     .op_deadline
                     .is_some_and(|d| now.saturating_since(*first_sent) >= d);
-                *retries > self.cfg.max_retries || over_deadline
+                *retries >= self.cfg.max_retries || over_deadline
             }
             Pending::Renew { .. } => true, // Renewals are not retried.
         };
@@ -920,6 +1018,27 @@ impl<R: Resource, D: Clone> LeaseClient<R, D> {
             }
             return;
         }
+        // Budget gate: an empty bucket defers the retry (no attempt
+        // consumed) until a token is due — the deadline check above still
+        // bounds how long an op can keep deferring.
+        if let Some(b) = self.cfg.retry_budget {
+            if let Err(wait) = self.budget_take(now, b) {
+                self.counters.budget_deferred += 1;
+                out.push(ClientOutput::SetTimer {
+                    at: now + wait,
+                    timer: ClientTimer::Retry(req),
+                });
+                return;
+            }
+        }
+        // Commit the attempt.
+        let attempt = match self.requests.get_mut(&req).expect("still present") {
+            Pending::Fetch { retries, .. } | Pending::Write { retries, .. } => {
+                *retries += 1;
+                *retries
+            }
+            Pending::Renew { .. } => unreachable!("renewals are not retried"),
+        };
         self.counters.retries += 1;
         let msg = match self.requests.get(&req).expect("still present") {
             Pending::Fetch { resource, .. } => self.build_fetch(req, *resource),
@@ -1509,6 +1628,105 @@ mod tests {
             }),
         );
         assert_eq!(c.cached_version(7), Some(Version(3)));
+    }
+
+    #[test]
+    fn shed_reply_paces_retry_instead_of_failing() {
+        let mut c = client();
+        let req = start_read(&mut c, t(0), 1, 7);
+        let out = c.handle(
+            t(10),
+            ClientInput::Msg(ToClient::Error {
+                req,
+                reason: ErrorReason::Shed {
+                    retry_after: Dur::from_millis(250),
+                },
+            }),
+        );
+        // No failure; the retry timer is re-armed at the server's pace.
+        assert!(
+            !out.iter().any(|o| matches!(o, ClientOutput::Done { .. })),
+            "{out:?}"
+        );
+        assert!(out.iter().any(|o| matches!(
+            o,
+            ClientOutput::SetTimer { timer: ClientTimer::Retry(r), at } if *r == req && *at == t(260)
+        )));
+        assert_eq!(c.counters.sheds, 1);
+        // The paced retry then retransmits and the op still completes.
+        let out = c.handle(t(260), ClientInput::Timer(ClientTimer::Retry(req)));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, ClientOutput::Send(ToServer::Fetch { .. }))));
+        let out = deliver_grants(&mut c, t(270), req, vec![grant(7, 1, "d", 1000)]);
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, ClientOutput::Done { result: Ok(_), .. })));
+    }
+
+    #[test]
+    fn shed_never_outlives_deadline_or_attempts() {
+        let mut c = LeaseClient::<u64, String>::new(
+            ClientId(1),
+            ClientConfig {
+                op_deadline: Some(Dur::from_millis(400)),
+                ..cfg()
+            },
+        );
+        let req = start_read(&mut c, t(0), 1, 7);
+        c.handle(
+            t(10),
+            ClientInput::Msg(ToClient::Error {
+                req,
+                reason: ErrorReason::Shed {
+                    retry_after: Dur::from_millis(500),
+                },
+            }),
+        );
+        // The shed-paced retry fires past the deadline: fail, don't resend.
+        let out = c.handle(t(510), ClientInput::Timer(ClientTimer::Retry(req)));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            ClientOutput::Done {
+                result: Err(OpError::Timeout),
+                ..
+            }
+        )));
+        assert!(!out.iter().any(|o| matches!(o, ClientOutput::Send(_))));
+    }
+
+    #[test]
+    fn retry_budget_defers_without_consuming_attempts() {
+        let mut c = LeaseClient::<u64, String>::new(
+            ClientId(1),
+            ClientConfig {
+                max_retries: 3,
+                retry_budget: Some(RetryBudget {
+                    rate: 2.0,
+                    burst: 1.0,
+                }),
+                ..cfg()
+            },
+        );
+        let req = start_read(&mut c, t(0), 1, 7);
+        // First retry: bucket starts full, token taken, retransmits.
+        let out = c.handle(t(500), ClientInput::Timer(ClientTimer::Retry(req)));
+        assert!(out.iter().any(|o| matches!(o, ClientOutput::Send(_))));
+        assert_eq!(c.counters.retries, 1);
+        // Immediate second fire: bucket empty -> deferred, not sent, no
+        // attempt consumed; re-armed when a token is due (0.5 s at 2/s).
+        let out = c.handle(t(500), ClientInput::Timer(ClientTimer::Retry(req)));
+        assert!(!out.iter().any(|o| matches!(o, ClientOutput::Send(_))));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            ClientOutput::SetTimer { timer: ClientTimer::Retry(r), at } if *r == req && *at == t(1000)
+        )));
+        assert_eq!(c.counters.retries, 1);
+        assert_eq!(c.counters.budget_deferred, 1);
+        // When the deferred fire lands, the refilled bucket admits it.
+        let out = c.handle(t(1000), ClientInput::Timer(ClientTimer::Retry(req)));
+        assert!(out.iter().any(|o| matches!(o, ClientOutput::Send(_))));
+        assert_eq!(c.counters.retries, 2);
     }
 
     #[test]

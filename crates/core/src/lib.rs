@@ -84,11 +84,13 @@ pub mod wheel;
 
 pub use client::{
     Backoff, ClientConfig, ClientCounters, ClientInput, ClientOutput, ClientTimer, LeaseClient, Op,
-    OpError, OpOutcome, OpResult,
+    OpError, OpOutcome, OpResult, RetryBudget,
 };
 pub use hash::{fx_hash, FxHasher};
 pub use msg::{ErrorReason, Grant, ToClient, ToServer};
-pub use policy::{AdaptiveTerm, ClosurePolicy, CompensatedTerm, FixedTerm, TermPolicy};
+pub use policy::{
+    AdaptiveTerm, ClosurePolicy, CompensatedTerm, FixedTerm, TermController, TermPolicy,
+};
 pub use server::{
     LeaseServer, RecoveryMode, ServerConfig, ServerCounters, ServerInput, ServerOutput, ServerTimer,
 };

@@ -140,6 +140,18 @@ pub enum ToClient<R, D> {
 pub enum ErrorReason {
     /// The resource does not exist in primary storage.
     NoSuchResource,
+    /// The server is overloaded and refused to process the request at all.
+    ///
+    /// Distinct from transport backpressure (which means "the mailbox was
+    /// full, retransmit the same bytes"): a shed request *was* accepted by
+    /// the transport and then deliberately refused by admission control,
+    /// and the client should pace itself by `retry_after` before trying
+    /// again. Shedding a fetch never creates a consistency hazard — no
+    /// lease is granted, so the client simply has no caching rights.
+    Shed {
+        /// Server-suggested pause before retrying.
+        retry_after: Dur,
+    },
 }
 
 impl<R, D> ToServer<R, D> {

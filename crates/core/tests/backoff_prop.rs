@@ -54,6 +54,35 @@ proptest! {
         prop_assert_eq!(plain.interval(base, attempt, salt), nominal);
     }
 
+    /// Saturation: after arbitrarily many retries — attempt numbers all
+    /// the way to `u32::MAX` — the nominal delay sits exactly at the cap
+    /// and the jittered draw keeps its `[cap·(1−jitter), cap]` bounds. No
+    /// overflow, no wraparound, no unbounded growth.
+    #[test]
+    fn saturates_at_cap_for_huge_attempts(
+        base_ms in 1u64..2_000,
+        cap_ms in 1u64..60_000,
+        multiplier in 2.0f64..8.0,
+        jitter in 0.0f64..1.0,
+        attempt_idx in 0usize..5,
+        salt in any::<u64>(),
+    ) {
+        let attempt = [100u32, 1_000, 1_000_000, u32::MAX - 1, u32::MAX][attempt_idx];
+        let cap = Dur::from_millis(cap_ms).max(Dur::from_millis(base_ms));
+        let b = Backoff { multiplier, cap, jitter };
+        let base = Dur::from_millis(base_ms);
+        // Any multiplier > 1 reaches the cap long before these attempt
+        // numbers; every huge attempt lands exactly on it, monotonically.
+        let nominal = b.nominal(base, attempt);
+        prop_assert_eq!(nominal, cap);
+        prop_assert!(b.nominal(base, attempt.saturating_sub(1)) <= nominal);
+        let drawn = b.interval(base, attempt, salt);
+        prop_assert!(drawn <= nominal);
+        let floor = nominal.saturating_sub(nominal.mul_f64(jitter));
+        prop_assert!(drawn.as_nanos() + 1 >= floor.as_nanos(),
+            "{drawn:?} below jitter floor {floor:?} at attempt {attempt}");
+    }
+
     /// The draw is a pure function of (policy, base, attempt, salt):
     /// replaying a schedule replays its intervals.
     #[test]

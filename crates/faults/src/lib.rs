@@ -17,6 +17,10 @@
 //!   the *true* timeline, which the protocol itself never sees.
 //! * [`staleness_of`] — how stale each violating read was, the measure the
 //!   paper's TTL/callback baselines trade away.
+//! * [`check_goodput`] — the overload-liveness oracle: after an overload
+//!   burst ends, completed-operation throughput must recover to a
+//!   fraction of its pre-overload baseline within a bounded number of
+//!   lease-term windows, or the run is flagged as a congestion collapse.
 //!
 //! # Examples
 //!
@@ -39,4 +43,4 @@
 
 pub mod oracle;
 
-pub use oracle::{check_history, staleness_of, Violation};
+pub use oracle::{check_goodput, check_history, staleness_of, GoodputSpec, Violation};

@@ -60,6 +60,23 @@ pub enum Violation {
         /// The version the client believed committed.
         version: Version,
     },
+    /// Goodput never recovered after an overload burst ended: within the
+    /// allowed number of recovery windows, no window's completed-operation
+    /// rate reached the required fraction of the pre-overload baseline.
+    /// This is the signature of a congestion collapse — retry storms or
+    /// unshed queues keeping the server saturated long after offered load
+    /// dropped — which graceful degradation (admission control, retry
+    /// budgets) exists to prevent.
+    GoodputCollapse {
+        /// Completed ops/sec over the pre-overload baseline interval.
+        baseline: f64,
+        /// The best windowed ops/sec observed after the overload ended.
+        achieved: f64,
+        /// The ops/sec the system had to reach (`recover_frac` × baseline).
+        required: f64,
+        /// End of the last allowed recovery window.
+        deadline: Time,
+    },
     /// Two distinct grantor replicas both held a live grantor claim over
     /// the same true-time window — the replicated grantor's analogue of a
     /// broken lease. With two grantors serving at once, each can grant
@@ -261,6 +278,78 @@ pub fn check_history(history: &History) -> Result<(), Vec<Violation>> {
     } else {
         Err(violations)
     }
+}
+
+/// What [`check_goodput`] needs to know about the run: when the overload
+/// burst sat on the true-time axis and how fast recovery must be.
+#[derive(Debug, Clone, Copy)]
+pub struct GoodputSpec {
+    /// Baseline interval start (usually [`Time::ZERO`]).
+    pub baseline_from: Time,
+    /// When the overload burst began; the baseline is the completed-op
+    /// rate over `[baseline_from, overload_start)`.
+    pub overload_start: Time,
+    /// When the overload burst ended; recovery windows start here.
+    pub overload_end: Time,
+    /// Width of one recovery window — the ISSUE's "lease term" unit.
+    pub window: Dur,
+    /// How many windows recovery may take (K).
+    pub windows: u32,
+    /// Fraction of baseline goodput that counts as recovered (e.g. 0.9).
+    pub recover_frac: f64,
+}
+
+/// Checks the liveness half of overload robustness: once an overload
+/// burst ends, goodput (completed reads + writes per second) must climb
+/// back to `recover_frac` of its pre-overload baseline within
+/// `windows` windows of `window` each. A system whose unbudgeted retries
+/// keep it saturated after offered load drops fails here with
+/// [`Violation::GoodputCollapse`] even though every individual reply it
+/// does produce is consistent.
+pub fn check_goodput(history: &History, spec: GoodputSpec) -> Result<(), Violation> {
+    let done_at = |e: &HistoryEvent| match e {
+        HistoryEvent::ReadDone { at, .. } | HistoryEvent::WriteDone { at, .. } => Some(*at),
+        _ => None,
+    };
+    let base_span = spec
+        .overload_start
+        .saturating_since(spec.baseline_from)
+        .as_secs_f64();
+    if base_span <= 0.0 {
+        return Ok(()); // No baseline interval: nothing to recover to.
+    }
+    let base_done = history
+        .events
+        .iter()
+        .filter_map(done_at)
+        .filter(|t| *t >= spec.baseline_from && *t < spec.overload_start)
+        .count();
+    let baseline = base_done as f64 / base_span;
+    let required = baseline * spec.recover_frac;
+    if baseline == 0.0 {
+        return Ok(()); // An idle run cannot collapse.
+    }
+    let mut achieved: f64 = 0.0;
+    for k in 0..spec.windows {
+        let from = spec.overload_end + spec.window.mul_f64(f64::from(k));
+        let until = from + spec.window;
+        let done = history
+            .events
+            .iter()
+            .filter_map(done_at)
+            .filter(|t| *t >= from && *t < until)
+            .count();
+        achieved = achieved.max(done as f64 / spec.window.as_secs_f64());
+        if achieved >= required {
+            return Ok(());
+        }
+    }
+    Err(Violation::GoodputCollapse {
+        baseline,
+        achieved,
+        required,
+        deadline: spec.overload_end + spec.window.mul_f64(f64::from(spec.windows)),
+    })
 }
 
 /// One grantor serving claim: `[from, until)` in true time.
@@ -611,6 +700,78 @@ mod tests {
         acquire(&mut h, 1, 21, 4);
         cede(&mut h, 1, 21, 9);
         assert!(check_history(&h).is_ok());
+    }
+
+    /// `n` completed reads spread uniformly over `[from_s, until_s)`.
+    fn completions(h: &mut History, n: u64, from_s: u64, until_s: u64) {
+        let span = (until_s - from_s) * 1_000; // milliseconds
+        for i in 0..n {
+            let at = Time::from_secs(from_s) + Dur::from_millis(i * span / n);
+            h.push(HistoryEvent::ReadDone {
+                client: C,
+                op: OpId(i),
+                resource: 1,
+                version: Version(1),
+                at,
+                from_cache: true,
+            });
+        }
+    }
+
+    fn spec() -> GoodputSpec {
+        GoodputSpec {
+            baseline_from: Time::ZERO,
+            overload_start: Time::from_secs(10),
+            overload_end: Time::from_secs(20),
+            window: Dur::from_secs(5),
+            windows: 4,
+            recover_frac: 0.9,
+        }
+    }
+
+    #[test]
+    fn recovered_goodput_passes() {
+        let mut h = History::new();
+        completions(&mut h, 100, 0, 10); // baseline: 10 ops/s
+        completions(&mut h, 10, 10, 20); // collapse *during* overload is fine
+        completions(&mut h, 200, 25, 40); // second window onward: ~13 ops/s
+        assert!(check_goodput(&h, spec()).is_ok());
+    }
+
+    #[test]
+    fn unrecovered_goodput_is_flagged() {
+        let mut h = History::new();
+        completions(&mut h, 100, 0, 10); // baseline: 10 ops/s
+        completions(&mut h, 40, 20, 40); // post-overload: 2 ops/s forever
+        let v = check_goodput(&h, spec()).unwrap_err();
+        match v {
+            Violation::GoodputCollapse {
+                baseline,
+                achieved,
+                required,
+                deadline,
+            } => {
+                assert!((baseline - 10.0).abs() < 0.1);
+                assert!(achieved < required, "{achieved} vs {required}");
+                assert_eq!(deadline, Time::from_secs(40));
+            }
+            other => panic!("expected GoodputCollapse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn late_recovery_within_k_windows_passes() {
+        let mut h = History::new();
+        completions(&mut h, 100, 0, 10); // baseline: 10 ops/s
+                                         // Dead for three windows, roars back in the fourth.
+        completions(&mut h, 60, 35, 40);
+        assert!(check_goodput(&h, spec()).is_ok());
+    }
+
+    #[test]
+    fn idle_baseline_cannot_collapse() {
+        let h = History::new();
+        assert!(check_goodput(&h, spec()).is_ok());
     }
 
     #[test]

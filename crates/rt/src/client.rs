@@ -7,13 +7,14 @@ use std::thread::JoinHandle;
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use lease_clock::{Clock, Time};
+use lease_clock::{Clock, Dur, Time};
 use lease_core::{
-    ClientCounters, ClientId, ClientInput, ClientOutput, ClientTimer, LeaseClient, Op, OpError,
-    OpId, OpOutcome, ToClient, ToServer, Version,
+    Backoff, ClientCounters, ClientId, ClientInput, ClientOutput, ClientTimer, ErrorReason,
+    LeaseClient, Op, OpError, OpId, OpOutcome, ReqId, ToClient, ToServer, Version,
 };
 use lease_vsys::HistoryEvent;
 
+use crate::breaker::CircuitBreaker;
 use crate::record::Recorder;
 use crate::server::{Port, PortVerdict, Res, RETRY_AFTER};
 
@@ -134,6 +135,29 @@ struct Waiting {
     is_write: bool,
 }
 
+/// One backpressure-paced message awaiting resubmission.
+struct Resend {
+    /// True time at which to resubmit.
+    due: Time,
+    /// The originating op's deadline; once passed, the message is dropped
+    /// and the op is failed fast instead of resubmitted.
+    deadline: Option<Time>,
+    /// How many times this message has been refused so far (the backoff
+    /// attempt number).
+    attempt: u32,
+    msg: ToServer<Res, Bytes>,
+}
+
+/// The request id a wire message answers to, if it carries one.
+fn req_of(msg: &ToServer<Res, Bytes>) -> Option<ReqId> {
+    match msg {
+        ToServer::Fetch { req, .. } | ToServer::Renew { req, .. } | ToServer::Write { req, .. } => {
+            Some(*req)
+        }
+        ToServer::Approve { .. } | ToServer::Relinquish { .. } => None,
+    }
+}
+
 /// One client cache's event loop state.
 struct Worker {
     id: ClientId,
@@ -146,9 +170,22 @@ struct Worker {
     timers: BinaryHeap<Reverse<(Time, u64)>>,
     live_timers: HashMap<u64, Time>,
     waiting: HashMap<OpId, Waiting>,
-    /// Messages the service refused under backpressure, with the true
-    /// time at which to resubmit them.
-    resend: VecDeque<(Time, ToServer<Res, Bytes>)>,
+    /// Messages the service refused under backpressure, awaiting their
+    /// backoff-paced resubmission instants.
+    resend: VecDeque<Resend>,
+    /// Backoff policy pacing those resubmissions (base [`RETRY_AFTER`]) —
+    /// the same `lease_core::Backoff` that paces retransmissions, so
+    /// repeated refusals spread out instead of hammering a fixed cadence.
+    pacing: Backoff,
+    /// Per-op deadline; also propagated with every submission so the
+    /// service can drop work whose caller has already timed out.
+    op_deadline: Option<Dur>,
+    /// First-transmission deadline per request id, anchoring paced
+    /// resubmissions and the propagated deadline to the op's start rather
+    /// than to each retry.
+    deadlines: HashMap<u64, Time>,
+    /// Half-open circuit breaker on this client's path to the server.
+    breaker: CircuitBreaker,
     next_op: u64,
 }
 
@@ -167,24 +204,82 @@ impl Worker {
             .map_or_else(|| self.clock.now(), |r| r.now())
     }
 
+    /// The deadline riding with `msg`: the op's first-transmission time
+    /// plus the configured per-op deadline, remembered per request id so
+    /// retransmissions and paced resubmissions keep the original anchor.
+    fn deadline_of(&mut self, msg: &ToServer<Res, Bytes>) -> Option<Time> {
+        let req = req_of(msg)?;
+        if let Some(&d) = self.deadlines.get(&req.0) {
+            return Some(d);
+        }
+        let d = self.true_now() + self.op_deadline?;
+        if self.deadlines.len() >= 1024 {
+            // Requests that never saw a reply (e.g. abandoned renewals)
+            // leave entries behind; sweep the dead ones.
+            let now = self.true_now();
+            self.deadlines.retain(|_, d| *d > now);
+        }
+        self.deadlines.insert(req.0, d);
+        Some(d)
+    }
+
     fn submit(&mut self, msg: ToServer<Res, Bytes>) {
-        match self.port.send(self.id, msg) {
-            PortVerdict::Sent | PortVerdict::Dropped => {}
+        self.submit_paced(msg, 0);
+    }
+
+    fn submit_paced(&mut self, msg: ToServer<Res, Bytes>, attempt: u32) {
+        let deadline = self.deadline_of(&msg);
+        let now = self.true_now();
+        if !self.breaker.allow(now) {
+            // Circuit open: drop locally, costing the server nothing.
+            // The cache's retransmission timer is the retry schedule, and
+            // each firing re-probes the breaker.
+            return;
+        }
+        let salt = (u64::from(self.id.0) << 48) ^ req_of(&msg).map_or(0, |r| r.0 << 8);
+        match self.port.send(self.id, msg, deadline) {
+            PortVerdict::Sent => self.breaker.on_success(),
+            PortVerdict::Dropped => {}
             PortVerdict::RetryAfter(msg) => {
-                self.resend.push_back((self.true_now() + RETRY_AFTER, msg));
+                self.breaker.on_failure(now);
+                let attempt = attempt.saturating_add(1);
+                let pause = self
+                    .pacing
+                    .interval(RETRY_AFTER, attempt, salt ^ u64::from(attempt));
+                self.resend.push_back(Resend {
+                    due: now + pause,
+                    deadline,
+                    attempt,
+                    msg,
+                });
             }
         }
     }
 
-    /// Resubmits backpressured messages whose pause has elapsed.
+    /// Resubmits backpressured messages whose pause has elapsed. A
+    /// message whose op deadline has passed is *never* resubmitted:
+    /// instead its retry timer is fired early so the cache fails the op
+    /// now (`Timeout`) rather than after more dead retries.
     fn flush_resend(&mut self) {
         for _ in 0..self.resend.len() {
-            match self.resend.front() {
-                Some((at, _)) if *at <= self.true_now() => {
-                    let (_, msg) = self.resend.pop_front().expect("front exists");
-                    self.submit(msg);
+            let Some(r) = self.resend.pop_front() else {
+                break;
+            };
+            let now = self.true_now();
+            if r.deadline.is_some_and(|d| now > d) {
+                if let Some(req) = req_of(&r.msg) {
+                    let outs = self.cache.handle(
+                        self.clock.now(),
+                        ClientInput::Timer(ClientTimer::Retry(req)),
+                    );
+                    self.apply(outs);
                 }
-                _ => break,
+                continue;
+            }
+            if r.due <= now {
+                self.submit_paced(r.msg, r.attempt);
+            } else {
+                self.resend.push_back(r);
             }
         }
     }
@@ -199,6 +294,11 @@ impl Worker {
                     self.timers.push(Reverse((at, k)));
                 }
                 ClientOutput::CancelTimer(timer) => {
+                    if let ClientTimer::Retry(r) = timer {
+                        // The request resolved; its deadline anchor dies
+                        // with it.
+                        self.deadlines.remove(&r.0);
+                    }
                     self.live_timers.remove(&key(timer));
                 }
                 ClientOutput::Done { op, result } => {
@@ -308,14 +408,23 @@ impl Worker {
                 std::time::Duration::from(at.saturating_since(self.clock.now()))
             })
             .unwrap_or(std::time::Duration::from_millis(20));
-        if !self.resend.is_empty() {
-            // Wake in time for the next backpressure resubmission.
-            wait = wait.min(std::time::Duration::from(RETRY_AFTER));
+        if let Some(due) = self
+            .resend
+            .iter()
+            .map(|r| r.deadline.map_or(r.due, |d| r.due.min(d)))
+            .min()
+        {
+            // Wake in time for the next backpressure resubmission (or the
+            // fail-fast instant of an entry whose deadline lands first).
+            wait = wait.min(std::time::Duration::from(
+                due.saturating_since(self.true_now()),
+            ));
         }
         wait
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_client(
     cache: LeaseClient<Res, Bytes>,
     cmd_rx: Receiver<ClientCmd>,
@@ -323,6 +432,9 @@ pub(crate) fn spawn_client(
     port: Arc<dyn Port>,
     clock: Arc<dyn Clock>,
     recorder: Option<Arc<Recorder>>,
+    pacing: Backoff,
+    op_deadline: Option<Dur>,
+    breaker: CircuitBreaker,
 ) -> JoinHandle<()> {
     let id = cache.id();
     std::thread::Builder::new()
@@ -338,6 +450,10 @@ pub(crate) fn spawn_client(
                 live_timers: HashMap::new(),
                 waiting: HashMap::new(),
                 resend: VecDeque::new(),
+                pacing,
+                op_deadline,
+                deadlines: HashMap::new(),
+                breaker,
                 next_op: 0,
             };
             let outs = w.cache.start(w.clock.now());
@@ -360,6 +476,15 @@ pub(crate) fn spawn_client(
                     },
                     recv(net_rx) -> msg => match msg {
                         Ok(m) => {
+                            if let ToClient::Error {
+                                reason: ErrorReason::Shed { .. },
+                                ..
+                            } = &m
+                            {
+                                // An explicit shed is an overload signal
+                                // for the breaker, same as backpressure.
+                                w.breaker.on_failure(w.true_now());
+                            }
                             let now = w.clock.now();
                             let outs = w.cache.handle(now, ClientInput::Msg(m));
                             w.apply(outs);
@@ -371,4 +496,99 @@ pub(crate) fn spawn_client(
             }
         })
         .expect("spawn client thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    use lease_clock::ManualClock;
+    use lease_core::ClientConfig;
+
+    use super::*;
+
+    /// A port that refuses every submission with backpressure, recording
+    /// the (manual) clock reading of each attempt.
+    struct JamPort {
+        clock: Arc<ManualClock>,
+        sends: Mutex<Vec<Time>>,
+    }
+
+    impl Port for JamPort {
+        fn send(
+            &self,
+            _from: ClientId,
+            msg: ToServer<Res, Bytes>,
+            _deadline: Option<Time>,
+        ) -> PortVerdict {
+            self.sends.lock().unwrap().push(self.clock.now());
+            PortVerdict::RetryAfter(msg)
+        }
+    }
+
+    /// Pins the backpressure-pacing contract: a message parked for paced
+    /// resubmission is never resubmitted past its op deadline — the op
+    /// fails fast with `Timeout` instead, and no submission reaches the
+    /// port at or after the deadline instant.
+    #[test]
+    fn paced_resubmission_respects_op_deadline() {
+        let clock = Arc::new(ManualClock::new(Time::ZERO));
+        let port = Arc::new(JamPort {
+            clock: clock.clone(),
+            sends: Mutex::new(Vec::new()),
+        });
+        let deadline = Dur::from_millis(50);
+        let cache = LeaseClient::new(
+            ClientId(0),
+            ClientConfig {
+                op_deadline: Some(deadline),
+                retry_interval: Dur::from_millis(5),
+                ..ClientConfig::default()
+            },
+        );
+        let mut w = Worker {
+            id: ClientId(0),
+            cache,
+            port: port.clone(),
+            clock: clock.clone(),
+            recorder: None,
+            timers: BinaryHeap::new(),
+            live_timers: HashMap::new(),
+            waiting: HashMap::new(),
+            resend: VecDeque::new(),
+            pacing: Backoff::default(),
+            op_deadline: Some(deadline),
+            deadlines: HashMap::new(),
+            breaker: CircuitBreaker::disabled(),
+            next_op: 0,
+        };
+        let outs = w.cache.start(clock.now());
+        w.apply(outs);
+
+        let (tx, rx) = bounded(1);
+        w.start_op(7, None, tx);
+        assert_eq!(port.sends.lock().unwrap().len(), 1, "first transmission");
+        assert_eq!(w.resend.len(), 1, "refused and parked for pacing");
+
+        // Inside the deadline the paced resubmissions keep coming (and
+        // keep being refused).
+        clock.advance(Dur::from_millis(10));
+        w.flush_resend();
+        assert_eq!(port.sends.lock().unwrap().len(), 2);
+        assert_eq!(w.resend.len(), 1);
+
+        // Past the deadline: the parked message must not be resubmitted —
+        // the op fails fast instead.
+        clock.advance(Dur::from_millis(41));
+        w.flush_resend();
+        assert_eq!(
+            rx.try_recv().expect("op resolved"),
+            Err(RtError::Timeout),
+            "fail fast once the deadline passed"
+        );
+        assert!(w.resend.is_empty(), "nothing left parked");
+        let sends = port.sends.lock().unwrap();
+        assert_eq!(sends.len(), 2, "no resubmission past the deadline");
+        assert!(sends.iter().all(|t| *t < Time::ZERO + deadline));
+    }
 }

@@ -35,6 +35,7 @@
 //! sys.shutdown();
 //! ```
 
+pub mod breaker;
 pub mod client;
 pub mod naming;
 pub mod record;
@@ -42,6 +43,7 @@ pub mod replicated;
 pub mod server;
 pub mod system;
 
+pub use breaker::CircuitBreaker;
 pub use client::{RtClientHandle, RtError};
 pub use lease_quorum::QuorumConfig;
 pub use lease_svc::chaos::FaultPlan;

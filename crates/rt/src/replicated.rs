@@ -52,6 +52,7 @@ use lease_svc::{
 };
 use lease_vsys::{History, HistoryEvent};
 
+use crate::breaker::CircuitBreaker;
 use crate::client::{spawn_client, ClientCmd, RtClientHandle};
 use crate::record::Recorder;
 use crate::server::{
@@ -109,7 +110,12 @@ struct PortState {
 impl PortState {
     /// Routes one message to the first willing replica, starting from the
     /// last success; at most one full rotation.
-    fn route(&self, from: ClientId, msg: ToServer<Res, Bytes>) -> PortVerdict {
+    fn route(
+        &self,
+        from: ClientId,
+        msg: ToServer<Res, Bytes>,
+        deadline: Option<Time>,
+    ) -> PortVerdict {
         let n = self.replicas.len();
         let start = self.current.load(Ordering::Relaxed);
         for k in 0..n {
@@ -124,7 +130,7 @@ impl PortState {
             if self.chaos.as_ref().is_some_and(|c| c.replica_cut(i)) {
                 continue;
             }
-            match r.svc.try_send(from, msg.clone()) {
+            match r.svc.try_send_at(from, msg.clone(), deadline) {
                 Ok(()) => {
                     self.current.store(i, Ordering::Relaxed);
                     return PortVerdict::Sent;
@@ -147,7 +153,12 @@ pub(crate) struct ReplicaPort {
 }
 
 impl Port for ReplicaPort {
-    fn send(&self, from: ClientId, msg: ToServer<Res, Bytes>) -> PortVerdict {
+    fn send(
+        &self,
+        from: ClientId,
+        msg: ToServer<Res, Bytes>,
+        deadline: Option<Time>,
+    ) -> PortVerdict {
         if self.cuts[from.0 as usize].load(Ordering::Relaxed) {
             return PortVerdict::Dropped;
         }
@@ -167,7 +178,7 @@ impl Port for ReplicaPort {
                         std::thread::spawn(move || {
                             std::thread::sleep(std::time::Duration::from(delay));
                             for _ in 0..copies {
-                                let _ = state.route(from, msg.clone());
+                                let _ = state.route(from, msg.clone(), deadline);
                             }
                         });
                         return PortVerdict::Sent;
@@ -175,7 +186,7 @@ impl Port for ReplicaPort {
                 }
             }
         }
-        self.state.route(from, msg)
+        self.state.route(from, msg, deadline)
     }
 }
 
@@ -521,6 +532,7 @@ impl ReplicatedSystemBuilder {
                     batch_extensions: true,
                     anticipatory: None,
                     capacity: 0,
+                    retry_budget: None,
                 },
             );
             let client_clock: Arc<dyn Clock> =
@@ -535,6 +547,9 @@ impl ReplicatedSystemBuilder {
                 port.clone(),
                 client_clock,
                 Some(recorder.clone()),
+                self.backoff,
+                self.op_deadline,
+                CircuitBreaker::disabled(),
             ));
             client_handles.push(RtClientHandle { tx: cmd_tx.clone() });
             client_cmd_txs.push(cmd_tx);

@@ -357,8 +357,15 @@ pub(crate) enum PortVerdict {
 /// [`PortVerdict::Dropped`] (the client's retransmission backoff is the
 /// retry schedule).
 pub(crate) trait Port: Send + Sync {
-    /// Submits one client message, unless faults interfere.
-    fn send(&self, from: ClientId, msg: ToServer<Res, Bytes>) -> PortVerdict;
+    /// Submits one client message, unless faults interfere. `deadline` is
+    /// the originating op's drop-dead time, propagated so the service can
+    /// discard the work if it drains it too late.
+    fn send(
+        &self,
+        from: ClientId,
+        msg: ToServer<Res, Bytes>,
+        deadline: Option<Time>,
+    ) -> PortVerdict;
 }
 
 /// What client threads hold instead of a channel to a server thread: the
@@ -372,7 +379,12 @@ pub(crate) struct ServerPort {
 }
 
 impl Port for ServerPort {
-    fn send(&self, from: ClientId, msg: ToServer<Res, Bytes>) -> PortVerdict {
+    fn send(
+        &self,
+        from: ClientId,
+        msg: ToServer<Res, Bytes>,
+        deadline: Option<Time>,
+    ) -> PortVerdict {
         if self.cuts[from.0 as usize].load(Ordering::Relaxed) {
             return PortVerdict::Dropped; // Fault injection: drop inbound too.
         }
@@ -390,7 +402,7 @@ impl Port for ServerPort {
                         std::thread::spawn(move || {
                             std::thread::sleep(std::time::Duration::from(delay));
                             for _ in 0..copies {
-                                let _ = svc.send(from, msg.clone());
+                                let _ = svc.send_at(from, msg.clone(), deadline);
                             }
                         });
                         return PortVerdict::Sent;
@@ -398,7 +410,7 @@ impl Port for ServerPort {
                 }
             }
         }
-        match self.svc.try_send(from, msg.clone()) {
+        match self.svc.try_send_at(from, msg.clone(), deadline) {
             Ok(()) => PortVerdict::Sent,
             Err(SvcError::Backpressure) => PortVerdict::RetryAfter(msg),
             Err(_) => PortVerdict::Dropped,

@@ -9,15 +9,17 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use lease_clock::{Clock, Dur, ModelClock, Time, WallClock};
 use lease_core::{
-    Backoff, ClientConfig, ClientId, LeaseClient, LeaseServer, ServerConfig, Storage,
+    Backoff, ClientConfig, ClientId, LeaseClient, LeaseServer, RetryBudget, ServerConfig, Storage,
+    TermController,
 };
 use lease_store::{DirId, FileKind, Perms, Store};
 use lease_svc::{
-    chaos::silence_injected_kills, shard_of, FaultPlan, LeaseService, SvcConfig, SvcHandle,
-    SvcHooks,
+    chaos::silence_injected_kills, shard_of, AdmissionControl, FaultPlan, LeaseService, SvcConfig,
+    SvcHandle, SvcHooks,
 };
 use lease_vsys::{History, HistoryEvent};
 
+use crate::breaker::CircuitBreaker;
 use crate::client::{spawn_client, ClientCmd, RtClientHandle};
 use crate::record::Recorder;
 use crate::server::{
@@ -33,6 +35,11 @@ pub struct RtSystemBuilder {
     max_retries: u32,
     backoff: Backoff,
     op_deadline: Option<Dur>,
+    retry_budget: Option<RetryBudget>,
+    breaker: Option<(u32, Dur)>,
+    admission: Option<AdmissionControl>,
+    overload: Option<TermController>,
+    mailbox: Option<usize>,
     clients: u32,
     shards: usize,
     files: Vec<(String, Bytes, FileKind)>,
@@ -74,9 +81,46 @@ impl RtSystemBuilder {
 
     /// Per-operation deadline: a pending op fails with `Timeout` once this
     /// much has elapsed since its first transmission, even if retries
-    /// remain.
+    /// remain. The deadline also rides along with every submission so the
+    /// service drops already-dead work instead of processing it.
     pub fn op_deadline(mut self, d: Dur) -> Self {
         self.op_deadline = Some(d);
+        self
+    }
+
+    /// Client-side retry budget: a token bucket metering how many *extra*
+    /// (retry) transmissions each client may add per second.
+    pub fn retry_budget(mut self, b: RetryBudget) -> Self {
+        self.retry_budget = Some(b);
+        self
+    }
+
+    /// Per-client circuit breaker: after `threshold` consecutive overload
+    /// signals (backpressure, `Shed`) the client stops submitting for
+    /// `cooldown`, then probes half-open.
+    pub fn breaker(mut self, threshold: u32, cooldown: Dur) -> Self {
+        self.breaker = Some((threshold, cooldown));
+        self
+    }
+
+    /// Server-side admission control: shard occupancy watermarks at which
+    /// cold fetches are shed with a `retry_after` hint.
+    pub fn admission(mut self, a: AdmissionControl) -> Self {
+        self.admission = Some(a);
+        self
+    }
+
+    /// Server-side adaptive term degradation: every shard runs this
+    /// controller, shortening granted terms as pressure rises.
+    pub fn overload_control(mut self, c: TermController) -> Self {
+        self.overload = Some(c);
+        self
+    }
+
+    /// Per-shard mailbox capacity — the bound admission control's
+    /// occupancy watermarks are measured against (default 1024).
+    pub fn mailbox(mut self, n: usize) -> Self {
+        self.mailbox = Some(n.max(1));
         self
     }
 
@@ -242,10 +286,15 @@ impl RtSystemBuilder {
         let installed_tick = self.installed_tick;
         let installed_group: Vec<ClientId> = (0..self.clients).map(ClientId).collect();
         let factory_backend = backend.clone();
+        let overload = self.overload;
+        let base_cfg = SvcConfig::default();
         let service = LeaseService::spawn(
             SvcConfig {
                 shards,
-                ..SvcConfig::default()
+                mailbox: self.mailbox.unwrap_or(base_cfg.mailbox),
+                admission: self.admission,
+                slow_shard: self.chaos.as_ref().and_then(|p| p.slow_shard),
+                ..base_cfg
             },
             Arc::new(RtSink {
                 links,
@@ -258,6 +307,7 @@ impl RtSystemBuilder {
                 // §5: a restarted server also refuses *grants* until the
                 // recovery window passes, not just writes.
                 sc.defer_grants_in_recovery = true;
+                sc.overload = overload;
                 let mine: Vec<Res> = installed_resources
                     .iter()
                     .copied()
@@ -338,6 +388,7 @@ impl RtSystemBuilder {
                     batch_extensions: true,
                     anticipatory: None,
                     capacity: 0,
+                    retry_budget: self.retry_budget,
                 },
             );
             let client_clock: Arc<dyn Clock> =
@@ -352,6 +403,10 @@ impl RtSystemBuilder {
                 port.clone(),
                 client_clock,
                 Some(recorder.clone()),
+                self.backoff,
+                self.op_deadline,
+                self.breaker
+                    .map_or_else(CircuitBreaker::disabled, |(t, c)| CircuitBreaker::new(t, c)),
             ));
             client_handles.push(RtClientHandle { tx: cmd_tx.clone() });
             client_cmd_txs.push(cmd_tx);
@@ -400,6 +455,11 @@ impl RtSystem {
             max_retries: 40,
             backoff: Backoff::default(),
             op_deadline: None,
+            retry_budget: None,
+            breaker: None,
+            admission: None,
+            overload: None,
+            mailbox: None,
             clients: 1,
             shards: 1,
             files: Vec::new(),

@@ -76,6 +76,13 @@ pub struct FaultPlan {
     pub server_clock: Option<ClockModel>,
     /// Per-client clock models as `(client index, model)` pairs.
     pub client_clocks: Vec<(usize, ClockModel)>,
+    /// Open-loop overload scenario driving the load generator, if any.
+    pub overload: Option<OverloadPlan>,
+    /// `(shard, per_input)`: make one shard worker sleep `per_input`
+    /// after every processed input, bounding its throughput — the
+    /// slow-shard injection behind
+    /// [`SvcConfig::slow_shard`](crate::SvcConfig).
+    pub slow_shard: Option<(usize, Dur)>,
     /// `(when, replica)`: crash-restart grantor replica `replica` at
     /// `when`. Host-level — distinct from [`FaultPlan::kills`], whose
     /// indices name shards *within* one server.
@@ -91,6 +98,84 @@ pub struct FaultPlan {
 /// traffic never collides with the client link streams (`client` and
 /// `client | 1<<32`). See [`FaultPlan::replica_link`].
 pub const REPLICA_STREAM: u64 = 1 << 33;
+
+/// High bit namespace for open-loop arrival streams, independent of every
+/// link stream. See [`FaultPlan::arrivals`].
+pub const OVERLOAD_STREAM: u64 = 1 << 34;
+
+/// An open-loop overload scenario: a load generator submits ops with
+/// Poisson (exponential-gap) arrivals at `base_rate` ops/sec per stream,
+/// surging to `burst_rate` during `[burst_at, burst_at + burst_len)`.
+///
+/// Open loop is the point: unlike a closed-loop generator, arrivals do
+/// **not** slow down when the server does, so queues genuinely build and
+/// shedding/pacing behaviour is observable. With `herd` set, every
+/// arrival stream additionally aligns one arrival at exactly `burst_at`
+/// — a thundering herd on top of the rate surge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadPlan {
+    /// Steady-state arrival rate per stream, ops/sec.
+    pub base_rate: f64,
+    /// Arrival rate during the burst window, ops/sec.
+    pub burst_rate: f64,
+    /// Burst window start, relative to run start.
+    pub burst_at: Dur,
+    /// Burst window length.
+    pub burst_len: Dur,
+    /// Align one arrival of every stream at exactly `burst_at`.
+    pub herd: bool,
+}
+
+impl OverloadPlan {
+    /// The arrival rate in force at `elapsed` since run start.
+    pub fn rate_at(&self, elapsed: Dur) -> f64 {
+        if elapsed >= self.burst_at && elapsed < self.burst_at + self.burst_len {
+            self.burst_rate
+        } else {
+            self.base_rate
+        }
+    }
+}
+
+/// One deterministic open-loop Poisson arrival stream (see
+/// [`FaultPlan::arrivals`]): arrival `k` of stream `s` under seed `q` is
+/// the same instant in every run.
+#[derive(Debug)]
+pub struct Arrivals {
+    key: u64,
+    counter: u64,
+    plan: OverloadPlan,
+    at: Dur,
+    herded: bool,
+}
+
+impl Arrivals {
+    /// The next arrival instant (relative to run start). Monotone
+    /// non-decreasing; gaps are exponential with the rate in force at the
+    /// previous arrival.
+    pub fn next_at(&mut self) -> Dur {
+        let rate = self.plan.rate_at(self.at);
+        let u = unit(mix(self.key ^ self.counter));
+        self.counter += 1;
+        let gap = if rate > 0.0 {
+            // Exponential inter-arrival gap; (1 - u) keeps ln away from 0.
+            Dur::from_secs_f64((-(1.0 - u).ln() / rate).min(3600.0))
+        } else {
+            Dur::from_secs(3600)
+        };
+        let mut next = self.at + gap;
+        // Thundering herd: the first gap that would step across the burst
+        // start is clamped to it, so every stream fires together there.
+        if self.plan.herd && !self.herded && self.at < self.plan.burst_at {
+            self.herded = next >= self.plan.burst_at;
+            if self.herded {
+                next = self.plan.burst_at;
+            }
+        }
+        self.at = next;
+        next
+    }
+}
 
 impl FaultPlan {
     /// A fault-free plan with the given seed.
@@ -160,6 +245,33 @@ impl FaultPlan {
     pub fn cut(mut self, from: Dur, until: Dur, client: usize) -> FaultPlan {
         self.cuts.push((from, until, client));
         self
+    }
+
+    /// Installs an open-loop overload scenario (see [`OverloadPlan`]).
+    pub fn with_overload(mut self, plan: OverloadPlan) -> FaultPlan {
+        self.overload = Some(plan);
+        self
+    }
+
+    /// Makes shard `shard` sleep `per_input` after every processed input,
+    /// bounding its throughput to roughly `1 / per_input` inputs/sec.
+    pub fn with_slow_shard(mut self, shard: usize, per_input: Dur) -> FaultPlan {
+        self.slow_shard = Some((shard, per_input));
+        self
+    }
+
+    /// The deterministic open-loop arrival schedule for load stream
+    /// `stream` (one per generator client), or `None` when the plan has
+    /// no overload scenario. Distinct streams draw independent Poisson
+    /// gaps from the same seed.
+    pub fn arrivals(&self, stream: u64) -> Option<Arrivals> {
+        self.overload.map(|plan| Arrivals {
+            key: mix(self.seed ^ mix(stream ^ OVERLOAD_STREAM)),
+            counter: 0,
+            plan,
+            at: Dur::ZERO,
+            herded: false,
+        })
     }
 
     /// Subjects the server's shards to `model`.
@@ -397,6 +509,64 @@ mod tests {
         assert!(plan.replica_clock(0).is_some());
         assert!(plan.replica_clock(1).is_none());
         assert!(plan.client_clock(0).is_none());
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_and_rate_shaped() {
+        let plan = FaultPlan::new(11).with_overload(OverloadPlan {
+            base_rate: 100.0,
+            burst_rate: 1000.0,
+            burst_at: Dur::from_secs(2),
+            burst_len: Dur::from_secs(1),
+            herd: false,
+        });
+        let take = |stream: u64| -> Vec<Dur> {
+            let mut a = plan.arrivals(stream).unwrap();
+            (0..2000).map(|_| a.next_at()).collect()
+        };
+        assert_eq!(take(0), take(0), "same stream must replay");
+        assert_ne!(take(0), take(1), "distinct streams must diverge");
+        let ts = take(0);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "monotone arrivals");
+        // ~100/s outside the burst, ~1000/s inside: count the window.
+        let in_burst = ts
+            .iter()
+            .filter(|t| **t >= Dur::from_secs(2) && **t < Dur::from_secs(3))
+            .count();
+        assert!(
+            (600..1600).contains(&in_burst),
+            "burst second saw {in_burst} arrivals, expected ~1000"
+        );
+        let first_two_secs = ts.iter().filter(|t| **t < Dur::from_secs(2)).count();
+        assert!(
+            (100..350).contains(&first_two_secs),
+            "first two seconds saw {first_two_secs} arrivals, expected ~200"
+        );
+    }
+
+    #[test]
+    fn herd_aligns_every_stream_at_the_burst_start() {
+        let plan = FaultPlan::new(3).with_overload(OverloadPlan {
+            base_rate: 2.0,
+            burst_rate: 50.0,
+            burst_at: Dur::from_secs(5),
+            burst_len: Dur::from_secs(1),
+            herd: true,
+        });
+        for stream in 0..32u64 {
+            let mut a = plan.arrivals(stream).unwrap();
+            let mut hit = false;
+            for _ in 0..200 {
+                let t = a.next_at();
+                if t == Dur::from_secs(5) {
+                    hit = true;
+                }
+                if t > Dur::from_secs(6) {
+                    break;
+                }
+            }
+            assert!(hit, "stream {stream} missed the herd instant");
+        }
     }
 
     /// Pins full-plan replay determinism: rebuilding the same plan from

@@ -33,6 +33,12 @@
 //!   partitioned).
 //! * **Backpressure** — mailboxes are bounded; [`SvcHandle::send`] blocks
 //!   and [`SvcHandle::try_send`] refuses when a shard is saturated.
+//! * **Admission control** — beyond transport backpressure, a shard over
+//!   its [`AdmissionControl`] watermark sheds cold fetches with an
+//!   explicit `Shed { retry_after }` reply (renewals, writes, and
+//!   approvals keep flowing), feeds its occupancy to the core's
+//!   adaptive-term controller, and drops inputs whose propagated op
+//!   deadline has already passed.
 //! * **Supervision** — each shard worker runs under a supervisor that
 //!   catches panics and restarts the shard through §5 MaxTerm recovery on
 //!   the *same* mailbox; restart epochs are folded into global write ids
@@ -101,10 +107,12 @@ mod shard;
 /// wheel property tests) working unchanged.
 pub use lease_core::wheel;
 
-pub use chaos::{Delivery, FaultPlan, LinkChaos, REPLICA_STREAM};
+pub use chaos::{
+    Arrivals, Delivery, FaultPlan, LinkChaos, OverloadPlan, OVERLOAD_STREAM, REPLICA_STREAM,
+};
 pub use service::{
-    shard_of, BatchBuf, ClientSink, LeaseService, SvcConfig, SvcError, SvcHandle, SvcHooks,
-    SvcStats,
+    shard_of, AdmissionControl, BatchBuf, ClientSink, LeaseService, SvcConfig, SvcError, SvcHandle,
+    SvcHooks, SvcStats,
 };
 pub use shard::INJECTED_KILL;
 pub use wheel::TimerWheel;

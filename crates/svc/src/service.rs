@@ -7,7 +7,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender, TrySendError};
-use lease_clock::{Clock, Dur, WallClock};
+use lease_clock::{Clock, Dur, Time, WallClock};
 use lease_core::{
     ClientId, FxHasher, LeaseServer, Resource, ServerCounters, ServerInput, Storage, ToClient,
     ToServer, WriteId,
@@ -41,6 +41,43 @@ pub trait ClientSink<R, D>: Send + Sync {
     }
 }
 
+/// Watermark-driven admission control for shard workers.
+///
+/// Backpressure (a full mailbox) is the *transport* saying no; admission
+/// control is the *server* saying no. A shard whose mailbox occupancy
+/// crosses [`AdmissionControl::shed_watermark`] refuses the lowest-priority
+/// work it drains — cold fetches, i.e. brand-new grants with nothing cached
+/// and no piggybacked extensions — with an explicit
+/// [`lease_core::ErrorReason::Shed`] reply carrying a server-suggested
+/// pause. Renewals, extensions, writes, approvals, relinquishes, and timer
+/// work are never shed: expiry processing and lease continuity outrank new
+/// admissions, which outrank stats. Shedding a fetch is always
+/// consistency-safe — no lease is granted, so no stale cache can be read
+/// under it.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionControl {
+    /// Mailbox occupancy in `[0, 1]` at or above which a draining shard
+    /// sheds cold fetches instead of granting them.
+    pub shed_watermark: f64,
+    /// Occupancy at or above which a `Stats` request is answered *without*
+    /// the egress-flush barrier first (the counters are still exact; only
+    /// the flushed-egress certification is skipped). Stats are the lowest
+    /// priority — under overload the barrier would stall the drain.
+    pub stats_watermark: f64,
+    /// The pause suggested to shed clients (`Shed { retry_after }`).
+    pub retry_after: Dur,
+}
+
+impl Default for AdmissionControl {
+    fn default() -> AdmissionControl {
+        AdmissionControl {
+            shed_watermark: 0.75,
+            stats_watermark: 0.9,
+            retry_after: Dur::from_millis(10),
+        }
+    }
+}
+
 /// Tuning knobs for a [`LeaseService`].
 #[derive(Debug, Clone, Copy)]
 pub struct SvcConfig {
@@ -64,6 +101,14 @@ pub struct SvcConfig {
     /// shards (empty last drain) park immediately, exactly as before.
     /// `0` disables spinning.
     pub spin: usize,
+    /// Watermark-driven admission control; `None` disables it (every
+    /// drained input is processed, the pre-existing behaviour).
+    pub admission: Option<AdmissionControl>,
+    /// Chaos injection: make shard `.0` sleep `.1` after every processed
+    /// input, modelling a degraded worker with bounded throughput. Shed
+    /// and expired-dropped inputs pay nothing — that is the point of
+    /// shedding. `None` disables.
+    pub slow_shard: Option<(usize, Dur)>,
 }
 
 impl Default for SvcConfig {
@@ -75,6 +120,8 @@ impl Default for SvcConfig {
             wheel_tick: Dur::from_millis(1),
             idle_wait: Dur::from_millis(50),
             spin: 256,
+            admission: None,
+            slow_shard: None,
         }
     }
 }
@@ -191,10 +238,14 @@ impl<R: Resource, D> Clone for SvcHandle<R, D> {
 /// The buffer retains its allocations across submits — a steady-state
 /// producer reuses one `BatchBuf` indefinitely.
 pub struct BatchBuf<R: Resource, D> {
-    /// Unrouted messages, in push order.
-    msgs: Vec<(ClientId, ToServer<R, D>)>,
+    /// Unrouted messages with their op deadlines, in push order.
+    msgs: Vec<(ClientId, ToServer<R, D>, Option<Time>)>,
     /// Per-shard staging, reused flush to flush.
     staged: Vec<Vec<ShardMsg<R, D>>>,
+    /// Messages dropped at staging time because their deadline had
+    /// already passed (only by [`SvcHandle::try_send_batch_at`] with a
+    /// `now`). Cumulative; callers may reset it between reads.
+    pub expired: u64,
 }
 
 impl<R: Resource, D> Default for BatchBuf<R, D> {
@@ -209,12 +260,21 @@ impl<R: Resource, D> BatchBuf<R, D> {
         BatchBuf {
             msgs: Vec::new(),
             staged: Vec::new(),
+            expired: 0,
         }
     }
 
     /// Queues one message for the next [`SvcHandle::send_batch`].
     pub fn push(&mut self, from: ClientId, msg: ToServer<R, D>) {
-        self.msgs.push((from, msg));
+        self.msgs.push((from, msg, None));
+    }
+
+    /// Like [`BatchBuf::push`] with the originating op's deadline: every
+    /// later hop — staging, the shard mailbox, the drain — may drop the
+    /// message once the deadline passes instead of doing dead work for a
+    /// caller that has already timed out.
+    pub fn push_deadline(&mut self, from: ClientId, msg: ToServer<R, D>, deadline: Option<Time>) {
+        self.msgs.push((from, msg, deadline));
     }
 
     /// Messages currently buffered (un-submitted).
@@ -235,24 +295,40 @@ impl<R: Resource, D> BatchBuf<R, D> {
         }
     }
 
-    /// Routes every buffered message into the per-shard staging lists.
-    fn stage(&mut self, n: usize) {
+    /// Routes every buffered message into the per-shard staging lists;
+    /// with a `now`, messages whose deadline has already passed are
+    /// dropped (counted in [`BatchBuf::expired`]) instead of routed.
+    fn stage(&mut self, n: usize, now: Option<Time>) {
         if self.staged.len() < n {
             self.staged.resize_with(n, Vec::new);
         }
-        let BatchBuf { msgs, staged } = self;
-        for (from, msg) in msgs.drain(..) {
-            route_into(from, msg, n, staged);
+        let BatchBuf {
+            msgs,
+            staged,
+            expired,
+        } = self;
+        for (from, msg, deadline) in msgs.drain(..) {
+            if let (Some(now), Some(d)) = (now, deadline) {
+                if now > d {
+                    *expired += 1;
+                    continue;
+                }
+            }
+            route_into(from, msg, deadline, n, staged);
         }
     }
 
     /// Moves refused staged parts back into `msgs` for resubmission.
     fn unstage_refused(&mut self) {
-        let BatchBuf { msgs, staged } = self;
+        let BatchBuf { msgs, staged, .. } = self;
         for stage in staged {
             for m in stage.drain(..) {
-                if let ShardMsg::Input(ServerInput::Msg { from, msg }) = m {
-                    msgs.push((from, msg));
+                if let ShardMsg::Input {
+                    input: ServerInput::Msg { from, msg },
+                    deadline,
+                } = m
+                {
+                    msgs.push((from, msg, deadline));
                 }
             }
         }
@@ -269,16 +345,31 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
     /// full — the backpressure path for closed-loop clients. Equivalent
     /// to a one-element [`SvcHandle::send_batch`].
     pub fn send(&self, from: ClientId, msg: ToServer<R, D>) -> Result<(), SvcError> {
+        self.send_at(from, msg, None)
+    }
+
+    /// [`SvcHandle::send`] with the originating op's deadline attached:
+    /// the owning shard drops the input unprocessed (counting it) if the
+    /// deadline has passed by the time it drains it.
+    pub fn send_at(
+        &self,
+        from: ClientId,
+        msg: ToServer<R, D>,
+        deadline: Option<Time>,
+    ) -> Result<(), SvcError> {
         let n = self.txs.len();
         match route_single(msg, n) {
             Ok((s, msg)) => self.txs[s]
-                .send(ShardMsg::Input(ServerInput::Msg { from, msg }))
+                .send(ShardMsg::Input {
+                    input: ServerInput::Msg { from, msg },
+                    deadline,
+                })
                 .map_err(|_| SvcError::Closed),
             Err(msg) => {
                 // A splitting message (batched extension, multi-resource
                 // renew): stage it like a one-element batch.
                 let mut staged: Vec<Vec<ShardMsg<R, D>>> = (0..n).map(|_| Vec::new()).collect();
-                route_into(from, msg, n, &mut staged);
+                route_into(from, msg, deadline, n, &mut staged);
                 for (s, stage) in staged.iter_mut().enumerate() {
                     if stage.is_empty() {
                         continue;
@@ -297,17 +388,31 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
     /// the refusal; that is safe because the client retransmits the whole
     /// request and the server deduplicates.
     pub fn try_send(&self, from: ClientId, msg: ToServer<R, D>) -> Result<(), SvcError> {
+        self.try_send_at(from, msg, None)
+    }
+
+    /// [`SvcHandle::try_send`] with the originating op's deadline
+    /// attached (see [`SvcHandle::send_at`]).
+    pub fn try_send_at(
+        &self,
+        from: ClientId,
+        msg: ToServer<R, D>,
+        deadline: Option<Time>,
+    ) -> Result<(), SvcError> {
         let n = self.txs.len();
         match route_single(msg, n) {
             Ok((s, msg)) => self.txs[s]
-                .try_send(ShardMsg::Input(ServerInput::Msg { from, msg }))
+                .try_send(ShardMsg::Input {
+                    input: ServerInput::Msg { from, msg },
+                    deadline,
+                })
                 .map_err(|e| match e {
                     TrySendError::Full(_) => SvcError::Backpressure,
                     TrySendError::Disconnected(_) => SvcError::Closed,
                 }),
             Err(msg) => {
                 let mut staged: Vec<Vec<ShardMsg<R, D>>> = (0..n).map(|_| Vec::new()).collect();
-                route_into(from, msg, n, &mut staged);
+                route_into(from, msg, deadline, n, &mut staged);
                 for (s, stage) in staged.iter_mut().enumerate() {
                     for m in stage.drain(..) {
                         self.txs[s].try_send(m).map_err(|e| match e {
@@ -332,7 +437,7 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
     /// service is gone and nothing will answer them.
     pub fn send_batch(&self, buf: &mut BatchBuf<R, D>) -> Result<(), SvcError> {
         let n = self.txs.len();
-        buf.stage(n);
+        buf.stage(n, None);
         let mut closed = false;
         for (s, stage) in buf.staged.iter_mut().enumerate() {
             if stage.is_empty() {
@@ -364,8 +469,22 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
     /// itself a valid request), so resubmitting exactly the refusals is
     /// sufficient and duplicates nothing.
     pub fn try_send_batch(&self, buf: &mut BatchBuf<R, D>) -> Result<usize, SvcError> {
+        self.try_send_batch_at(buf, None)
+    }
+
+    /// [`SvcHandle::try_send_batch`] with deadline enforcement at the
+    /// door: given `now`, buffered messages whose
+    /// [`BatchBuf::push_deadline`] deadline has already passed are
+    /// dropped at staging time (tallied in [`BatchBuf::expired`]) rather
+    /// than submitted — a resubmission loop under backpressure stops
+    /// queueing work whose caller has already timed out.
+    pub fn try_send_batch_at(
+        &self,
+        buf: &mut BatchBuf<R, D>,
+        now: Option<Time>,
+    ) -> Result<usize, SvcError> {
         let n = self.txs.len();
-        buf.stage(n);
+        buf.stage(n, now);
         let mut accepted = 0;
         let mut closed = false;
         for (s, stage) in buf.staged.iter_mut().enumerate() {
@@ -388,7 +507,10 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
     pub fn local_write(&self, resource: R, data: D) -> Result<(), SvcError> {
         let s = shard_of(&resource, self.txs.len());
         self.txs[s]
-            .send(ShardMsg::Input(ServerInput::LocalWrite { resource, data }))
+            .send(ShardMsg::Input {
+                input: ServerInput::LocalWrite { resource, data },
+                deadline: None,
+            })
             .map_err(|_| SvcError::Closed)
     }
 
@@ -454,12 +576,17 @@ fn route_single<R: Resource, D>(
 fn route_into<R: Resource, D>(
     from: ClientId,
     msg: ToServer<R, D>,
+    deadline: Option<Time>,
     n: usize,
     staged: &mut [Vec<ShardMsg<R, D>>],
 ) {
+    let input = |msg: ToServer<R, D>| ShardMsg::Input {
+        input: ServerInput::Msg { from, msg },
+        deadline,
+    };
     let msg = match route_single(msg, n) {
         Ok((s, msg)) => {
-            staged[s].push(ShardMsg::Input(ServerInput::Msg { from, msg }));
+            staged[s].push(input(msg));
             return;
         }
         Err(msg) => msg,
@@ -473,30 +600,21 @@ fn route_into<R: Resource, D>(
         } => {
             let primary = shard_of(&resource, n);
             let mut per = partition(also_extend, n, |(r, _, _)| r);
-            staged[primary].push(ShardMsg::Input(ServerInput::Msg {
-                from,
-                msg: ToServer::Fetch {
-                    req,
-                    resource,
-                    cached,
-                    also_extend: std::mem::take(&mut per[primary]),
-                },
+            staged[primary].push(input(ToServer::Fetch {
+                req,
+                resource,
+                cached,
+                also_extend: std::mem::take(&mut per[primary]),
             }));
             for (s, resources) in per.into_iter().enumerate() {
                 if !resources.is_empty() {
-                    staged[s].push(ShardMsg::Input(ServerInput::Msg {
-                        from,
-                        msg: ToServer::Renew { req, resources },
-                    }));
+                    staged[s].push(input(ToServer::Renew { req, resources }));
                 }
             }
         }
         ToServer::Renew { req, resources } => {
             if let Some(s) = sole_shard(&resources, n, |(r, _, _)| r) {
-                staged[s].push(ShardMsg::Input(ServerInput::Msg {
-                    from,
-                    msg: ToServer::Renew { req, resources },
-                }));
+                staged[s].push(input(ToServer::Renew { req, resources }));
                 return;
             }
             for (s, resources) in partition(resources, n, |(r, _, _)| r)
@@ -504,27 +622,18 @@ fn route_into<R: Resource, D>(
                 .enumerate()
             {
                 if !resources.is_empty() {
-                    staged[s].push(ShardMsg::Input(ServerInput::Msg {
-                        from,
-                        msg: ToServer::Renew { req, resources },
-                    }));
+                    staged[s].push(input(ToServer::Renew { req, resources }));
                 }
             }
         }
         ToServer::Relinquish { resources } => {
             if let Some(s) = sole_shard(&resources, n, |r| r) {
-                staged[s].push(ShardMsg::Input(ServerInput::Msg {
-                    from,
-                    msg: ToServer::Relinquish { resources },
-                }));
+                staged[s].push(input(ToServer::Relinquish { resources }));
                 return;
             }
             for (s, resources) in partition(resources, n, |r| r).into_iter().enumerate() {
                 if !resources.is_empty() {
-                    staged[s].push(ShardMsg::Input(ServerInput::Msg {
-                        from,
-                        msg: ToServer::Relinquish { resources },
-                    }));
+                    staged[s].push(input(ToServer::Relinquish { resources }));
                 }
             }
         }
@@ -603,6 +712,9 @@ impl<R: Resource, D: Clone + Send + 'static> LeaseService<R, D> {
                 tick: cfg.wheel_tick,
                 idle_wait: cfg.idle_wait,
                 spin: cfg.spin,
+                mailbox: cfg.mailbox.max(1),
+                admission: cfg.admission,
+                slow: cfg.slow_shard.and_then(|(s, d)| (s == i).then_some(d)),
                 sink: sink.clone(),
                 hooks: hooks.clone(),
                 clock: clock.clone(),
@@ -986,6 +1098,180 @@ mod tests {
         assert_eq!(seen.len(), 32);
         let stats = svc.stats().unwrap();
         assert_eq!(stats.counters.fetch_rx, 32);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn overloaded_shard_sheds_cold_fetches_but_not_renewals() {
+        // One slow-ish path to overload: a tiny mailbox plus a jammed
+        // sink. With admission control on, drains that see a backlogged
+        // mailbox answer cold fetches with Shed instead of granting.
+        use lease_core::ErrorReason;
+        let (tx, rx) = unbounded();
+        let svc = LeaseService::spawn(
+            SvcConfig {
+                shards: 1,
+                mailbox: 8,
+                batch: 2,
+                admission: Some(AdmissionControl {
+                    shed_watermark: 0.25, // >= 2 of 8 slots still queued
+                    stats_watermark: 2.0,
+                    retry_after: Dur::from_millis(7),
+                }),
+                slow_shard: Some((0, Dur::from_millis(2))),
+                ..SvcConfig::default()
+            },
+            Arc::new(ChanSink(tx)),
+            SvcHooks::default(),
+            move |_| {
+                let mut store = MemStorage::new();
+                for r in 0..64u64 {
+                    store.insert(r, String::new());
+                }
+                (
+                    LeaseServer::new(ServerConfig::fixed(Dur::from_secs(10))),
+                    Box::new(store) as Box<dyn Storage<u64, String> + Send>,
+                )
+            },
+        );
+        let h = svc.handle();
+        // Grant one lease while the service is idle (never shed).
+        h.send(
+            ClientId(0),
+            ToServer::Fetch {
+                req: ReqId(0),
+                resource: 0,
+                cached: None,
+                also_extend: vec![],
+            },
+        )
+        .unwrap();
+        let (_, first) = recv(&rx);
+        let ToClient::Grants { grants, .. } = first else {
+            panic!("expected idle-path grant, got {first:?}");
+        };
+        let handle = grants[0].handle;
+        let version = grants[0].version;
+        // Now pile on cold fetches faster than the 2ms/input slow shard
+        // can drain, with renewals of resource 0 interleaved.
+        for r in 1..32u64 {
+            h.send(
+                ClientId(0),
+                ToServer::Fetch {
+                    req: ReqId(r),
+                    resource: 1 + (r % 7),
+                    cached: None,
+                    also_extend: vec![],
+                },
+            )
+            .unwrap();
+            h.send(
+                ClientId(0),
+                ToServer::Renew {
+                    req: ReqId(1000 + r),
+                    resources: vec![(0u64, version, handle)],
+                },
+            )
+            .unwrap();
+        }
+        let mut sheds = 0u64;
+        let mut renew_grants = 0u64;
+        for _ in 0..62 {
+            let (_, msg) = recv(&rx);
+            match msg {
+                ToClient::Error {
+                    reason: ErrorReason::Shed { retry_after },
+                    ..
+                } => {
+                    assert_eq!(retry_after, Dur::from_millis(7));
+                    sheds += 1;
+                }
+                ToClient::Grants { req, .. } if req.0 >= 1000 => renew_grants += 1,
+                ToClient::Grants { .. } => {}
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert!(sheds > 0, "a backlogged shard never shed a cold fetch");
+        assert_eq!(renew_grants, 31, "renewals must never be shed");
+        let stats = svc.stats().unwrap();
+        assert_eq!(stats.counters.sheds, sheds);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_are_dropped_not_processed() {
+        let (svc, rx) = service(1, 8);
+        let h = svc.handle();
+        // A deadline far in the past: the shard must drop the input.
+        h.send_at(
+            ClientId(0),
+            ToServer::Fetch {
+                req: ReqId(1),
+                resource: 1,
+                cached: None,
+                also_extend: vec![],
+            },
+            Some(Time::ZERO),
+        )
+        .unwrap();
+        // And one with no deadline right behind it, to order the check.
+        h.send(
+            ClientId(0),
+            ToServer::Fetch {
+                req: ReqId(2),
+                resource: 2,
+                cached: None,
+                also_extend: vec![],
+            },
+        )
+        .unwrap();
+        let (_, msg) = recv(&rx);
+        let ToClient::Grants { req, .. } = msg else {
+            panic!("expected a grant, got {msg:?}");
+        };
+        assert_eq!(req, ReqId(2), "the expired fetch must not be answered");
+        let stats = svc.stats().unwrap();
+        assert_eq!(stats.counters.expired_drops, 1);
+        assert_eq!(stats.counters.fetch_rx, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn try_send_batch_at_drops_expired_at_the_door() {
+        let (svc, rx) = service(1, 8);
+        let h = svc.handle();
+        let mut buf = BatchBuf::new();
+        buf.push_deadline(
+            ClientId(0),
+            ToServer::Fetch {
+                req: ReqId(1),
+                resource: 1,
+                cached: None,
+                also_extend: vec![],
+            },
+            Some(Time::from_millis(5)),
+        );
+        buf.push_deadline(
+            ClientId(0),
+            ToServer::Fetch {
+                req: ReqId(2),
+                resource: 2,
+                cached: None,
+                also_extend: vec![],
+            },
+            Some(Time::from_secs(1_000_000)),
+        );
+        let n = h
+            .try_send_batch_at(&mut buf, Some(Time::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 1, "only the live fetch is submitted");
+        assert_eq!(buf.expired, 1, "the dead fetch is tallied, not queued");
+        assert!(buf.is_empty());
+        let (_, msg) = recv(&rx);
+        let ToClient::Grants { req, .. } = msg else {
+            panic!("expected a grant, got {msg:?}");
+        };
+        assert_eq!(req, ReqId(2));
         svc.shutdown();
     }
 

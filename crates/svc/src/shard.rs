@@ -46,11 +46,11 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use lease_clock::{Clock, Dur, Time};
 use lease_core::{
-    ClientId, LeaseServer, Resource, ServerCounters, ServerInput, ServerOutput, ServerTimer,
-    Storage, ToClient, ToServer, WriteId,
+    ClientId, ErrorReason, LeaseServer, Resource, ServerCounters, ServerInput, ServerOutput,
+    ServerTimer, Storage, ToClient, ToServer, WriteId,
 };
 
-use crate::service::{ClientSink, SvcHooks};
+use crate::service::{AdmissionControl, ClientSink, SvcHooks};
 use crate::wheel::TimerWheel;
 
 /// Bits of a global write id reserved for the shard's restart epoch.
@@ -67,8 +67,16 @@ pub const INJECTED_KILL: &str = "injected shard kill (chaos)";
 
 /// Messages into one shard worker.
 pub(crate) enum ShardMsg<R, D> {
-    /// A routed protocol input.
-    Input(ServerInput<R, D>),
+    /// A routed protocol input, carrying the originating op's deadline
+    /// (if the submitter propagated one): the worker drops the input
+    /// unprocessed once the deadline has passed — the caller has already
+    /// timed out, so the work is dead.
+    Input {
+        /// The routed input.
+        input: ServerInput<R, D>,
+        /// Drop-dead time; `None` means never expire.
+        deadline: Option<Time>,
+    },
     /// Snapshot this shard's counters.
     Stats(Sender<ServerCounters>),
     /// Chaos injection: panic the worker; the supervisor restarts it.
@@ -114,6 +122,13 @@ pub(crate) struct ShardCtx<R: Resource, D> {
     pub tick: Dur,
     pub idle_wait: Dur,
     pub spin: usize,
+    /// Mailbox capacity, for computing occupancy (admission pressure).
+    pub mailbox: usize,
+    /// Watermark-driven shedding; `None` processes everything.
+    pub admission: Option<AdmissionControl>,
+    /// Chaos: sleep this long after every *processed* input (shed or
+    /// expired-dropped inputs pay nothing), modelling a degraded worker.
+    pub slow: Option<Dur>,
     pub sink: Arc<dyn ClientSink<R, D>>,
     pub hooks: SvcHooks,
     pub clock: Arc<dyn Clock>,
@@ -323,13 +338,64 @@ where
             }
         }
         hot = !batch.is_empty();
+        // Admission pressure: mailbox occupancy *behind* this drain —
+        // what is still queued after we took our batch. Fed to the
+        // server's term controller every wakeup, so sustained overload
+        // degrades granted terms and idle wakeups decay the degradation
+        // back out.
+        let occ = rx.len() as f64 / ctx.mailbox as f64;
+        server.set_pressure(occ);
+        let shed = ctx.admission.filter(|a| occ >= a.shed_watermark);
+        let stats_skip_flush = ctx.admission.is_some_and(|a| occ >= a.stats_watermark);
         {
             // Indexed iteration (with a cheap placeholder swap) so the
             // Kill arm can move the unprocessed tail into the stash.
             for i in 0..batch.len() {
                 let m = std::mem::replace(&mut batch[i], ShardMsg::Kill);
                 match m {
-                    ShardMsg::Input(input) => {
+                    ShardMsg::Input { input, deadline } => {
+                        if deadline.is_some_and(|d| ctx.clock.now() > d) {
+                            // The caller already timed out; processing the
+                            // input would be dead work at the worst time.
+                            server.counters.expired_drops += 1;
+                            continue;
+                        }
+                        if let Some(a) = shed {
+                            // Over the shed watermark: refuse the
+                            // lowest-priority class — cold fetches, i.e.
+                            // brand-new grants with nothing cached and no
+                            // piggybacked extensions. Renewals, writes,
+                            // approvals, and relinquishes keep flowing
+                            // (lease continuity and expiry outrank new
+                            // admissions). Refusing a grant is always
+                            // consistency-safe: no lease comes into
+                            // existence.
+                            if let ServerInput::Msg {
+                                from,
+                                msg:
+                                    ToServer::Fetch {
+                                        req,
+                                        cached: None,
+                                        also_extend,
+                                        ..
+                                    },
+                            } = &input
+                            {
+                                if also_extend.is_empty() {
+                                    server.counters.sheds += 1;
+                                    outbox.push((
+                                        *from,
+                                        ToClient::Error {
+                                            req: *req,
+                                            reason: ErrorReason::Shed {
+                                                retry_after: a.retry_after,
+                                            },
+                                        },
+                                    ));
+                                    continue;
+                                }
+                            }
+                        }
                         let input = match input {
                             ServerInput::Msg {
                                 from,
@@ -353,13 +419,22 @@ where
                         };
                         let outs = server.handle(ctx.clock.now(), input, &mut *storage);
                         apply(outs, &mut wheel, &mut armed, &mut outbox, ctx, epoch);
+                        if let Some(d) = ctx.slow {
+                            // Injected degradation: bound this worker's
+                            // throughput to ~1/d inputs per second.
+                            std::thread::sleep(std::time::Duration::from(d));
+                        }
                     }
                     ShardMsg::Stats(reply) => {
                         // Flush before answering: a stats reply certifies
                         // that every reply to earlier input has left the
                         // service (the barrier `LeaseService::stats`
                         // documents and the equivalence tests rely on).
-                        if !outbox.is_empty() {
+                        // Above the stats watermark the flush barrier is
+                        // skipped — stats are the lowest-priority work and
+                        // must not stall an overloaded drain; the counters
+                        // themselves are still exact.
+                        if !stats_skip_flush && !outbox.is_empty() {
                             ctx.sink.deliver_batch(&mut outbox);
                             outbox.clear();
                         }
