@@ -64,20 +64,32 @@ svc_load: closed-loop load generator for the sharded lease service
                   and latency is measured from the *intended* arrival
                   instant. Rows are marked batch=0; not compatible with
                   --check (the scaling gate needs the batched rows).
-                  Env: LEASE_LOAD_RATE.
+                  Env: LEASE_LOAD_RATE. Skips the scaling section.
+  --scale LIST    shard counts for the core-pinned scaling curve
+                  (default 1,2,4,8; `none` disables the section). Each
+                  scaling row pins shard workers to cores 0..s
+                  (SvcConfig::pin) and clients to the cores after them,
+                  so on a multi-core host the curve measures true
+                  per-core speedup rather than scheduler luck.
   --json PATH     where to write the sweep results (default BENCH_svc.json)
   --check PATH    measure, then gate against the baseline at PATH instead
-                  of writing: fail unless batched ops/s at shards=4 beats
-                  shards=1, and unless that scaling ratio is within 25%
-                  of the baseline's. One re-measure before failing.
+                  of writing. Fails unless batched ops/s at shards=4
+                  beats shards=1, and unless the fresh s4/s1 ratios are
+                  within 25% of the baseline's — compared same-mode
+                  (per-op against per-op, batched against batched). On a
+                  host with >= 4 cores the pinned scaling curve must
+                  also show batched s4 >= 2x batched s1; on smaller
+                  hosts that gate is skipped with a visible notice.
+                  One re-measure before failing.
   --help          this text
 
 Client threads are pinned round-robin across cores (best effort, Linux
 only) so the sweep measures shard *speedup* on multi-core hosts. On a
-single hardware thread the per-op rows land within noise of each other
-(shard workers and clients time-slice one core); the batched rows still
-scale with shards there because the in-flight window — and so the work a
-shard drains per wakeup — grows with the shard count.";
+single hardware thread the per-op rows land within ~1.2x of each other
+(one worker futex wake per op that a single shard amortizes across
+clients); the batched rows still scale with shards there because the
+in-flight window — and so the work a shard drains per wakeup — grows
+with the shard count.";
 
 /// Delivers shard output onto per-client reply channels.
 struct ChannelSink {
@@ -120,12 +132,13 @@ fn rng_next(rng: &mut u64) -> u64 {
 /// Returns per-op latencies in nanoseconds.
 fn client_loop(
     id: ClientId,
+    core: usize,
     handle: SvcHandle<R, D>,
     rx: Receiver<ToClient<R, D>>,
     files: u64,
     stop: Arc<AtomicBool>,
 ) -> Vec<u64> {
-    pin_to_core(id.0 as usize);
+    pin_to_core(core);
     let mut rng = rng_seed(id);
     let mut next_req: u64 = 1;
     let mut latencies = Vec::new();
@@ -196,8 +209,10 @@ fn client_loop(
 /// the buffer and are resubmitted after draining replies (the same
 /// pacing lease-rt applies on `RetryAfter`). Latency is measured from
 /// staging, so it includes time spent queued in the buffer and window.
+#[allow(clippy::too_many_arguments)] // one knob per argument
 fn client_loop_batched(
     id: ClientId,
+    core: usize,
     handle: SvcHandle<R, D>,
     rx: Receiver<ToClient<R, D>>,
     files: u64,
@@ -205,7 +220,7 @@ fn client_loop_batched(
     batch: usize,
     shards: usize,
 ) -> Vec<u64> {
-    pin_to_core(id.0 as usize);
+    pin_to_core(core);
     // Per-shard pipeline depth is constant, so the aggregate window (and
     // the work a shard drains per wakeup) grows with the shard count.
     let window = batch * 2 * shards;
@@ -312,13 +327,14 @@ fn client_loop_batched(
 /// load. Returns per-op latencies in nanoseconds.
 fn client_loop_open(
     id: ClientId,
+    core: usize,
     handle: SvcHandle<R, D>,
     rx: Receiver<ToClient<R, D>>,
     files: u64,
     stop: Arc<AtomicBool>,
     rate: f64,
 ) -> Vec<u64> {
-    pin_to_core(id.0 as usize);
+    pin_to_core(core);
     let mut arr = FaultPlan::new(rng_seed(id))
         .with_overload(OverloadPlan {
             base_rate: rate,
@@ -446,6 +462,17 @@ struct SweepRow {
     p99_us: u64,
 }
 
+/// The core-pinned scaling-curve section of the v3 schema: the same
+/// per-op and batched rows, but with shard workers pinned to cores
+/// `0..s` and clients to the cores after them. `cores` records the
+/// host's parallelism so a reader (and the `--check` gate) knows
+/// whether the curve had real cores to scale across.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ScalingCurve {
+    cores: usize,
+    rows: Vec<SweepRow>,
+}
+
 #[derive(serde::Serialize, serde::Deserialize)]
 struct SvcBench {
     schema: String,
@@ -453,12 +480,18 @@ struct SvcBench {
     files: u64,
     window_ms: u64,
     rows: Vec<SweepRow>,
+    /// Absent in `--open-loop` mode and in pre-v3 baselines.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    scaling: Option<ScalingCurve>,
 }
 
 /// Runs one configuration. `batch == 1` uses the per-op closed loop,
 /// larger batches the windowed pipelined loop; `open_loop = Some(rate)`
 /// instead drives Poisson arrivals at `rate` ops/sec split across the
-/// clients (the row is marked `batch = 0`).
+/// clients (the row is marked `batch = 0`). With `pin`, shard workers
+/// are pinned to cores `0..shards` and clients to the cores after them
+/// (the scaling-curve placement); without it, clients pin round-robin
+/// from core 0 and workers float, as the main sweep always has.
 fn run_config(
     shards: usize,
     clients: u32,
@@ -466,6 +499,7 @@ fn run_config(
     window: Duration,
     batch: usize,
     open_loop: Option<f64>,
+    pin: bool,
 ) -> SweepRow {
     // Open-loop rows are tagged batch=0 in the sweep output.
     let batch = if open_loop.is_some() { 0 } else { batch };
@@ -482,6 +516,7 @@ fn run_config(
             shards,
             // Let a worker drain a whole client sub-batch per wakeup.
             batch: base.batch.max(batch * 2),
+            pin: pin.then_some(0),
             ..base
         },
         Arc::new(ChannelSink { txs }),
@@ -508,14 +543,18 @@ fn run_config(
         .map(|(i, rx)| {
             let handle = handle.clone();
             let stop = stop.clone();
+            // Pinned (scaling) runs give workers cores 0..shards and put
+            // clients on the cores after them, so neither side evicts
+            // the other on a host with enough cores.
+            let core = if pin { shards + i } else { i };
             std::thread::spawn(move || {
                 let id = ClientId(i as u32);
                 if let Some(rate) = open_loop {
-                    client_loop_open(id, handle, rx, files, stop, rate / f64::from(clients))
+                    client_loop_open(id, core, handle, rx, files, stop, rate / f64::from(clients))
                 } else if batch > 1 {
-                    client_loop_batched(id, handle, rx, files, stop, batch, shards)
+                    client_loop_batched(id, core, handle, rx, files, stop, batch, shards)
                 } else {
-                    client_loop(id, handle, rx, files, stop)
+                    client_loop(id, core, handle, rx, files, stop)
                 }
             })
         })
@@ -544,7 +583,7 @@ fn run_config(
         p99_us: percentile(&lats, 0.99) / 1_000,
     };
     println!(
-        "shards={:<2} batch={:<3} ops={:>8} ops/s={:>8.0} grants/s={:>8.0} p50={:>5}us p95={:>5}us p99={:>5}us",
+        "shards={:<2} batch={:<3} ops={:>8} ops/s={:>8.0} grants/s={:>8.0} p50={:>5}us p95={:>5}us p99={:>5}us{}",
         row.shards,
         row.batch,
         row.ops,
@@ -553,6 +592,7 @@ fn run_config(
         row.p50_us,
         row.p95_us,
         row.p99_us,
+        if pin { " [pinned]" } else { "" },
     );
     row
 }
@@ -563,49 +603,93 @@ struct Opts {
     files: u64,
     batch: usize,
     shard_counts: Vec<usize>,
+    scale_counts: Vec<usize>,
     open_loop: Option<f64>,
 }
 
 /// Runs the full sweep: a per-op row and a batched row per shard count
-/// (or one open-loop row per shard count in `--open-loop` mode).
+/// (or one open-loop row per shard count in `--open-loop` mode),
+/// followed by the core-pinned scaling curve over `scale_counts`.
 fn measure(o: &Opts) -> SvcBench {
     let mut rows = Vec::new();
     for &s in &o.shard_counts {
         if o.open_loop.is_some() {
-            rows.push(run_config(s, o.clients, o.files, o.window, 0, o.open_loop));
+            rows.push(run_config(
+                s,
+                o.clients,
+                o.files,
+                o.window,
+                0,
+                o.open_loop,
+                false,
+            ));
         } else {
-            rows.push(run_config(s, o.clients, o.files, o.window, 1, None));
-            rows.push(run_config(s, o.clients, o.files, o.window, o.batch, None));
+            rows.push(run_config(s, o.clients, o.files, o.window, 1, None, false));
+            rows.push(run_config(
+                s, o.clients, o.files, o.window, o.batch, None, false,
+            ));
         }
     }
+    let scaling = if o.open_loop.is_none() && !o.scale_counts.is_empty() {
+        let cores = lease_bench::sweep::available_cores();
+        println!("scaling curve ({cores} cores, workers pinned 0..s, clients after):");
+        let mut rows = Vec::new();
+        for &s in &o.scale_counts {
+            rows.push(run_config(s, o.clients, o.files, o.window, 1, None, true));
+            rows.push(run_config(
+                s, o.clients, o.files, o.window, o.batch, None, true,
+            ));
+        }
+        Some(ScalingCurve { cores, rows })
+    } else {
+        None
+    };
     SvcBench {
-        schema: "lease-bench/BENCH_svc/v2".to_string(),
+        schema: "lease-bench/BENCH_svc/v3".to_string(),
         clients: o.clients,
         files: o.files,
         window_ms: o.window.as_millis() as u64,
         rows,
+        scaling,
     }
 }
 
-fn batched_ops(bench: &SvcBench, shards: usize) -> Option<f64> {
-    bench
-        .rows
-        .iter()
-        .find(|r| r.shards == shards && r.batch > 1)
+/// Ops/s of the row at `shards` in the given mode (`batched` = true
+/// picks the batch>1 row, false the batch=1 per-op row).
+fn mode_ops(rows: &[SweepRow], shards: usize, batched: bool) -> Option<f64> {
+    rows.iter()
+        .find(|r| r.shards == shards && (r.batch > 1) == batched)
         .map(|r| r.ops_per_sec)
 }
 
-/// The scaling gate: batched throughput at 4 shards must strictly beat 1
-/// shard, and the s4/s1 ratio must sit within 25% of the checked-in
-/// baseline's (raw ops/s is machine-dependent; the ratio is what the
-/// batched path is supposed to protect).
+/// The s4/s1 throughput ratio in one mode, when both rows are present.
+fn mode_ratio(rows: &[SweepRow], batched: bool) -> Option<f64> {
+    match (mode_ops(rows, 1, batched), mode_ops(rows, 4, batched)) {
+        (Some(s1), Some(s4)) => Some(s4 / s1),
+        _ => None,
+    }
+}
+
+/// The scaling gate. Always: batched throughput at 4 shards must
+/// strictly beat 1 shard, and the fresh s4/s1 ratio in *each* mode must
+/// sit within 25% of the same mode's ratio in the checked-in baseline
+/// (raw ops/s is machine-dependent; the per-mode ratio is what the
+/// ingress is supposed to protect — batched modes are never compared
+/// against per-op modes). On a host with >= 4 cores the pinned scaling
+/// curve must additionally show batched s4 >= 2x batched s1; on smaller
+/// hosts that gate is skipped with a visible notice.
 fn check(fresh: &SvcBench, baseline_path: &str) -> Result<(), String> {
-    let (s1, s4) = match (batched_ops(fresh, 1), batched_ops(fresh, 4)) {
+    let (s1, s4) = match (
+        mode_ops(&fresh.rows, 1, true),
+        mode_ops(&fresh.rows, 4, true),
+    ) {
         (Some(s1), Some(s4)) => (s1, s4),
         _ => return Err("check needs batched rows for shards=1 and shards=4".into()),
     };
-    let ratio = s4 / s1;
-    println!("check scaling: batched s4/s1 = {ratio:.2}x ({s4:.0} vs {s1:.0} ops/s)");
+    println!(
+        "check scaling: batched s4/s1 = {:.2}x ({s4:.0} vs {s1:.0} ops/s)",
+        s4 / s1
+    );
     if s4 <= s1 {
         return Err(format!(
             "batched ops/s did not scale: shards=4 ({s4:.0}) <= shards=1 ({s1:.0})"
@@ -615,15 +699,82 @@ fn check(fresh: &SvcBench, baseline_path: &str) -> Result<(), String> {
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
     let baseline: SvcBench =
         serde_json::from_str(&text).map_err(|e| format!("cannot parse {baseline_path}: {e:?}"))?;
-    if let (Some(b1), Some(b4)) = (batched_ops(&baseline, 1), batched_ops(&baseline, 4)) {
-        let b_ratio = b4 / b1;
-        let floor = b_ratio * 0.75;
-        println!("check baseline: s4/s1 = {b_ratio:.2}x (floor {floor:.2}x)");
-        if ratio < floor {
-            return Err(format!(
-                "scaling ratio {ratio:.2}x regressed >25% below baseline {b_ratio:.2}x"
-            ));
+    // Same-mode ratio comparison, for the main rows and (when both the
+    // fresh run and the baseline recorded one) the pinned scaling curve.
+    // The scaling section only gates when both recordings had >= 2 cores:
+    // on one core pinning is a no-op, so those rows measure scheduler
+    // luck with wide run-to-run variance — the main rows gate instead.
+    let scaling_cores = |b: &SvcBench| b.scaling.as_ref().map_or(0, |s| s.cores);
+    let scaling_gated = scaling_cores(fresh) >= 2 && scaling_cores(&baseline) >= 2;
+    if !scaling_gated && fresh.scaling.is_some() && baseline.scaling.is_some() {
+        println!(
+            "check scaling section: informational only ({} fresh / {} baseline cores, need >= 2 to gate)",
+            scaling_cores(fresh),
+            scaling_cores(&baseline)
+        );
+    }
+    type Section<'a> = (&'a str, Option<&'a [SweepRow]>, Option<&'a [SweepRow]>);
+    let sections: [Section<'_>; 2] = [
+        ("rows", Some(&fresh.rows[..]), Some(&baseline.rows[..])),
+        (
+            "scaling",
+            fresh
+                .scaling
+                .as_ref()
+                .filter(|_| scaling_gated)
+                .map(|s| &s.rows[..]),
+            baseline
+                .scaling
+                .as_ref()
+                .filter(|_| scaling_gated)
+                .map(|s| &s.rows[..]),
+        ),
+    ];
+    for (section, fresh_rows, base_rows) in sections {
+        let (Some(fresh_rows), Some(base_rows)) = (fresh_rows, base_rows) else {
+            continue;
+        };
+        for (mode, batched) in [("per-op", false), ("batched", true)] {
+            let (Some(ratio), Some(b_ratio)) = (
+                mode_ratio(fresh_rows, batched),
+                mode_ratio(base_rows, batched),
+            ) else {
+                continue;
+            };
+            let floor = b_ratio * 0.75;
+            println!(
+                "check {section}/{mode}: s4/s1 = {ratio:.2}x, baseline {b_ratio:.2}x (floor {floor:.2}x)"
+            );
+            if ratio < floor {
+                return Err(format!(
+                    "{section}/{mode} s4/s1 ratio {ratio:.2}x regressed >25% below baseline {b_ratio:.2}x"
+                ));
+            }
         }
+    }
+    // The multicore gate: with >= 4 real cores and pinned workers, the
+    // batched path must scale at least 2x from 1 shard to 4.
+    match fresh.scaling.as_ref() {
+        Some(curve) if curve.cores >= 4 => {
+            let Some(ratio) = mode_ratio(&curve.rows, true) else {
+                return Err("scaling curve lacks batched rows for shards=1 and shards=4".into());
+            };
+            println!(
+                "check multicore gate ({} cores): pinned batched s4/s1 = {ratio:.2}x (need >= 2x)",
+                curve.cores
+            );
+            if ratio < 2.0 {
+                return Err(format!(
+                    "pinned batched s4/s1 = {ratio:.2}x on a {}-core host (need >= 2x)",
+                    curve.cores
+                ));
+            }
+        }
+        Some(curve) => println!(
+            "check multicore gate SKIPPED: only {} core(s), need >= 4 for the 2x batched s4/s1 gate",
+            curve.cores
+        ),
+        None => println!("check multicore gate SKIPPED: no scaling curve in this run (--scale none)"),
     }
     Ok(())
 }
@@ -637,6 +788,7 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok());
     let mut shard_list = std::env::var("LEASE_LOAD_SHARDS").unwrap_or_else(|_| "1,2,4,8".into());
+    let mut scale_list = std::env::var("LEASE_LOAD_SCALE").unwrap_or_else(|_| "1,2,4,8".into());
     let mut json_path = "BENCH_svc.json".to_string();
     let mut check_path: Option<String> = None;
 
@@ -658,6 +810,10 @@ fn main() {
             }
             ("--shards", Some(v)) => {
                 shard_list = v.clone();
+                i += 2;
+            }
+            ("--scale", Some(v)) => {
+                scale_list = v.clone();
                 i += 2;
             }
             ("--ms", Some(v)) => {
@@ -712,6 +868,15 @@ fn main() {
             .filter_map(|s| s.trim().parse::<usize>().ok())
             .map(|s| s.max(1))
             .collect(),
+        scale_counts: if scale_list.trim() == "none" {
+            Vec::new()
+        } else {
+            scale_list
+                .split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .map(|s| s.max(1))
+                .collect()
+        },
     };
     println!(
         "svc_load: {clients} {} clients, {files} files, batch {batch}, {}ms window per config ({} cores)",

@@ -62,28 +62,10 @@ pub fn take_threads_arg(args: &mut Vec<String>, default: usize) -> Result<usize,
     Ok(n)
 }
 
-/// Best-effort pin of the calling thread to `core` (Linux). Declared raw
-/// to stay dependency-free; failures are ignored — affinity is an
-/// optimization of the measurement, not a correctness requirement.
-#[cfg(target_os = "linux")]
-pub fn pin_to_core(core: usize) {
-    // A 1024-bit cpu_set_t, the kernel ABI's default width.
-    let mut mask = [0u64; 16];
-    let bit = core % 1024;
-    mask[bit / 64] |= 1 << (bit % 64);
-    extern "C" {
-        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
-    }
-    // SAFETY: the mask outlives the call and the length matches it; pid 0
-    // means "calling thread" for sched_setaffinity.
-    unsafe {
-        let _ = sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
-    }
-}
-
-/// Best-effort pin of the calling thread to `core` (no-op off Linux).
-#[cfg(not(target_os = "linux"))]
-pub fn pin_to_core(_core: usize) {}
+// The affinity helper moved to `lease_core::affinity` so the sharded
+// service can pin shard workers with the same code (`SvcConfig::pin`);
+// re-exported here to keep the sweep binaries' call sites unchanged.
+pub use lease_core::affinity::pin_to_core;
 
 /// Runs `f(index, &task)` for every task, on up to `threads` worker
 /// threads, and returns the results **in task order**.

@@ -1,0 +1,29 @@
+//! Best-effort CPU affinity, dependency-free.
+//!
+//! Shared by the sweep runner (pinning measurement workers) and the
+//! sharded service (pinning shard workers when `SvcConfig::pin` is set).
+//! Affinity is an optimization of the measurement, never a correctness
+//! requirement, so failures are silently ignored and non-Linux hosts
+//! get a no-op.
+
+/// Best-effort pin of the calling thread to `core` (Linux). Declared raw
+/// to stay dependency-free; failures are ignored.
+#[cfg(target_os = "linux")]
+pub fn pin_to_core(core: usize) {
+    // A 1024-bit cpu_set_t, the kernel ABI's default width.
+    let mut mask = [0u64; 16];
+    let bit = core % 1024;
+    mask[bit / 64] |= 1 << (bit % 64);
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    // SAFETY: the mask outlives the call and the length matches it; pid 0
+    // means "calling thread" for sched_setaffinity.
+    unsafe {
+        let _ = sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
+    }
+}
+
+/// Best-effort pin of the calling thread to `core` (no-op off Linux).
+#[cfg(not(target_os = "linux"))]
+pub fn pin_to_core(_core: usize) {}

@@ -71,10 +71,12 @@
 //! assert!(client.lease_valid(7, Time::from_secs(5)));
 //! ```
 
+pub mod affinity;
 pub mod client;
 pub mod hash;
 pub mod msg;
 pub mod policy;
+pub mod ring;
 pub mod server;
 pub mod stats;
 pub mod storage;

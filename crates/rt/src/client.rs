@@ -162,7 +162,7 @@ fn req_of(msg: &ToServer<Res, Bytes>) -> Option<ReqId> {
 struct Worker {
     id: ClientId,
     cache: LeaseClient<Res, Bytes>,
-    port: Arc<dyn Port>,
+    port: Box<dyn Port>,
     /// This host's clock — possibly a skewed chaos model.
     clock: Arc<dyn Clock>,
     /// The perfect observer (true time), if history is being recorded.
@@ -429,7 +429,7 @@ pub(crate) fn spawn_client(
     cache: LeaseClient<Res, Bytes>,
     cmd_rx: Receiver<ClientCmd>,
     net_rx: Receiver<ToClient<Res, Bytes>>,
-    port: Arc<dyn Port>,
+    port: Box<dyn Port>,
     clock: Arc<dyn Clock>,
     recorder: Option<Arc<Recorder>>,
     pacing: Backoff,
@@ -514,7 +514,7 @@ mod tests {
         sends: Mutex<Vec<Time>>,
     }
 
-    impl Port for JamPort {
+    impl Port for Arc<JamPort> {
         fn send(
             &self,
             _from: ClientId,
@@ -549,7 +549,7 @@ mod tests {
         let mut w = Worker {
             id: ClientId(0),
             cache,
-            port: port.clone(),
+            port: Box::new(port.clone()),
             clock: clock.clone(),
             recorder: None,
             timers: BinaryHeap::new(),

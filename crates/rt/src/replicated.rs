@@ -93,8 +93,16 @@ impl Storage<Res, Bytes> for GatedBackend {
 }
 
 /// One replica as the failover port sees it.
+///
+/// The handle sits behind a mutex because the failover routing core is
+/// *shared* state — the current-grantor hint is a property of the whole
+/// cluster, and chaos-delay threads re-resolve it at delivery time — so
+/// it cannot hold per-producer ring lanes the way the single-server
+/// port does. A lock per submission is the pre-ring ingress cost; the
+/// replicated topology is the fault-tolerance subsystem, not the
+/// throughput path, and keeps it.
 struct ReplicaTarget {
-    svc: SvcHandle<Res, Bytes>,
+    svc: Mutex<SvcHandle<Res, Bytes>>,
     gate: Arc<GrantorGate>,
 }
 
@@ -130,7 +138,12 @@ impl PortState {
             if self.chaos.as_ref().is_some_and(|c| c.replica_cut(i)) {
                 continue;
             }
-            match r.svc.try_send_at(from, msg.clone(), deadline) {
+            match r
+                .svc
+                .lock()
+                .unwrap()
+                .try_send_at(from, msg.clone(), deadline)
+            {
                 Ok(()) => {
                     self.current.store(i, Ordering::Relaxed);
                     return PortVerdict::Sent;
@@ -146,7 +159,10 @@ impl PortState {
     }
 }
 
-/// The client-side failover port of the replicated topology.
+/// The client-side failover port of the replicated topology. Cloned
+/// per client thread (both fields are shared `Arc`s — the routing core
+/// really is cluster-wide state).
+#[derive(Clone)]
 pub(crate) struct ReplicaPort {
     state: Arc<PortState>,
     cuts: Arc<Vec<Arc<AtomicBool>>>,
@@ -502,13 +518,13 @@ impl ReplicatedSystemBuilder {
         }
 
         // Clients, submitting through the failover port.
-        let port = Arc::new(ReplicaPort {
+        let port = ReplicaPort {
             state: Arc::new(PortState {
                 replicas: service_handles
                     .iter()
                     .enumerate()
                     .map(|(r, svc)| ReplicaTarget {
-                        svc: svc.clone(),
+                        svc: Mutex::new(svc.clone()),
                         gate: quorum.gate(r),
                     })
                     .collect(),
@@ -516,7 +532,7 @@ impl ReplicatedSystemBuilder {
                 chaos: chaos_net,
             }),
             cuts: Arc::new(cuts.clone()),
-        });
+        };
         let mut client_handles = Vec::new();
         let mut client_cmd_txs: Vec<Sender<ClientCmd>> = Vec::new();
         for (i, net_rx) in net_rxs.into_iter().enumerate() {
@@ -544,7 +560,7 @@ impl ReplicatedSystemBuilder {
                 cache,
                 cmd_rx,
                 net_rx,
-                port.clone(),
+                Box::new(port.clone()),
                 client_clock,
                 Some(recorder.clone()),
                 self.backoff,

@@ -356,7 +356,12 @@ pub(crate) enum PortVerdict {
 /// [`PortVerdict::RetryAfter`], and unreachability into
 /// [`PortVerdict::Dropped`] (the client's retransmission backoff is the
 /// retry schedule).
-pub(crate) trait Port: Send + Sync {
+///
+/// Each client thread **owns** its port (`Box<dyn Port>`): a
+/// [`SvcHandle`] is a per-producer object (one SPSC lane per shard), so
+/// ports are cloned per client rather than shared behind an `Arc` —
+/// which is exactly the thread-per-producer shape the ingress wants.
+pub(crate) trait Port: Send {
     /// Submits one client message, unless faults interfere. `deadline` is
     /// the originating op's drop-dead time, propagated so the service can
     /// discard the work if it drains it too late.

@@ -367,12 +367,15 @@ impl RtSystemBuilder {
             }
         }
 
-        // Client threads submit through the service handle.
-        let port = Arc::new(ServerPort {
+        // Client threads submit through the service handle. Each thread
+        // gets its own port (and so its own handle clone — one SPSC lane
+        // per shard): the handle is a per-producer object, not a shared
+        // one.
+        let port = ServerPort {
             svc: svc.clone(),
             cuts: Arc::new(cuts.clone()),
             chaos: chaos_net,
-        });
+        };
         let mut client_handles = Vec::new();
         let mut client_cmd_txs: Vec<Sender<ClientCmd>> = Vec::new();
         for (i, net_rx) in net_rxs.into_iter().enumerate() {
@@ -400,7 +403,7 @@ impl RtSystemBuilder {
                 cache,
                 cmd_rx,
                 net_rx,
-                port.clone(),
+                Box::new(port.clone()),
                 client_clock,
                 Some(recorder.clone()),
                 self.backoff,

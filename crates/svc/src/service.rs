@@ -6,14 +6,15 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crossbeam::channel::{bounded, RecvTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use lease_clock::{Clock, Dur, Time, WallClock};
+use lease_core::ring::{spsc, Producer, PushError};
 use lease_core::{
     ClientId, FxHasher, LeaseServer, Resource, ServerCounters, ServerInput, Storage, ToClient,
     ToServer, WriteId,
 };
 
-use crate::shard::{spawn_shard, ShardCtx, ShardMsg};
+use crate::shard::{spawn_shard, ShardCtx, ShardIngress, ShardMsg};
 
 /// Where shard workers deliver protocol messages bound for clients.
 ///
@@ -109,6 +110,11 @@ pub struct SvcConfig {
     /// and expired-dropped inputs pay nothing — that is the point of
     /// shedding. `None` disables.
     pub slow_shard: Option<(usize, Dur)>,
+    /// Pin shard worker `i` to core `base + i` (best effort, Linux only,
+    /// via [`lease_core::affinity::pin_to_core`]). `None` leaves
+    /// placement to the scheduler. Thread-per-core deployments set this
+    /// so a shard's cache-resident lease table stays on one core.
+    pub pin: Option<usize>,
 }
 
 impl Default for SvcConfig {
@@ -122,6 +128,7 @@ impl Default for SvcConfig {
             spin: 256,
             admission: None,
             slow_shard: None,
+            pin: None,
         }
     }
 }
@@ -216,15 +223,117 @@ pub struct SvcStats {
 /// the shard that owns its resource, splitting batched requests along
 /// shard boundaries and translating write ids so approvals triggered by
 /// one shard's multicast find their way back to it from any client.
+///
+/// # Per-producer ingress
+///
+/// Every handle owns one private SPSC ring *lane* per shard: hot sends
+/// publish into the lane with no lock and wake the shard through its
+/// doorbell (two uncontended atomics when the worker is spinning, one
+/// futex signal only when it is parked). Cloning a handle therefore
+/// creates and registers a fresh set of lanes — clone **once per
+/// producer thread**, not per message. The handle is deliberately
+/// `Send` but `!Sync`: one thread per handle is what makes the lanes
+/// single-producer. To share a handle across threads (e.g. in a slot a
+/// failover path swaps), wrap it in a `Mutex` — `Mutex<SvcHandle>` is
+/// `Sync` — or give each thread its own clone. The original
+/// shim-crossbeam channel survives as the cold/control path
+/// ([`SvcHandle::send_cold`], stats, shutdown) and as the executable
+/// spec the ring path is property-tested against.
 pub struct SvcHandle<R: Resource, D> {
-    txs: Arc<[Sender<ShardMsg<R, D>>]>,
+    shared: Arc<HandleShared<R, D>>,
+    /// This handle's private SPSC lane into each shard, in shard order.
+    lanes: Box<[Producer<ShardMsg<R, D>>]>,
+}
+
+/// The per-service state every handle shares.
+pub(crate) struct HandleShared<R: Resource, D> {
+    /// The cold/control channel into each shard.
+    pub(crate) txs: Box<[Sender<ShardMsg<R, D>>]>,
+    /// Each shard's doorbell + lane registry.
+    pub(crate) ingress: Box<[Arc<ShardIngress<R, D>>]>,
+    /// Capacity of each newly attached lane.
+    lane_cap: usize,
+}
+
+impl<R: Resource, D> SvcHandle<R, D> {
+    /// Builds a handle with a fresh set of registered lanes.
+    pub(crate) fn attach(shared: Arc<HandleShared<R, D>>) -> SvcHandle<R, D> {
+        let lanes = shared
+            .ingress
+            .iter()
+            .map(|ing| {
+                let (tx, rx) = spsc(shared.lane_cap);
+                ing.register(rx);
+                tx
+            })
+            .collect();
+        SvcHandle { shared, lanes }
+    }
+
+    /// Rings shard `s`'s doorbell (call after publishing to its lane or
+    /// control channel).
+    fn wake(&self, s: usize) {
+        self.shared.ingress[s].bell.ring();
+    }
+
+    /// Non-blocking push of one message into this handle's lane for
+    /// shard `s`.
+    fn lane_try_push(&self, s: usize, msg: ShardMsg<R, D>) -> Result<(), SvcError> {
+        match self.lanes[s].try_push(msg) {
+            Ok(()) => {
+                self.wake(s);
+                Ok(())
+            }
+            Err(PushError::Full(_)) => Err(SvcError::Backpressure),
+            Err(PushError::Closed(_)) => Err(SvcError::Closed),
+        }
+    }
+
+    /// Blocking push: yields until the lane has room. The worker never
+    /// parks while this lane is non-empty (it polls lanes before taking
+    /// a doorbell ticket), so spinning here cannot deadlock.
+    fn lane_push(&self, s: usize, msg: ShardMsg<R, D>) -> Result<(), SvcError> {
+        let mut msg = msg;
+        loop {
+            match self.lanes[s].try_push(msg) {
+                Ok(()) => {
+                    self.wake(s);
+                    return Ok(());
+                }
+                Err(PushError::Closed(_)) => return Err(SvcError::Closed),
+                Err(PushError::Full(back)) => {
+                    msg = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Blocking bulk push of a staged per-shard run: publishes in chunks
+    /// as space frees, one doorbell ring per publish. On `Closed` the
+    /// remainder is dropped (the service is gone and nothing will answer
+    /// it).
+    fn lane_push_all(&self, s: usize, stage: &mut Vec<ShardMsg<R, D>>) -> Result<(), SvcError> {
+        while !stage.is_empty() {
+            if self.lanes[s].push_from(stage) > 0 {
+                self.wake(s);
+            } else if self.lanes[s].is_closed() {
+                stage.clear();
+                return Err(SvcError::Closed);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        Ok(())
+    }
 }
 
 impl<R: Resource, D> Clone for SvcHandle<R, D> {
+    /// Attaches a new producer: fresh lanes, registered with every
+    /// shard. Clone once per producer thread, not per message — a
+    /// clone's cost is `shards` ring allocations.
     fn clone(&self) -> Self {
-        SvcHandle {
-            txs: self.txs.clone(),
-        }
+        SvcHandle::attach(self.shared.clone())
     }
 }
 
@@ -338,12 +447,14 @@ impl<R: Resource, D> BatchBuf<R, D> {
 impl<R: Resource, D: Clone> SvcHandle<R, D> {
     /// The shard count.
     pub fn shards(&self) -> usize {
-        self.txs.len()
+        self.shared.txs.len()
     }
 
-    /// Routes `msg` to its shard(s), blocking while a target mailbox is
+    /// Routes `msg` to its shard(s), blocking while a target lane is
     /// full — the backpressure path for closed-loop clients. Equivalent
-    /// to a one-element [`SvcHandle::send_batch`].
+    /// to a one-element [`SvcHandle::send_batch`]: a single-destination
+    /// message costs one routing hash, one lock-free ring publish, and
+    /// one doorbell ring.
     pub fn send(&self, from: ClientId, msg: ToServer<R, D>) -> Result<(), SvcError> {
         self.send_at(from, msg, None)
     }
@@ -357,26 +468,24 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
         msg: ToServer<R, D>,
         deadline: Option<Time>,
     ) -> Result<(), SvcError> {
-        let n = self.txs.len();
+        let n = self.shards();
         match route_single(msg, n) {
-            Ok((s, msg)) => self.txs[s]
-                .send(ShardMsg::Input {
+            Ok((s, msg)) => self.lane_push(
+                s,
+                ShardMsg::Input {
                     input: ServerInput::Msg { from, msg },
                     deadline,
-                })
-                .map_err(|_| SvcError::Closed),
+                },
+            ),
             Err(msg) => {
                 // A splitting message (batched extension, multi-resource
                 // renew): stage it like a one-element batch.
                 let mut staged: Vec<Vec<ShardMsg<R, D>>> = (0..n).map(|_| Vec::new()).collect();
                 route_into(from, msg, deadline, n, &mut staged);
                 for (s, stage) in staged.iter_mut().enumerate() {
-                    if stage.is_empty() {
-                        continue;
+                    if !stage.is_empty() {
+                        self.lane_push_all(s, stage)?;
                     }
-                    self.txs[s]
-                        .send_many(stage.drain(..))
-                        .map_err(|_| SvcError::Closed)?;
                 }
                 Ok(())
             }
@@ -384,7 +493,7 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
     }
 
     /// Like [`SvcHandle::send`] but refuses instead of blocking when a
-    /// mailbox is full. A split message may be partially delivered before
+    /// lane is full. A split message may be partially delivered before
     /// the refusal; that is safe because the client retransmits the whole
     /// request and the server deduplicates.
     pub fn try_send(&self, from: ClientId, msg: ToServer<R, D>) -> Result<(), SvcError> {
@@ -399,26 +508,21 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
         msg: ToServer<R, D>,
         deadline: Option<Time>,
     ) -> Result<(), SvcError> {
-        let n = self.txs.len();
+        let n = self.shards();
         match route_single(msg, n) {
-            Ok((s, msg)) => self.txs[s]
-                .try_send(ShardMsg::Input {
+            Ok((s, msg)) => self.lane_try_push(
+                s,
+                ShardMsg::Input {
                     input: ServerInput::Msg { from, msg },
                     deadline,
-                })
-                .map_err(|e| match e {
-                    TrySendError::Full(_) => SvcError::Backpressure,
-                    TrySendError::Disconnected(_) => SvcError::Closed,
-                }),
+                },
+            ),
             Err(msg) => {
                 let mut staged: Vec<Vec<ShardMsg<R, D>>> = (0..n).map(|_| Vec::new()).collect();
                 route_into(from, msg, deadline, n, &mut staged);
                 for (s, stage) in staged.iter_mut().enumerate() {
                     for m in stage.drain(..) {
-                        self.txs[s].try_send(m).map_err(|e| match e {
-                            TrySendError::Full(_) => SvcError::Backpressure,
-                            TrySendError::Disconnected(_) => SvcError::Closed,
-                        })?;
+                        self.lane_try_push(s, m)?;
                     }
                 }
                 Ok(())
@@ -426,24 +530,25 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
         }
     }
 
-    /// Submits every message in `buf`, blocking while target mailboxes
-    /// are full. One routing pass groups the batch by destination shard;
-    /// each touched shard then receives its whole sub-batch in a single
-    /// mailbox push, so N messages cost `O(touched shards)` channel
-    /// rounds instead of `O(N)`.
+    /// Submits every message in `buf`, blocking while target lanes are
+    /// full. One routing pass pre-sorts the batch by destination shard
+    /// (shard-affine batching); each touched shard then receives its
+    /// whole sub-batch as one contiguous pre-routed run — a single ring
+    /// publish and at most one doorbell ring per touched shard — so N
+    /// messages cost `O(touched shards)` wakes instead of `O(N)`.
     ///
     /// On success the buffer is left empty (allocations retained). On
     /// [`SvcError::Closed`] undelivered messages are dropped — the
     /// service is gone and nothing will answer them.
     pub fn send_batch(&self, buf: &mut BatchBuf<R, D>) -> Result<(), SvcError> {
-        let n = self.txs.len();
+        let n = self.shards();
         buf.stage(n, None);
         let mut closed = false;
         for (s, stage) in buf.staged.iter_mut().enumerate() {
             if stage.is_empty() {
                 continue;
             }
-            if self.txs[s].send_many(stage.drain(..)).is_err() {
+            if self.lane_push_all(s, stage).is_err() {
                 closed = true;
             }
         }
@@ -483,7 +588,7 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
         buf: &mut BatchBuf<R, D>,
         now: Option<Time>,
     ) -> Result<usize, SvcError> {
-        let n = self.txs.len();
+        let n = self.shards();
         buf.stage(n, now);
         let mut accepted = 0;
         let mut closed = false;
@@ -491,9 +596,12 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
             if stage.is_empty() {
                 continue;
             }
-            match self.txs[s].try_send_many(stage) {
-                Ok(k) => accepted += k,
-                Err(_) => closed = true,
+            let k = self.lanes[s].push_from(stage);
+            if k > 0 {
+                self.wake(s);
+                accepted += k;
+            } else if self.lanes[s].is_closed() {
+                closed = true;
             }
         }
         buf.unstage_refused();
@@ -505,24 +613,84 @@ impl<R: Resource, D: Clone> SvcHandle<R, D> {
 
     /// An administrative write originating at the server (install, §4).
     pub fn local_write(&self, resource: R, data: D) -> Result<(), SvcError> {
-        let s = shard_of(&resource, self.txs.len());
-        self.txs[s]
-            .send(ShardMsg::Input {
+        let s = shard_of(&resource, self.shards());
+        self.lane_push(
+            s,
+            ShardMsg::Input {
                 input: ServerInput::LocalWrite { resource, data },
                 deadline: None,
-            })
-            .map_err(|_| SvcError::Closed)
+            },
+        )
     }
 
     /// Fault injection: panic shard `shard`'s worker. The supervisor
     /// catches the panic and restarts the shard through §5 MaxTerm
     /// recovery, so this models a server crash, not a shutdown.
+    ///
+    /// The kill travels through **this handle's lane**, so it is ordered
+    /// after everything this handle already submitted: chaos plans that
+    /// interleave kills with traffic from the same producer replay
+    /// identically on the ring ingress (the crash boundary stays
+    /// message-aligned — see the shard worker's stash).
     pub fn kill_shard(&self, shard: usize) -> Result<(), SvcError> {
-        self.txs
+        if shard >= self.shards() {
+            return Err(SvcError::ShardDown(shard));
+        }
+        self.lane_push(shard, ShardMsg::Kill)
+    }
+
+    /// Routes `msg` through the **cold path** — the original
+    /// shim-crossbeam control channel — instead of this handle's lanes.
+    ///
+    /// One shared FIFO, a mutex acquisition per send, a condvar signal
+    /// per wake: the pre-ring ingress, kept alive as the executable spec
+    /// the ring path is property-tested against (`batch_equiv`) and for
+    /// callers that must not touch the per-producer lanes (e.g. a
+    /// chaos-delay thread holding a borrowed handle's clone would
+    /// otherwise register a ring pair per delayed message).
+    pub fn send_cold(&self, from: ClientId, msg: ToServer<R, D>) -> Result<(), SvcError> {
+        let n = self.shards();
+        match route_single(msg, n) {
+            Ok((s, msg)) => {
+                self.shared.txs[s]
+                    .send(ShardMsg::Input {
+                        input: ServerInput::Msg { from, msg },
+                        deadline: None,
+                    })
+                    .map_err(|_| SvcError::Closed)?;
+                self.wake(s);
+                Ok(())
+            }
+            Err(msg) => {
+                let mut staged: Vec<Vec<ShardMsg<R, D>>> = (0..n).map(|_| Vec::new()).collect();
+                route_into(from, msg, None, n, &mut staged);
+                for (s, stage) in staged.iter_mut().enumerate() {
+                    if stage.is_empty() {
+                        continue;
+                    }
+                    self.shared.txs[s]
+                        .send_many(stage.drain(..))
+                        .map_err(|_| SvcError::Closed)?;
+                    self.wake(s);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// [`SvcHandle::kill_shard`] over the cold path: the kill is ordered
+    /// against [`SvcHandle::send_cold`] traffic (control-channel FIFO),
+    /// not against this handle's lanes. The spec half of the ring-vs-shim
+    /// equivalence tests uses this.
+    pub fn kill_shard_cold(&self, shard: usize) -> Result<(), SvcError> {
+        self.shared
+            .txs
             .get(shard)
             .ok_or(SvcError::ShardDown(shard))?
             .send(ShardMsg::Kill)
-            .map_err(|_| SvcError::Closed)
+            .map_err(|_| SvcError::Closed)?;
+        self.wake(shard);
+        Ok(())
     }
 }
 
@@ -693,6 +861,16 @@ impl<R: Resource, D: Clone + Send + 'static> LeaseService<R, D> {
         F: Fn(usize) -> (LeaseServer<R, D>, Box<dyn Storage<R, D> + Send>) + Send + Sync + 'static,
     {
         assert!(cfg.shards >= 1, "a service needs at least one shard");
+        // On a single hardware thread, spin-waiting is provably useless:
+        // the producer cannot run while this worker spins, so no poll can
+        // ever observe a new publish — parking immediately hands the core
+        // to whoever has work. Spin only buys latency when another core
+        // can publish concurrently.
+        let spin = if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+            cfg.spin
+        } else {
+            0
+        };
         let clock: Arc<dyn Clock> = hooks
             .clock
             .clone()
@@ -702,17 +880,21 @@ impl<R: Resource, D: Clone + Send + 'static> LeaseService<R, D> {
             .map(|_| Arc::new(AtomicU64::new(0)))
             .collect();
         let mut txs = Vec::with_capacity(cfg.shards);
+        let mut ingress = Vec::with_capacity(cfg.shards);
         let mut threads = Vec::with_capacity(cfg.shards);
         for (i, shard_restarts) in restarts.iter().enumerate() {
             let (tx, rx) = bounded(cfg.mailbox.max(1));
+            let ing = Arc::new(ShardIngress::new());
             let ctx = ShardCtx {
                 index: i as u64,
                 nshards: cfg.shards as u64,
                 batch: cfg.batch.max(1),
                 tick: cfg.wheel_tick,
                 idle_wait: cfg.idle_wait,
-                spin: cfg.spin,
+                spin,
                 mailbox: cfg.mailbox.max(1),
+                ingress: ing.clone(),
+                pin: cfg.pin,
                 admission: cfg.admission,
                 slow: cfg.slow_shard.and_then(|(s, d)| (s == i).then_some(d)),
                 sink: sink.clone(),
@@ -724,9 +906,18 @@ impl<R: Resource, D: Clone + Send + 'static> LeaseService<R, D> {
             };
             threads.push(spawn_shard(rx, ctx));
             txs.push(tx);
+            ingress.push(ing);
         }
+        let shared = Arc::new(HandleShared {
+            txs: txs.into(),
+            ingress: ingress.into(),
+            // Each producer lane gets the mailbox's capacity: the knob
+            // keeps its meaning as "how much one submitter may have in
+            // flight per shard before backpressure".
+            lane_cap: cfg.mailbox.max(1),
+        });
         LeaseService {
-            handle: SvcHandle { txs: txs.into() },
+            handle: SvcHandle::attach(shared),
             threads,
             restarts,
         }
@@ -753,11 +944,16 @@ impl<R: Resource, D: Clone + Send + 'static> LeaseService<R, D> {
     /// successful snapshot also means every reply to earlier-submitted
     /// input has left the service.
     pub fn stats(&self) -> Result<SvcStats, SvcError> {
-        let mut replies = Vec::with_capacity(self.handle.txs.len());
-        for (i, tx) in self.handle.txs.iter().enumerate() {
+        let shared = &self.handle.shared;
+        let mut replies = Vec::with_capacity(shared.txs.len());
+        for (i, tx) in shared.txs.iter().enumerate() {
             let (stx, srx) = bounded(1);
-            tx.send(ShardMsg::Stats(stx))
-                .map_err(|_| SvcError::ShardDown(i))?;
+            tx.send(ShardMsg::Stats {
+                reply: stx,
+                barriered: false,
+            })
+            .map_err(|_| SvcError::ShardDown(i))?;
+            shared.ingress[i].bell.ring();
             replies.push(srx);
         }
         let deadline = Instant::now() + std::time::Duration::from_secs(5);
@@ -786,8 +982,10 @@ impl<R: Resource, D: Clone + Send + 'static> LeaseService<R, D> {
 
     /// Stops every shard worker and waits for them.
     pub fn shutdown(mut self) {
-        for tx in self.handle.txs.iter() {
+        let shared = &self.handle.shared;
+        for (i, tx) in shared.txs.iter().enumerate() {
             let _ = tx.send(ShardMsg::Shutdown);
+            shared.ingress[i].bell.ring();
         }
         for t in self.threads.drain(..) {
             let _ = t.join();

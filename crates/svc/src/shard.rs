@@ -1,20 +1,27 @@
 //! One shard worker: a supervised thread owning a slice of the lease table.
 //!
 //! Each worker runs an unmodified `lease-core` [`LeaseServer`] over the
-//! resources that hash to its shard. It drains its mailbox in batches (one
-//! wakeup amortizes many grants/extends/approvals), accumulates every
-//! reply those inputs and the timer advance produce into an outbox that
-//! leaves through a single [`ClientSink::deliver_batch`] call per wakeup,
+//! resources that hash to its shard. Input arrives on two paths: the hot
+//! path is a set of per-producer SPSC ring *lanes* (one per live
+//! [`crate::SvcHandle`], adopted through [`ShardIngress`] and drained
+//! round-robin with pure atomic loads), the cold path is the original
+//! shim-crossbeam control channel (stats, shutdown, `send_cold`). The
+//! worker gathers both into one batch per wakeup (control first, so it
+//! cannot starve behind saturated lanes), accumulates every reply those
+//! inputs and the timer advance produce into an outbox that leaves
+//! through a single [`ClientSink::deliver_batch`] call per wakeup,
 //! drives the core's timers and the table's expiry pruning from a
 //! hierarchical [`TimerWheel`], and rewrites write ids on outbound
 //! approval requests so that approvals can be routed back to the owning
 //! shard from anywhere.
 //!
 //! Between batches the worker parks *adaptively*: after a non-empty drain
-//! it polls the mailbox up to `SvcConfig::spin` times (`try_recv` with a
-//! spin-loop hint) before falling back to the timed condvar park, so a
-//! loaded shard picks up its next batch without a futex round trip while
-//! an idle shard sleeps exactly as before.
+//! it polls its lanes up to `SvcConfig::spin` times (lock-free `Acquire`
+//! loads with a spin-loop hint) before falling back to a timed park on
+//! the shard's [`lease_core::ring::Doorbell`]. The eventcount ticket is
+//! taken before the last poll, so a producer's publish-then-ring can
+//! never fall between the worker's final look and its sleep — the
+//! lost-wakeup hole a bare spin-then-park would have.
 //!
 //! # Supervision
 //!
@@ -39,12 +46,13 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use lease_clock::{Clock, Dur, Time};
+use lease_core::ring::{Consumer, Doorbell};
 use lease_core::{
     ClientId, ErrorReason, LeaseServer, Resource, ServerCounters, ServerInput, ServerOutput,
     ServerTimer, Storage, ToClient, ToServer, WriteId,
@@ -78,11 +86,77 @@ pub(crate) enum ShardMsg<R, D> {
         deadline: Option<Time>,
     },
     /// Snapshot this shard's counters.
-    Stats(Sender<ServerCounters>),
+    Stats {
+        /// Where to send the snapshot.
+        reply: Sender<ServerCounters>,
+        /// Set once the worker has run the ring barrier for this request
+        /// (drained and re-queued everything published before it), so a
+        /// re-queued stats request is answered instead of re-barriered.
+        barriered: bool,
+    },
     /// Chaos injection: panic the worker; the supervisor restarts it.
     Kill,
     /// Stop the worker.
     Shutdown,
+}
+
+/// The ingress side of one shard, shared between the worker and every
+/// [`crate::SvcHandle`]: the doorbell the worker parks on, plus the
+/// hand-off point where freshly cloned handles deposit the consumer end
+/// of their per-producer SPSC lane for the worker to adopt.
+pub(crate) struct ShardIngress<R, D> {
+    /// The eventcount every producer rings after publishing (to a lane
+    /// or to the control channel) and the worker parks on.
+    pub bell: Doorbell,
+    /// Consumer ends registered by handle clones, awaiting adoption.
+    pending: Mutex<Vec<Consumer<ShardMsg<R, D>>>>,
+    /// Lock-free "pending is non-empty" flag, so the worker's hot loop
+    /// never touches the mutex when nothing registered.
+    has_pending: AtomicBool,
+    /// Set when the worker exits for good: late registrations are
+    /// dropped on the spot so their producers observe `Closed` instead
+    /// of blocking forever on a lane nobody will ever drain.
+    closed: AtomicBool,
+}
+
+impl<R, D> ShardIngress<R, D> {
+    pub(crate) fn new() -> ShardIngress<R, D> {
+        ShardIngress {
+            bell: Doorbell::new(),
+            pending: Mutex::new(Vec::new()),
+            has_pending: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Deposits a fresh lane's consumer end for the worker to adopt.
+    pub(crate) fn register(&self, rx: Consumer<ShardMsg<R, D>>) {
+        {
+            let mut p = self.pending.lock().expect("ingress mutex poisoned");
+            if self.closed.load(Ordering::Relaxed) {
+                return; // rx drops here; the producer sees Closed.
+            }
+            p.push(rx);
+            self.has_pending.store(true, Ordering::Release);
+        }
+        self.bell.ring();
+    }
+
+    /// Moves every pending consumer into the worker's adopted set.
+    fn adopt_into(&self, lanes: &mut Vec<Consumer<ShardMsg<R, D>>>) {
+        if self.has_pending.swap(false, Ordering::Acquire) {
+            let mut p = self.pending.lock().expect("ingress mutex poisoned");
+            lanes.append(&mut p);
+        }
+    }
+
+    /// Marks the shard gone and drops any not-yet-adopted consumers, so
+    /// their producers observe `Closed`.
+    fn close(&self) {
+        let mut p = self.pending.lock().expect("ingress mutex poisoned");
+        self.closed.store(true, Ordering::Relaxed);
+        p.clear();
+    }
 }
 
 /// The timer-wheel key space of one shard.
@@ -124,6 +198,10 @@ pub(crate) struct ShardCtx<R: Resource, D> {
     pub spin: usize,
     /// Mailbox capacity, for computing occupancy (admission pressure).
     pub mailbox: usize,
+    /// Doorbell + lane hand-off shared with every handle.
+    pub ingress: Arc<ShardIngress<R, D>>,
+    /// Pin this worker to core `base + index` (best effort, Linux).
+    pub pin: Option<usize>,
     /// Watermark-driven shedding; `None` processes everything.
     pub admission: Option<AdmissionControl>,
     /// Chaos: sleep this long after every *processed* input (shed or
@@ -141,7 +219,7 @@ pub(crate) struct ShardCtx<R: Resource, D> {
     /// Keeps the kill's crash boundary message-aligned no matter how the
     /// mailbox was chunked into batches; organic panics don't use it — a
     /// real crash may lose its in-flight batch.
-    pub stash: std::sync::Mutex<Vec<ShardMsg<R, D>>>,
+    pub stash: Mutex<Vec<ShardMsg<R, D>>>,
 }
 
 /// Rewrites a shard-local write id into the service-global namespace
@@ -228,28 +306,62 @@ enum Exit {
     Disconnected,
 }
 
-/// Bounded hot-poll of the mailbox: up to `budget` `try_recv`s separated
-/// by spin-loop hints. A shard under sustained load picks up its next
-/// batch here without ever touching the futex under the channel's
-/// condvar; when the budget expires the caller falls back to the timed
-/// park. `Err(())` means every sender is gone.
-fn spin_recv<R, D>(
+/// Non-blocking drain of the cold/control channel (stats, shutdown,
+/// `send_cold` traffic) into `batch`, capped at `max` total batch
+/// entries. `Err(())` means every control sender is gone.
+fn drain_control<R, D>(
     rx: &Receiver<ShardMsg<R, D>>,
-    budget: usize,
-) -> Result<Option<ShardMsg<R, D>>, ()> {
-    for _ in 0..budget {
+    batch: &mut Vec<ShardMsg<R, D>>,
+    max: usize,
+) -> Result<(), ()> {
+    while batch.len() < max {
         match rx.try_recv() {
-            Ok(m) => return Ok(Some(m)),
-            Err(TryRecvError::Empty) => std::hint::spin_loop(),
+            Ok(m) => batch.push(m),
+            Err(TryRecvError::Empty) => return Ok(()),
             Err(TryRecvError::Disconnected) => return Err(()),
         }
     }
-    Ok(None)
+    Ok(())
+}
+
+/// One round-robin sweep over the adopted lanes, draining each into
+/// `batch` up to the cap. The starting lane rotates sweep to sweep so a
+/// chatty producer cannot starve the others. Returns how many messages
+/// were taken; every poll is a couple of `Acquire` loads — no lock, no
+/// syscall — which is what makes the hot spin affordable.
+fn drain_lanes<R, D>(
+    lanes: &[Consumer<ShardMsg<R, D>>],
+    rr: &mut usize,
+    batch: &mut Vec<ShardMsg<R, D>>,
+    max: usize,
+) -> usize {
+    let k = lanes.len();
+    if k == 0 {
+        return 0;
+    }
+    let start = *rr % k;
+    *rr = (start + 1) % k;
+    let mut got = 0;
+    for j in 0..k {
+        if batch.len() >= max {
+            break;
+        }
+        got += lanes[(start + j) % k].drain_into(batch, max - batch.len());
+    }
+    got
 }
 
 /// One incarnation of the worker: runs until shutdown, disconnect, or
-/// panic.
-fn run<R, D>(rx: &Receiver<ShardMsg<R, D>>, ctx: &ShardCtx<R, D>, epoch: u64) -> Exit
+/// panic. `lanes` (the adopted per-producer ring consumers) and `rr`
+/// (the round-robin cursor) live in the supervisor so queued ring
+/// traffic survives a crash exactly like the control mailbox does.
+fn run<R, D>(
+    rx: &Receiver<ShardMsg<R, D>>,
+    ctx: &ShardCtx<R, D>,
+    lanes: &mut Vec<Consumer<ShardMsg<R, D>>>,
+    rr: &mut usize,
+    epoch: u64,
+) -> Exit
 where
     R: Resource,
     D: Clone + Send + 'static,
@@ -310,48 +422,70 @@ where
             outbox.clear(); // In case a custom sink did not drain fully.
         }
 
-        // Wait for input (unless a replayed stash is already pending):
-        // spin briefly while hot, then park until the next wheel
-        // deadline (capped).
+        // Gather input (unless a replayed stash is already pending).
+        // Ticket first, then poll: any publish after a poll bumps the
+        // ticket and makes the park below return immediately, so a
+        // producer's publish-then-ring can never slip between the
+        // worker's last look and its sleep (the lost-wakeup hole a bare
+        // spin-then-park has).
         if batch.is_empty() {
-            let first = match spin_recv(rx, if hot { ctx.spin } else { 0 }) {
-                Err(()) => return Exit::Disconnected,
-                Ok(Some(m)) => Some(m),
-                Ok(None) => {
-                    let wait = std::time::Duration::from(
-                        wheel
-                            .next_deadline()
-                            .map(|at| at.saturating_since(ctx.clock.now()))
-                            .map_or(ctx.idle_wait, |d| d.min(ctx.idle_wait)),
-                    );
-                    match rx.recv_timeout(wait) {
-                        Ok(m) => Some(m),
-                        Err(RecvTimeoutError::Timeout) => None,
-                        Err(RecvTimeoutError::Disconnected) => return Exit::Disconnected,
+            let ticket = ctx.ingress.bell.ticket();
+            ctx.ingress.adopt_into(lanes);
+            lanes.retain(|c| !c.is_disconnected());
+            // Control first: it is rare, low-volume, and must not starve
+            // behind a saturated data path. The per-producer lanes are
+            // drained round-robin behind it.
+            let disconnected = drain_control(rx, &mut batch, ctx.batch).is_err();
+            drain_lanes(lanes, rr, &mut batch, ctx.batch);
+            if batch.is_empty() && hot && ctx.spin > 0 {
+                // Adaptive spin: a loaded shard polls its lanes (pure
+                // Acquire loads — the control mutex is not touched) up
+                // to `spin` times before conceding the park.
+                for _ in 0..ctx.spin {
+                    if drain_lanes(lanes, rr, &mut batch, ctx.batch) > 0 {
+                        break;
                     }
+                    std::hint::spin_loop();
                 }
-            };
-            if let Some(m) = first {
-                // Drain the rest of the batch in one locked sweep.
-                batch.push(m);
-                rx.recv_many(&mut batch, ctx.batch.saturating_sub(1));
+            }
+            if batch.is_empty() {
+                if disconnected {
+                    // Every handle is gone and the lanes are dry.
+                    return Exit::Disconnected;
+                }
+                let wait = std::time::Duration::from(
+                    wheel
+                        .next_deadline()
+                        .map(|at| at.saturating_since(ctx.clock.now()))
+                        .map_or(ctx.idle_wait, |d| d.min(ctx.idle_wait)),
+                );
+                ctx.ingress.bell.wait(ticket, wait);
+                // Woken or timed out either way: loop back through the
+                // wheel advance and re-gather.
             }
         }
         hot = !batch.is_empty();
-        // Admission pressure: mailbox occupancy *behind* this drain —
-        // what is still queued after we took our batch. Fed to the
+        // Admission pressure: occupancy *behind* this drain — what is
+        // still queued (control plus every adopted lane) after we took
+        // our batch, against the nominal mailbox capacity. Fed to the
         // server's term controller every wakeup, so sustained overload
         // degrades granted terms and idle wakeups decay the degradation
         // back out.
-        let occ = rx.len() as f64 / ctx.mailbox as f64;
+        let queued = rx.len() + lanes.iter().map(|c| c.len()).sum::<usize>();
+        let occ = queued as f64 / ctx.mailbox as f64;
         server.set_pressure(occ);
         let shed = ctx.admission.filter(|a| occ >= a.shed_watermark);
         let stats_skip_flush = ctx.admission.is_some_and(|a| occ >= a.stats_watermark);
         {
             // Indexed iteration (with a cheap placeholder swap) so the
-            // Kill arm can move the unprocessed tail into the stash.
-            for i in 0..batch.len() {
+            // Kill arm can move the unprocessed tail into the stash. A
+            // `while` rather than `for`: the Stats barrier may splice a
+            // lane snapshot into the unprocessed tail, growing the batch
+            // mid-iteration.
+            let mut i = 0;
+            while i < batch.len() {
                 let m = std::mem::replace(&mut batch[i], ShardMsg::Kill);
+                i += 1;
                 match m {
                     ShardMsg::Input { input, deadline } => {
                         if deadline.is_some_and(|d| ctx.clock.now() > d) {
@@ -425,15 +559,35 @@ where
                             std::thread::sleep(std::time::Duration::from(d));
                         }
                     }
-                    ShardMsg::Stats(reply) => {
-                        // Flush before answering: a stats reply certifies
-                        // that every reply to earlier input has left the
-                        // service (the barrier `LeaseService::stats`
-                        // documents and the equivalence tests rely on).
-                        // Above the stats watermark the flush barrier is
-                        // skipped — stats are the lowest-priority work and
-                        // must not stall an overloaded drain; the counters
-                        // themselves are still exact.
+                    ShardMsg::Stats { reply, barriered } => {
+                        // The stats barrier: a stats reply certifies that
+                        // every reply to input submitted before the stats
+                        // request has left the service (the contract
+                        // `LeaseService::stats` documents and the
+                        // equivalence tests rely on). The control channel
+                        // orders cold traffic by FIFO, but hot traffic
+                        // rides the per-producer lanes — and this gather
+                        // may already have drained lane messages *behind*
+                        // this request in `batch`. So take a snapshot of
+                        // everything still visible in the lanes, append
+                        // it to the end of the batch, and re-queue the
+                        // request (marked) behind all of it. Above the
+                        // stats watermark both the barrier and the egress
+                        // flush are skipped — stats are the
+                        // lowest-priority work and must not stall an
+                        // overloaded drain; the counters stay exact.
+                        if !stats_skip_flush && !barriered {
+                            ctx.ingress.adopt_into(lanes);
+                            for c in lanes.iter() {
+                                let visible = c.len();
+                                c.drain_into(&mut batch, visible);
+                            }
+                            batch.push(ShardMsg::Stats {
+                                reply,
+                                barriered: true,
+                            });
+                            continue;
+                        }
                         if !stats_skip_flush && !outbox.is_empty() {
                             ctx.sink.deliver_batch(&mut outbox);
                             outbox.clear();
@@ -453,7 +607,7 @@ where
                         if !outbox.is_empty() {
                             ctx.sink.deliver_batch(&mut outbox);
                         }
-                        *ctx.stash.lock().unwrap() = batch.drain(i + 1..).collect();
+                        *ctx.stash.lock().unwrap() = batch.drain(i..).collect();
                         panic!("{INJECTED_KILL}")
                     }
                     ShardMsg::Shutdown => {
@@ -481,9 +635,21 @@ where
     std::thread::Builder::new()
         .name(format!("lease-shard-{}", ctx.index))
         .spawn(move || {
+            if let Some(base) = ctx.pin {
+                lease_core::affinity::pin_to_core(base + ctx.index as usize);
+            }
             let mut epoch: u64 = 0;
+            // Adopted lanes and the round-robin cursor live here, outside
+            // the incarnation, so ring traffic queued at crash time is
+            // replayed by the next incarnation exactly like the control
+            // mailbox (dropping the consumers would instead sever every
+            // live handle).
+            let mut lanes: Vec<Consumer<ShardMsg<R, D>>> = Vec::new();
+            let mut rr: usize = 0;
             loop {
-                match catch_unwind(AssertUnwindSafe(|| run(&rx, &ctx, epoch))) {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    run(&rx, &ctx, &mut lanes, &mut rr, epoch)
+                })) {
                     Ok(Exit::Shutdown) | Ok(Exit::Disconnected) => break,
                     Err(_) => {
                         // Crash: restart on the same mailbox with the next
@@ -498,6 +664,10 @@ where
                     }
                 }
             }
+            // Sever the producers: adopted lanes drop here, and pending
+            // (never-adopted) ones are dropped under the closed flag so a
+            // handle cloned after shutdown cannot block forever.
+            ctx.ingress.close();
         })
         .expect("spawn shard worker")
 }

@@ -1,16 +1,20 @@
-//! Property: batched submission is *observationally equivalent* to
-//! one-by-one submission.
+//! Property: ring-lane submission — one-by-one or batched in arbitrary
+//! chunkings — is *observationally equivalent* to the shim-channel cold
+//! path, which survives as the executable spec of the pre-ring ingress.
 //!
-//! The same op stream pushed through `SvcHandle::send_batch` in
-//! arbitrary chunkings — including with a shard kill/restart injected
-//! mid-stream, possibly mid-batch — must leave the service in the same
-//! observable state as sending each message individually: the same
-//! merged [`ServerCounters`] and the same multiset of delivered
-//! `ToClient` messages. This is the license for every batching layer in
-//! the message path (the router's one-pass staging, the shim channel's
-//! `send_many`, the worker's outbox, the sink's `deliver_batch`):
-//! batching may reorder *between* shards but must preserve each shard's
-//! FIFO and lose nothing.
+//! The same op stream pushed three ways — one-by-one through the cold
+//! path (`send_cold`/`kill_shard_cold`: one shared FIFO, a lock per
+//! send), one-by-one through this handle's SPSC lanes (`send`), and
+//! chunked through shard-affine `send_batch` — including with a shard
+//! kill/restart injected mid-stream, possibly mid-batch — must leave
+//! the service in the same observable state: the same merged
+//! [`ServerCounters`] and the same multiset of delivered `ToClient`
+//! messages. This is the license for the whole ring ingress and every
+//! batching layer in the message path (the router's one-pass staging,
+//! the ring's single-publish `push_from`, the worker's round-robin lane
+//! drain and outbox, the sink's `deliver_batch`): lanes may reorder
+//! *between* shards but must preserve each shard's FIFO and lose
+//! nothing.
 //!
 //! Determinism notes: a fixed [`TermPolicy`](lease_core::TermPolicy)
 //! keeps grant terms constant (terms are relative `Dur`s, not wall
@@ -98,13 +102,23 @@ fn step() -> impl Strategy<Value = Step> {
         })
 }
 
+/// How the stream is submitted to the service.
+#[derive(Clone, Copy)]
+enum Mode<'a> {
+    /// One-by-one over the shim control channel — the executable spec.
+    Cold,
+    /// One-by-one over this handle's SPSC ring lanes.
+    Lanes,
+    /// Shard-affine `send_batch` over the lanes, cut into buffers of
+    /// the given sizes (cycled).
+    Chunked(&'a [usize]),
+}
+
 /// Runs the stream and returns the observable outcome: the merged
 /// counters (as a debug string) and the sorted multiset of delivered
-/// messages. `chunks` of `None` sends one-by-one; otherwise the stream
-/// is cut into buffers of the given sizes (cycled) and each buffer goes
-/// through `send_batch`. A kill always flushes the open buffer first so
-/// it lands at the same per-shard stream position in every chunking.
-fn run(steps: &[Step], chunks: Option<&[usize]>) -> (String, Vec<String>) {
+/// messages. A kill always flushes the open buffer first so it lands
+/// at the same per-shard stream position in every mode.
+fn run(steps: &[Step], mode: Mode<'_>) -> (String, Vec<String>) {
     let (tx, rx) = unbounded();
     let svc = LeaseService::spawn(
         SvcConfig {
@@ -125,8 +139,16 @@ fn run(steps: &[Step], chunks: Option<&[usize]>) -> (String, Vec<String>) {
         },
     );
     let h = svc.handle();
-    match chunks {
-        None => {
+    match mode {
+        Mode::Cold => {
+            for s in steps {
+                match s {
+                    Step::Msg(from, msg) => h.send_cold(*from, msg.clone()).unwrap(),
+                    Step::Kill(shard) => h.kill_shard_cold(*shard).unwrap(),
+                }
+            }
+        }
+        Mode::Lanes => {
             for s in steps {
                 match s {
                     Step::Msg(from, msg) => h.send(*from, msg.clone()).unwrap(),
@@ -134,7 +156,7 @@ fn run(steps: &[Step], chunks: Option<&[usize]>) -> (String, Vec<String>) {
                 }
             }
         }
-        Some(chunks) => {
+        Mode::Chunked(chunks) => {
             let mut buf: BatchBuf<u64, u64> = BatchBuf::new();
             let mut sizes = chunks.iter().cycle();
             let mut goal = *sizes.next().unwrap();
@@ -173,20 +195,24 @@ fn run(steps: &[Step], chunks: Option<&[usize]>) -> (String, Vec<String>) {
 
 proptest! {
     #[test]
-    fn chunked_batches_match_one_by_one(
+    fn ring_lanes_match_the_shim_spec(
         steps in proptest::collection::vec(step(), 1..48),
         chunks in proptest::collection::vec(1usize..9, 1..6),
         kill in proptest::option::of((0usize..48, 0usize..SHARDS)),
     ) {
-        // Inject the kill (if any) at its stream position in *both* runs.
+        // Inject the kill (if any) at its stream position in *all* runs.
         let mut steps = steps;
         if let Some((at, shard)) = kill {
             steps.insert(at.min(steps.len()), Step::Kill(shard));
         }
-        let (base_counters, base_msgs) = run(&steps, None);
-        let (chunk_counters, chunk_msgs) = run(&steps, Some(&chunks));
-        prop_assert_eq!(&base_counters, &chunk_counters);
-        prop_assert_eq!(base_msgs.len(), chunk_msgs.len());
-        prop_assert_eq!(base_msgs, chunk_msgs);
+        let (spec_counters, spec_msgs) = run(&steps, Mode::Cold);
+        let (lane_counters, lane_msgs) = run(&steps, Mode::Lanes);
+        let (chunk_counters, chunk_msgs) = run(&steps, Mode::Chunked(&chunks));
+        prop_assert_eq!(&spec_counters, &lane_counters);
+        prop_assert_eq!(&spec_counters, &chunk_counters);
+        prop_assert_eq!(spec_msgs.len(), lane_msgs.len());
+        prop_assert_eq!(&spec_msgs, &lane_msgs);
+        prop_assert_eq!(spec_msgs.len(), chunk_msgs.len());
+        prop_assert_eq!(&spec_msgs, &chunk_msgs);
     }
 }

@@ -4,9 +4,11 @@
 //!
 //! Supported grammar — which is exactly what this workspace uses:
 //! non-generic `struct`s (named, tuple, unit) and non-generic `enum`s
-//! (unit, tuple, and struct variants), with `#[serde(skip)]` honoured on
-//! named struct fields. Anything else panics with a clear message rather
-//! than silently generating wrong code.
+//! (unit, tuple, and struct variants). On named struct fields the shim
+//! honours `#[serde(skip)]`, `#[serde(default)]` (absent field → `Default`
+//! on deserialize), and `#[serde(skip_serializing_if = "Option::is_none")]`
+//! (the only supported predicate). Anything else panics with a clear
+//! message rather than silently generating wrong code.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -30,9 +32,20 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 // ---------------------------------------------------------------- model --
 
+#[derive(Default, Clone, Copy)]
+struct FieldAttrs {
+    /// `#[serde(skip)]`: never serialized, rebuilt with `Default`.
+    skip: bool,
+    /// `#[serde(default)]`: absent in the input → `Default::default()`.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "Option::is_none")]`: omitted from
+    /// the output map when `None`.
+    skip_if_none: bool,
+}
+
 struct Field {
     name: String,
-    skip: bool,
+    attrs: FieldAttrs,
 }
 
 enum Body {
@@ -98,14 +111,14 @@ fn parse_item(input: TokenStream) -> Item {
 }
 
 /// Advances past attributes (`#[...]`) and a visibility qualifier; returns
-/// whether any skipped attribute was `#[serde(skip)]`.
-fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> bool {
-    let mut skip = false;
+/// the recognised `#[serde(...)]` field attributes.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     loop {
         match toks.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
-                    skip |= attr_is_serde_skip(g.stream());
+                    parse_serde_attr(g.stream(), &mut attrs);
                 }
                 *i += 2;
             }
@@ -117,19 +130,56 @@ fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> bool {
                     }
                 }
             }
-            _ => return skip,
+            _ => return attrs,
         }
     }
 }
 
-fn attr_is_serde_skip(attr: TokenStream) -> bool {
+/// Folds one `#[serde(...)]` attribute into `attrs`; non-serde attributes
+/// (doc comments, `#[allow]`, ...) are ignored. Unknown serde options
+/// panic — generating code that silently drops them would corrupt data.
+fn parse_serde_attr(attr: TokenStream, attrs: &mut FieldAttrs) {
     let toks: Vec<TokenTree> = attr.into_iter().collect();
-    match (toks.first(), toks.get(1)) {
-        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
-        _ => false,
+    let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) = (toks.first(), toks.get(1))
+    else {
+        return;
+    };
+    if id.to_string() != "serde" {
+        return;
+    }
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut k = 0;
+    while k < inner.len() {
+        match &inner[k] {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "skip" => attrs.skip = true,
+                "default" => attrs.default = true,
+                "skip_serializing_if" => {
+                    let lit = match (inner.get(k + 1), inner.get(k + 2)) {
+                        (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(l)))
+                            if p.as_char() == '=' =>
+                        {
+                            l.to_string()
+                        }
+                        other => panic!(
+                            "serde shim: skip_serializing_if needs `= \"predicate\"`, got {other:?}"
+                        ),
+                    };
+                    if lit != "\"Option::is_none\"" {
+                        panic!(
+                            "serde shim: only skip_serializing_if = \"Option::is_none\" \
+                             is supported, got {lit}"
+                        );
+                    }
+                    attrs.skip_if_none = true;
+                    k += 2;
+                }
+                other => panic!("serde shim: unsupported serde field attribute `{other}`"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde shim: unexpected token in serde attribute: {other:?}"),
+        }
+        k += 1;
     }
 }
 
@@ -163,7 +213,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut i = 0;
     let mut fields = Vec::new();
     while i < toks.len() {
-        let skip = skip_attrs_and_vis(&toks, &mut i);
+        let attrs = skip_attrs_and_vis(&toks, &mut i);
         let Some(name) = ident_at(&toks, &mut i) else {
             panic!("expected field name, got {:?}", toks.get(i));
         };
@@ -173,7 +223,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
         }
         skip_to_comma(&toks, &mut i);
         i += 1; // the comma (or one past the end)
-        fields.push(Field { name, skip });
+        fields.push(Field { name, attrs });
     }
     fields
 }
@@ -282,15 +332,21 @@ fn gen_serialize(item: &Item) -> String {
 }
 
 fn named_to_map(fields: &[Field], access: impl Fn(&str) -> String) -> String {
-    let mut src = String::from("serde::Value::Map(vec![");
-    for f in fields.iter().filter(|f| !f.skip) {
+    let mut src = String::from("{ let mut __m: Vec<(String, serde::Value)> = Vec::new();\n");
+    for f in fields.iter().filter(|f| !f.attrs.skip) {
         let a = access(&f.name);
-        src.push_str(&format!(
-            "(\"{}\".to_string(), serde::Serialize::to_value({a})),",
+        let push = format!(
+            "__m.push((\"{}\".to_string(), serde::Serialize::to_value({a})));",
             f.name
-        ));
+        );
+        if f.attrs.skip_if_none {
+            src.push_str(&format!("if !Option::is_none({a}) {{ {push} }}\n"));
+        } else {
+            src.push_str(&push);
+            src.push('\n');
+        }
     }
-    src.push_str("])");
+    src.push_str("serde::Value::Map(__m) }");
     src
 }
 
@@ -402,8 +458,18 @@ fn gen_deserialize(item: &Item) -> String {
 fn named_from_map(ctx: &str, fields: &[Field], src: &str) -> String {
     let mut out = String::new();
     for f in fields {
-        if f.skip {
+        if f.attrs.skip {
             out.push_str(&format!("{}: ::core::default::Default::default(),", f.name));
+        } else if f.attrs.default || f.attrs.skip_if_none {
+            // A field its own serializer may omit must tolerate absence
+            // too, or the shim could not round-trip its own output.
+            out.push_str(&format!(
+                "{}: match {src}.get(\"{}\") {{\n\
+                     Some(__f) => serde::Deserialize::from_value(__f)?,\n\
+                     None => ::core::default::Default::default(),\n\
+                 }},",
+                f.name, f.name
+            ));
         } else {
             out.push_str(&format!(
                 "{}: serde::Deserialize::from_value({src}.get(\"{}\").ok_or_else(|| \
