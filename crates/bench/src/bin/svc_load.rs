@@ -14,6 +14,14 @@
 //!   `batch × 2 × shards` ops in flight — the throughput path the
 //!   sharded service is built around.
 //!
+//! Each closed-loop configuration runs twice: once with replies on
+//! per-client channels (`egress=channel`, the pre-ring reply path kept
+//! as the executable baseline) and once over per-(shard→client) SPSC
+//! ring lanes with coalesced doorbells (`egress=ring`, the hot path).
+//! Ring rows also record **wakes/op** — futex-backed doorbell wakeups
+//! per completed op — the figure the coalesced flush is built to
+//! collapse.
+//!
 //! It reports sustained ops/sec, grants/sec and p50/p95/p99 op latency
 //! per row. Results are written to `BENCH_svc.json` so future PRs can
 //! diff the sweep against a recorded baseline, and `--check PATH` turns
@@ -29,12 +37,12 @@
 //! | `LEASE_LOAD_SHARDS`  | comma-separated shard counts         | 1,2,4,8   |
 //! | `LEASE_LOAD_BATCH`   | client batch size for batched rows   | 32        |
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use lease_bench::percentile;
 use lease_bench::sweep::{parse_threads, pin_to_core};
 use lease_clock::Dur;
@@ -42,7 +50,8 @@ use lease_core::{
     ClientId, LeaseServer, MemStorage, ReqId, ServerConfig, Storage, ToClient, ToServer,
 };
 use lease_svc::{
-    BatchBuf, ClientSink, FaultPlan, LeaseService, OverloadPlan, SvcConfig, SvcHandle, SvcHooks,
+    BatchBuf, ClientSink, Egress, EgressRx, EgressSink, FaultPlan, LeaseService, OverloadPlan,
+    SvcConfig, SvcHandle, SvcHooks,
 };
 
 type R = u64;
@@ -76,11 +85,16 @@ svc_load: closed-loop load generator for the sharded lease service
                   of writing. Fails unless batched ops/s at shards=4
                   beats shards=1, and unless the fresh s4/s1 ratios are
                   within 25% of the baseline's — compared same-mode
-                  (per-op against per-op, batched against batched). On a
-                  host with >= 4 cores the pinned scaling curve must
-                  also show batched s4 >= 2x batched s1; on smaller
-                  hosts that gate is skipped with a visible notice.
-                  One re-measure before failing.
+                  (per-op against per-op, batched against batched,
+                  channel egress against channel, ring against ring; a
+                  mode the baseline never recorded, e.g. a v3 baseline's
+                  missing ring rows, is skipped). On a host with >= 4
+                  cores the pinned scaling curve must also show batched
+                  s4 >= 2x batched s1, and pinned per-op s4 with ring
+                  egress must beat channel egress by at least 75% of the
+                  baseline's recorded ring/channel ratio (and at least
+                  1.0x); on smaller hosts both gates are skipped with a
+                  visible notice. One re-measure before failing.
   --help          this text
 
 Client threads are pinned round-robin across cores (best effort, Linux
@@ -116,6 +130,97 @@ impl ClientSink<R, D> for ChannelSink {
     }
 }
 
+/// Where one client's replies come from: its channel (`egress=channel`)
+/// or its adopted SPSC egress lanes (`egress=ring`). The client loops
+/// are written against this adapter so the two reply paths run the
+/// *same* workload logic; only the transport differs.
+enum Replies {
+    Chan(Receiver<ToClient<R, D>>),
+    Ring {
+        lanes: EgressRx<R, D>,
+        /// Drained-but-undelivered messages (lanes drain in bulk; the
+        /// loops consume one at a time).
+        q: VecDeque<ToClient<R, D>>,
+        scratch: Vec<ToClient<R, D>>,
+        /// Spin briefly before parking (multicore hosts only — on one
+        /// core spinning just steals the shard worker's timeslice).
+        spin: u32,
+    },
+}
+
+impl Replies {
+    fn ring(lanes: EgressRx<R, D>) -> Replies {
+        let multicore = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+        Replies::Ring {
+            lanes,
+            q: VecDeque::new(),
+            scratch: Vec::new(),
+            spin: if multicore { 256 } else { 0 },
+        }
+    }
+
+    /// Blocking receive with a deadline, mirroring
+    /// `Receiver::recv_timeout`: the ring side drains its lanes with the
+    /// ticket-before-final-poll spin-then-park loop and reports
+    /// `Timeout` (lanes cannot disconnect mid-run; the service outlives
+    /// every measuring client).
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<ToClient<R, D>, RecvTimeoutError> {
+        match self {
+            Replies::Chan(rx) => rx.recv_timeout(timeout),
+            Replies::Ring {
+                lanes,
+                q,
+                scratch,
+                spin,
+            } => {
+                if let Some(m) = q.pop_front() {
+                    return Ok(m);
+                }
+                let deadline = Instant::now() + timeout;
+                loop {
+                    let ticket = lanes.bell().ticket();
+                    if lanes.drain_into(scratch, 1024) > 0 {
+                        q.extend(scratch.drain(..));
+                        return Ok(q.pop_front().expect("drained non-empty"));
+                    }
+                    let mut found = false;
+                    for _ in 0..*spin {
+                        if lanes.drain_into(scratch, 1024) > 0 {
+                            found = true;
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    if found {
+                        q.extend(scratch.drain(..));
+                        return Ok(q.pop_front().expect("drained non-empty"));
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                    lanes.bell().wait(ticket, deadline - now);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking receive, mirroring `Receiver::try_recv`.
+    fn try_recv(&mut self) -> Option<ToClient<R, D>> {
+        match self {
+            Replies::Chan(rx) => rx.try_recv().ok(),
+            Replies::Ring {
+                lanes, q, scratch, ..
+            } => {
+                if q.is_empty() && lanes.drain_into(scratch, 1024) > 0 {
+                    q.extend(scratch.drain(..));
+                }
+                q.pop_front()
+            }
+        }
+    }
+}
+
 /// Deterministic per-client LCG so runs are comparable.
 fn rng_seed(id: ClientId) -> u64 {
     0x9e37_79b9_7f4a_7c15 ^ (u64::from(id.0)).wrapping_mul(0xbf58_476d_1ce4_e5b9)
@@ -134,7 +239,7 @@ fn client_loop(
     id: ClientId,
     core: usize,
     handle: SvcHandle<R, D>,
-    rx: Receiver<ToClient<R, D>>,
+    mut replies: Replies,
     files: u64,
     stop: Arc<AtomicBool>,
 ) -> Vec<u64> {
@@ -168,7 +273,7 @@ fn client_loop(
         // callbacks that arrive meanwhile (other clients' writes cannot
         // commit without our approval).
         loop {
-            let m = match rx.recv_timeout(Duration::from_secs(5)) {
+            let m = match replies.recv_timeout(Duration::from_secs(5)) {
                 Ok(m) => m,
                 Err(_) => return latencies,
             };
@@ -195,7 +300,7 @@ fn client_loop(
     let grace = Instant::now();
     while grace.elapsed() < Duration::from_millis(100) {
         if let Ok(ToClient::ApprovalRequest { write_id, .. }) =
-            rx.recv_timeout(Duration::from_millis(20))
+            replies.recv_timeout(Duration::from_millis(20))
         {
             let _ = handle.send(id, ToServer::Approve { write_id });
         }
@@ -214,7 +319,7 @@ fn client_loop_batched(
     id: ClientId,
     core: usize,
     handle: SvcHandle<R, D>,
-    rx: Receiver<ToClient<R, D>>,
+    mut replies: Replies,
     files: u64,
     stop: Arc<AtomicBool>,
     batch: usize,
@@ -274,11 +379,12 @@ fn client_loop_batched(
             return latencies;
         }
         // Drain replies: block for one, then sweep the queue dry.
-        let first = match rx.recv_timeout(Duration::from_millis(if stopping { 20 } else { 5000 })) {
-            Ok(m) => m,
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return latencies,
-        };
+        let first =
+            match replies.recv_timeout(Duration::from_millis(if stopping { 20 } else { 5000 })) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return latencies,
+            };
         let mut next = Some(first);
         while let Some(m) = next {
             match m {
@@ -302,14 +408,14 @@ fn client_loop_batched(
                 }
                 _ => {}
             }
-            next = rx.try_recv().ok();
+            next = replies.try_recv();
         }
     }
     // Grace drain: peers may still be waiting on approvals from us.
     let grace = Instant::now();
     while grace.elapsed() < Duration::from_millis(100) {
         if let Ok(ToClient::ApprovalRequest { write_id, .. }) =
-            rx.recv_timeout(Duration::from_millis(20))
+            replies.recv_timeout(Duration::from_millis(20))
         {
             let _ = handle.send(id, ToServer::Approve { write_id });
         }
@@ -329,7 +435,7 @@ fn client_loop_open(
     id: ClientId,
     core: usize,
     handle: SvcHandle<R, D>,
-    rx: Receiver<ToClient<R, D>>,
+    mut replies: Replies,
     files: u64,
     stop: Arc<AtomicBool>,
     rate: f64,
@@ -369,10 +475,10 @@ fn client_loop_open(
                 if now >= at {
                     break;
                 }
-                match rx.recv_timeout((at - now).min(Duration::from_millis(1))) {
+                match replies.recv_timeout((at - now).min(Duration::from_millis(1))) {
                     Ok(m) => drain_open(&handle, id, m, &mut pending, &mut latencies),
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return latencies,
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return latencies,
                 }
             }
             let resource = (rng_next(&mut rng) >> 33) % files;
@@ -397,10 +503,10 @@ fn client_loop_open(
             }
             continue;
         }
-        match rx.recv_timeout(Duration::from_millis(20)) {
+        match replies.recv_timeout(Duration::from_millis(20)) {
             Ok(m) => drain_open(&handle, id, m, &mut pending, &mut latencies),
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
         }
     }
     latencies
@@ -447,16 +553,30 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// The `egress` tag a pre-v4 baseline row gets when parsed: every row
+/// recorded before the ring reply path existed measured the channel
+/// sink.
+fn default_egress() -> String {
+    "channel".to_string()
+}
+
 /// One row of the sweep, as printed and as recorded in `BENCH_svc.json`.
 /// `batch == 1` rows come from the per-op closed loop; larger batches
-/// from the windowed pipelined loop.
+/// from the windowed pipelined loop. `egress` (new in schema v4) says
+/// which reply path the row measured — v3 baselines parse as
+/// channel-mode rows — and ring rows also record `wakes_per_op`, the
+/// futex-backed doorbell wakeups per completed op.
 #[derive(serde::Serialize, serde::Deserialize)]
 struct SweepRow {
     shards: usize,
     batch: usize,
+    #[serde(default = "default_egress")]
+    egress: String,
     ops: u64,
     ops_per_sec: f64,
     grants_per_sec: f64,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    wakes_per_op: Option<f64>,
     p50_us: u64,
     p95_us: u64,
     p99_us: u64,
@@ -491,7 +611,11 @@ struct SvcBench {
 /// clients (the row is marked `batch = 0`). With `pin`, shard workers
 /// are pinned to cores `0..shards` and clients to the cores after them
 /// (the scaling-curve placement); without it, clients pin round-robin
-/// from core 0 and workers float, as the main sweep always has.
+/// from core 0 and workers float, as the main sweep always has. With
+/// `ring_egress`, replies travel per-client SPSC lanes with coalesced
+/// doorbells instead of the crossbeam channel, and the row records
+/// `wakes_per_op` (sleeper-present doorbell wakes / completed ops).
+#[allow(clippy::too_many_arguments)] // one knob per argument
 fn run_config(
     shards: usize,
     clients: u32,
@@ -500,16 +624,26 @@ fn run_config(
     batch: usize,
     open_loop: Option<f64>,
     pin: bool,
+    ring_egress: bool,
 ) -> SweepRow {
     // Open-loop rows are tagged batch=0 in the sweep output.
     let batch = if open_loop.is_some() { 0 } else { batch };
-    let mut txs = Vec::new();
-    let mut rxs = Vec::new();
-    for _ in 0..clients {
-        let (tx, rx) = unbounded();
-        txs.push(tx);
-        rxs.push(rx);
-    }
+    let egress: Egress<R, D> = Egress::new(clients as usize, 1024);
+    let mut replies: Vec<Replies> = Vec::new();
+    let sink: Arc<dyn lease_svc::ClientSink<R, D>> = if ring_egress {
+        for i in 0..clients as usize {
+            replies.push(Replies::ring(egress.rx(i)));
+        }
+        Arc::new(EgressSink::new(egress.clone()))
+    } else {
+        let mut txs = Vec::new();
+        for _ in 0..clients {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            replies.push(Replies::Chan(rx));
+        }
+        Arc::new(ChannelSink { txs })
+    };
     let base = SvcConfig::default();
     let service = LeaseService::spawn(
         SvcConfig {
@@ -519,7 +653,7 @@ fn run_config(
             pin: pin.then_some(0),
             ..base
         },
-        Arc::new(ChannelSink { txs }),
+        sink,
         SvcHooks::default(),
         move |_| {
             // Every shard preloads the full set; the router only sends a
@@ -537,10 +671,10 @@ fn run_config(
     let handle = service.handle();
     let stop = Arc::new(AtomicBool::new(false));
     let t0 = Instant::now();
-    let workers: Vec<_> = rxs
+    let workers: Vec<_> = replies
         .into_iter()
         .enumerate()
-        .map(|(i, rx)| {
+        .map(|(i, replies)| {
             let handle = handle.clone();
             let stop = stop.clone();
             // Pinned (scaling) runs give workers cores 0..shards and put
@@ -550,11 +684,19 @@ fn run_config(
             std::thread::spawn(move || {
                 let id = ClientId(i as u32);
                 if let Some(rate) = open_loop {
-                    client_loop_open(id, core, handle, rx, files, stop, rate / f64::from(clients))
+                    client_loop_open(
+                        id,
+                        core,
+                        handle,
+                        replies,
+                        files,
+                        stop,
+                        rate / f64::from(clients),
+                    )
                 } else if batch > 1 {
-                    client_loop_batched(id, core, handle, rx, files, stop, batch, shards)
+                    client_loop_batched(id, core, handle, replies, files, stop, batch, shards)
                 } else {
-                    client_loop(id, core, handle, rx, files, stop)
+                    client_loop(id, core, handle, replies, files, stop)
                 }
             })
         })
@@ -572,26 +714,35 @@ fn run_config(
         .unwrap_or_default();
     service.shutdown();
     lats.sort_unstable();
+    let ops = lats.len() as u64;
+    let wakes_per_op = (ring_egress && ops > 0).then(|| egress.wakes() as f64 / ops as f64);
     let row = SweepRow {
         shards,
         batch,
-        ops: lats.len() as u64,
-        ops_per_sec: lats.len() as f64 / elapsed.as_secs_f64(),
+        egress: if ring_egress { "ring" } else { "channel" }.to_string(),
+        ops,
+        ops_per_sec: ops as f64 / elapsed.as_secs_f64(),
         grants_per_sec: grants as f64 / elapsed.as_secs_f64(),
+        wakes_per_op,
         p50_us: percentile(&lats, 0.50) / 1_000,
         p95_us: percentile(&lats, 0.95) / 1_000,
         p99_us: percentile(&lats, 0.99) / 1_000,
     };
     println!(
-        "shards={:<2} batch={:<3} ops={:>8} ops/s={:>8.0} grants/s={:>8.0} p50={:>5}us p95={:>5}us p99={:>5}us{}",
+        "shards={:<2} batch={:<3} egress={:<7} ops={:>8} ops/s={:>8.0} grants/s={:>8.0} p50={:>5}us p95={:>5}us p99={:>5}us{}{}",
         row.shards,
         row.batch,
+        row.egress,
         row.ops,
         row.ops_per_sec,
         row.grants_per_sec,
         row.p50_us,
         row.p95_us,
         row.p99_us,
+        match row.wakes_per_op {
+            Some(w) => format!(" wakes/op={w:.3}"),
+            None => String::new(),
+        },
         if pin { " [pinned]" } else { "" },
     );
     row
@@ -607,9 +758,11 @@ struct Opts {
     open_loop: Option<f64>,
 }
 
-/// Runs the full sweep: a per-op row and a batched row per shard count
-/// (or one open-loop row per shard count in `--open-loop` mode),
-/// followed by the core-pinned scaling curve over `scale_counts`.
+/// Runs the full sweep: per shard count, a per-op and a batched row in
+/// *each* egress mode — channel (the spec path) then ring (the SPSC
+/// lane path) — or one channel open-loop row per shard count in
+/// `--open-loop` mode, followed by the core-pinned scaling curve over
+/// `scale_counts`, again in both egress modes.
 fn measure(o: &Opts) -> SvcBench {
     let mut rows = Vec::new();
     for &s in &o.shard_counts {
@@ -622,12 +775,17 @@ fn measure(o: &Opts) -> SvcBench {
                 0,
                 o.open_loop,
                 false,
+                false,
             ));
         } else {
-            rows.push(run_config(s, o.clients, o.files, o.window, 1, None, false));
-            rows.push(run_config(
-                s, o.clients, o.files, o.window, o.batch, None, false,
-            ));
+            for ring in [false, true] {
+                rows.push(run_config(
+                    s, o.clients, o.files, o.window, 1, None, false, ring,
+                ));
+                rows.push(run_config(
+                    s, o.clients, o.files, o.window, o.batch, None, false, ring,
+                ));
+            }
         }
     }
     let scaling = if o.open_loop.is_none() && !o.scale_counts.is_empty() {
@@ -635,17 +793,21 @@ fn measure(o: &Opts) -> SvcBench {
         println!("scaling curve ({cores} cores, workers pinned 0..s, clients after):");
         let mut rows = Vec::new();
         for &s in &o.scale_counts {
-            rows.push(run_config(s, o.clients, o.files, o.window, 1, None, true));
-            rows.push(run_config(
-                s, o.clients, o.files, o.window, o.batch, None, true,
-            ));
+            for ring in [false, true] {
+                rows.push(run_config(
+                    s, o.clients, o.files, o.window, 1, None, true, ring,
+                ));
+                rows.push(run_config(
+                    s, o.clients, o.files, o.window, o.batch, None, true, ring,
+                ));
+            }
         }
         Some(ScalingCurve { cores, rows })
     } else {
         None
     };
     SvcBench {
-        schema: "lease-bench/BENCH_svc/v3".to_string(),
+        schema: "lease-bench/BENCH_svc/v4".to_string(),
         clients: o.clients,
         files: o.files,
         window_ms: o.window.as_millis() as u64,
@@ -654,34 +816,62 @@ fn measure(o: &Opts) -> SvcBench {
     }
 }
 
-/// Ops/s of the row at `shards` in the given mode (`batched` = true
-/// picks the batch>1 row, false the batch=1 per-op row).
-fn mode_ops(rows: &[SweepRow], shards: usize, batched: bool) -> Option<f64> {
+/// Ops/s of the row at `shards` in the given mode. A mode is the pair
+/// (`batched`, `egress`): batched rows never compare against per-op
+/// rows, and ring rows never compare against channel rows.
+fn mode_ops(rows: &[SweepRow], shards: usize, batched: bool, egress: &str) -> Option<f64> {
     rows.iter()
-        .find(|r| r.shards == shards && (r.batch > 1) == batched)
+        .find(|r| r.shards == shards && (r.batch > 1) == batched && r.egress == egress)
         .map(|r| r.ops_per_sec)
 }
 
 /// The s4/s1 throughput ratio in one mode, when both rows are present.
-fn mode_ratio(rows: &[SweepRow], batched: bool) -> Option<f64> {
-    match (mode_ops(rows, 1, batched), mode_ops(rows, 4, batched)) {
+fn mode_ratio(rows: &[SweepRow], batched: bool, egress: &str) -> Option<f64> {
+    match (
+        mode_ops(rows, 1, batched, egress),
+        mode_ops(rows, 4, batched, egress),
+    ) {
         (Some(s1), Some(s4)) => Some(s4 / s1),
         _ => None,
     }
 }
 
+/// The per-op ring/channel throughput ratio at `shards`, when both rows
+/// are present — the number the egress gate protects.
+fn egress_ratio(rows: &[SweepRow], shards: usize) -> Option<f64> {
+    match (
+        mode_ops(rows, shards, false, "channel"),
+        mode_ops(rows, shards, false, "ring"),
+    ) {
+        (Some(chan), Some(ring)) => Some(ring / chan),
+        _ => None,
+    }
+}
+
 /// The scaling gate. Always: batched throughput at 4 shards must
-/// strictly beat 1 shard, and the fresh s4/s1 ratio in *each* mode must
-/// sit within 25% of the same mode's ratio in the checked-in baseline
-/// (raw ops/s is machine-dependent; the per-mode ratio is what the
-/// ingress is supposed to protect — batched modes are never compared
-/// against per-op modes). On a host with >= 4 cores the pinned scaling
-/// curve must additionally show batched s4 >= 2x batched s1; on smaller
-/// hosts that gate is skipped with a visible notice.
+/// strictly beat 1 shard (ring rows preferred, channel rows otherwise),
+/// and the fresh s4/s1 ratio in *each* mode must sit within 25% of the
+/// same mode's ratio in the checked-in baseline (raw ops/s is
+/// machine-dependent; the per-mode ratio is what the ingress and egress
+/// paths are supposed to protect). A mode is (batch class, egress):
+/// batched never compares against per-op, ring never against channel,
+/// and modes the baseline did not record — every ring mode under a v3
+/// baseline — are skipped, so old baselines keep parsing and gating
+/// what they know about. On a host with >= 4 cores the pinned scaling
+/// curve must additionally show batched s4 >= 2x batched s1, and the
+/// pinned per-op s4 *ring/channel* ratio must hold at least
+/// `max(1.0, 0.75 x baseline ratio)` — the ring reply path must keep
+/// beating the channel it replaced; on smaller hosts both multicore
+/// gates are skipped with a visible notice.
 fn check(fresh: &SvcBench, baseline_path: &str) -> Result<(), String> {
+    let scale_mode = if mode_ops(&fresh.rows, 1, true, "ring").is_some() {
+        "ring"
+    } else {
+        "channel"
+    };
     let (s1, s4) = match (
-        mode_ops(&fresh.rows, 1, true),
-        mode_ops(&fresh.rows, 4, true),
+        mode_ops(&fresh.rows, 1, true, scale_mode),
+        mode_ops(&fresh.rows, 4, true, scale_mode),
     ) {
         (Some(s1), Some(s4)) => (s1, s4),
         _ => return Err("check needs batched rows for shards=1 and shards=4".into()),
@@ -734,47 +924,95 @@ fn check(fresh: &SvcBench, baseline_path: &str) -> Result<(), String> {
         let (Some(fresh_rows), Some(base_rows)) = (fresh_rows, base_rows) else {
             continue;
         };
-        for (mode, batched) in [("per-op", false), ("batched", true)] {
-            let (Some(ratio), Some(b_ratio)) = (
-                mode_ratio(fresh_rows, batched),
-                mode_ratio(base_rows, batched),
-            ) else {
-                continue;
-            };
-            let floor = b_ratio * 0.75;
-            println!(
-                "check {section}/{mode}: s4/s1 = {ratio:.2}x, baseline {b_ratio:.2}x (floor {floor:.2}x)"
-            );
-            if ratio < floor {
-                return Err(format!(
-                    "{section}/{mode} s4/s1 ratio {ratio:.2}x regressed >25% below baseline {b_ratio:.2}x"
-                ));
+        for (kind, batched) in [("per-op", false), ("batched", true)] {
+            for egress in ["channel", "ring"] {
+                let Some(ratio) = mode_ratio(fresh_rows, batched, egress) else {
+                    continue;
+                };
+                let Some(b_ratio) = mode_ratio(base_rows, batched, egress) else {
+                    // A v3 baseline has no ring rows; say so rather than
+                    // silently passing a mode the baseline can't vouch for.
+                    println!(
+                        "check {section}/{kind}/{egress}: s4/s1 = {ratio:.2}x, \
+                         no baseline for this mode (pre-v4 baseline?) — skipped"
+                    );
+                    continue;
+                };
+                let floor = b_ratio * 0.75;
+                println!(
+                    "check {section}/{kind}/{egress}: s4/s1 = {ratio:.2}x, baseline {b_ratio:.2}x (floor {floor:.2}x)"
+                );
+                if ratio < floor {
+                    return Err(format!(
+                        "{section}/{kind}/{egress} s4/s1 ratio {ratio:.2}x regressed >25% below baseline {b_ratio:.2}x"
+                    ));
+                }
             }
         }
     }
-    // The multicore gate: with >= 4 real cores and pinned workers, the
-    // batched path must scale at least 2x from 1 shard to 4.
+    // The multicore gates: with >= 4 real cores and pinned workers,
+    // (a) the batched path must scale at least 2x from 1 shard to 4,
+    // and (b) the per-op s4 ring egress must beat the channel egress it
+    // replaced — in-run ratio >= max(1.0, 0.75 x the baseline's ratio).
     match fresh.scaling.as_ref() {
         Some(curve) if curve.cores >= 4 => {
-            let Some(ratio) = mode_ratio(&curve.rows, true) else {
+            let mode = if mode_ratio(&curve.rows, true, "ring").is_some() {
+                "ring"
+            } else {
+                "channel"
+            };
+            let Some(ratio) = mode_ratio(&curve.rows, true, mode) else {
                 return Err("scaling curve lacks batched rows for shards=1 and shards=4".into());
             };
             println!(
-                "check multicore gate ({} cores): pinned batched s4/s1 = {ratio:.2}x (need >= 2x)",
+                "check multicore gate ({} cores): pinned batched/{mode} s4/s1 = {ratio:.2}x (need >= 2x)",
                 curve.cores
             );
             if ratio < 2.0 {
                 return Err(format!(
-                    "pinned batched s4/s1 = {ratio:.2}x on a {}-core host (need >= 2x)",
+                    "pinned batched/{mode} s4/s1 = {ratio:.2}x on a {}-core host (need >= 2x)",
                     curve.cores
                 ));
             }
+            match egress_ratio(&curve.rows, 4) {
+                Some(er) => {
+                    let b_er = baseline
+                        .scaling
+                        .as_ref()
+                        .filter(|b| b.cores >= 4)
+                        .and_then(|b| egress_ratio(&b.rows, 4));
+                    let floor = b_er.map_or(1.0, |b| (b * 0.75).max(1.0));
+                    match b_er {
+                        Some(b_er) => println!(
+                            "check egress gate ({} cores): pinned per-op s4 ring/channel = {er:.2}x, \
+                             baseline {b_er:.2}x (floor {floor:.2}x)",
+                            curve.cores
+                        ),
+                        None => println!(
+                            "check egress gate ({} cores): pinned per-op s4 ring/channel = {er:.2}x \
+                             (no >=4-core baseline ratio; floor {floor:.2}x)",
+                            curve.cores
+                        ),
+                    }
+                    if er < floor {
+                        return Err(format!(
+                            "per-op s4 ring egress no longer beats the channel: {er:.2}x < floor {floor:.2}x"
+                        ));
+                    }
+                }
+                None => println!(
+                    "check egress gate SKIPPED: scaling curve lacks per-op s4 rows in both egress modes"
+                ),
+            }
         }
         Some(curve) => println!(
-            "check multicore gate SKIPPED: only {} core(s), need >= 4 for the 2x batched s4/s1 gate",
+            "check multicore + egress gates SKIPPED: only {} core(s), need >= 4 for the 2x batched \
+             s4/s1 gate and the per-op s4 ring-vs-channel gate",
             curve.cores
         ),
-        None => println!("check multicore gate SKIPPED: no scaling curve in this run (--scale none)"),
+        None => println!(
+            "check multicore + egress gates SKIPPED: no scaling curve in this run (--scale none)"
+        ),
     }
     Ok(())
 }

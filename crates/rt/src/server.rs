@@ -8,15 +8,22 @@
 //! cut switches and seeded chaos faults), and the [`ServerPort`] client
 //! threads use to submit protocol messages into the service.
 
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 use bytes::Bytes;
 use crossbeam::channel::Sender;
 use lease_clock::{Clock, Dur, Time, WallClock};
+use lease_core::ring::Inbox;
 use lease_core::{ClientId, ServerCounters, Storage, ToClient, ToServer, Version};
 use lease_store::{FileId, Store};
-use lease_svc::{chaos::Delivery, ClientSink, FaultPlan, LinkChaos, SvcError, SvcHandle};
+use lease_svc::{
+    chaos::Delivery, ClientSink, Egress, EgressWorker, FaultPlan, LinkChaos, SvcError, SvcHandle,
+    WorkerSink,
+};
 use lease_vsys::HistoryEvent;
 
 use crate::record::Recorder;
@@ -227,10 +234,184 @@ impl ChaosNet {
 
 /// Per-client outbound link, with a kill switch for fault injection.
 pub struct ClientLink {
-    /// Channel into the client thread.
+    /// Channel into the client thread (the cold/chaos/fence path; the
+    /// hot path is the ring lane the [`Egress`] registry hands shard
+    /// workers).
     pub tx: Sender<ToClient<Res, Bytes>>,
+    /// The client's egress inbox. Every channel send must ring its
+    /// doorbell afterwards — the client thread parks on this one bell
+    /// for *all* of its inputs (commands, channel messages, ring
+    /// lanes).
+    pub inbox: Arc<Inbox<ToClient<Res, Bytes>>>,
     /// When set, messages to and from this client are dropped.
     pub cut: Arc<AtomicBool>,
+}
+
+impl ClientLink {
+    /// Sends over the channel and rings the client's doorbell.
+    fn send(&self, msg: ToClient<Res, Bytes>) {
+        let _ = self.tx.send(msg);
+        self.inbox.bell().ring();
+    }
+}
+
+/// One shared sleeper thread servicing every delayed (or duplicated)
+/// chaos delivery, replacing the unbounded short-lived
+/// `std::thread::spawn` per faulted message: entries wait in a min-heap
+/// keyed by deadline, the sleeper parks until the earliest one is due,
+/// sends it, and rings the client's doorbell. The thread is spawned
+/// lazily on the first delayed delivery (fault-free runs never pay for
+/// it) and exits when the owning [`RtSink`] drops, discarding whatever
+/// is still pending — an undelivered delayed message is
+/// indistinguishable from a dropped one, which chaos already models.
+pub(crate) struct DelayPool {
+    inner: Arc<DelayShared>,
+}
+
+struct DelayShared {
+    state: Mutex<DelayState>,
+    cvar: Condvar,
+}
+
+struct DelayState {
+    heap: BinaryHeap<DelayedSend>,
+    seq: u64,
+    started: bool,
+    closed: bool,
+}
+
+struct DelayedSend {
+    due: Instant,
+    /// Insertion order, so equal deadlines deliver FIFO.
+    seq: u64,
+    tx: Sender<ToClient<Res, Bytes>>,
+    inbox: Arc<Inbox<ToClient<Res, Bytes>>>,
+    msg: ToClient<Res, Bytes>,
+    copies: u32,
+}
+
+impl Ord for DelayedSend {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // `BinaryHeap` is a max-heap; invert so the earliest deadline
+        // surfaces first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for DelayedSend {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for DelayedSend {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl Eq for DelayedSend {}
+
+impl DelayPool {
+    pub fn new() -> DelayPool {
+        DelayPool {
+            inner: Arc::new(DelayShared {
+                state: Mutex::new(DelayState {
+                    heap: BinaryHeap::new(),
+                    seq: 0,
+                    started: false,
+                    closed: false,
+                }),
+                cvar: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Queues `copies` of `msg` for delivery to `link` after `delay`.
+    pub fn schedule(&self, delay: Dur, link: &ClientLink, msg: ToClient<Res, Bytes>, copies: u32) {
+        let due = Instant::now() + std::time::Duration::from(delay);
+        let mut st = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if st.closed {
+            return;
+        }
+        let seq = st.seq;
+        st.seq += 1;
+        st.heap.push(DelayedSend {
+            due,
+            seq,
+            tx: link.tx.clone(),
+            inbox: Arc::clone(&link.inbox),
+            msg,
+            copies,
+        });
+        if !st.started {
+            st.started = true;
+            let inner = Arc::clone(&self.inner);
+            std::thread::Builder::new()
+                .name("rt-chaos-delay".into())
+                .spawn(move || inner.run())
+                .expect("spawn chaos delay sleeper");
+        }
+        drop(st);
+        self.inner.cvar.notify_one();
+    }
+}
+
+impl Drop for DelayPool {
+    fn drop(&mut self) {
+        let mut st = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        st.closed = true;
+        st.heap.clear();
+        drop(st);
+        self.inner.cvar.notify_all();
+    }
+}
+
+impl DelayShared {
+    fn run(&self) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if st.closed {
+                return;
+            }
+            let due = match st.heap.peek() {
+                None => {
+                    st = self.cvar.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    continue;
+                }
+                Some(top) => top.due,
+            };
+            let now = Instant::now();
+            if due > now {
+                st = self
+                    .cvar
+                    .wait_timeout(st, due - now)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+                continue;
+            }
+            let entry = st.heap.pop().expect("peeked");
+            // Deliver outside the lock: schedulers must never block
+            // behind a slow (or full) client channel.
+            drop(st);
+            for _ in 0..entry.copies {
+                let _ = entry.tx.send(entry.msg.clone());
+            }
+            entry.inbox.bell().ring();
+            st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        }
+    }
 }
 
 /// Egress fencing for one replica of the replicated topology: which
@@ -244,12 +425,63 @@ pub(crate) struct RtFence {
     pub gate: Arc<lease_quorum::GrantorGate>,
 }
 
-/// Delivers shard output to client threads over their channels.
+/// Delivers shard output to client threads: over per-client SPSC ring
+/// lanes when the topology is fault-free (each shard worker attaches a
+/// private [`EgressWorker`] at thread start), over the per-client
+/// channels otherwise — chaos rolls per-message dice and the replica
+/// fence re-checks its gate per message, both of which need the shared
+/// one-at-a-time path.
 pub(crate) struct RtSink {
     pub links: Vec<ClientLink>,
     pub chaos: Option<Arc<ChaosNet>>,
     /// Present only in the replicated topology.
     pub fence: Option<RtFence>,
+    /// The ring-lane registry; `None` leaves every delivery on the
+    /// channel path.
+    pub egress: Option<Egress<Res, Bytes>>,
+    /// Shared sleeper for chaos-delayed deliveries.
+    pub delay: DelayPool,
+}
+
+/// A shard worker's private egress half in the real-time topology: the
+/// ring lanes plus the per-client cut switches, which fault injection
+/// can flip at any moment and therefore must gate the ring path exactly
+/// like they gate the channel path.
+struct RtWorkerSink {
+    worker: EgressWorker<Res, Bytes>,
+    cuts: Vec<Arc<AtomicBool>>,
+    run: Vec<ToClient<Res, Bytes>>,
+}
+
+impl WorkerSink<Res, Bytes> for RtWorkerSink {
+    fn deliver_batch(&mut self, msgs: &mut Vec<(ClientId, ToClient<Res, Bytes>)>) {
+        let mut run = std::mem::take(&mut self.run);
+        let mut it = msgs.drain(..).peekable();
+        while let Some((to, msg)) = it.next() {
+            // Check the cut *before* accumulating the run: a cut
+            // client's messages are discarded as they stream past, not
+            // staged and thrown away.
+            let cut = self.cuts[to.0 as usize].load(Ordering::Relaxed);
+            if !cut {
+                run.push(msg);
+            }
+            while let Some((next, _)) = it.peek() {
+                if *next != to {
+                    break;
+                }
+                let (_, m) = it.next().expect("peeked");
+                if !cut {
+                    run.push(m);
+                }
+            }
+            if !cut {
+                self.worker.push_run(to, &mut run);
+            }
+        }
+        drop(it);
+        self.run = run;
+        self.worker.flush_wakes();
+    }
 }
 
 impl RtSink {
@@ -286,22 +518,14 @@ impl ClientSink<Res, Bytes> for RtSink {
                 Delivery::Deliver { delay, copies } => {
                     if !delay.is_zero() || copies != 1 {
                         // Delayed (or duplicated) delivery must not block
-                        // the shard worker: hand it to a short-lived
-                        // sleeper thread. Send failures just mean the
-                        // client is gone.
-                        let tx = link.tx.clone();
-                        std::thread::spawn(move || {
-                            std::thread::sleep(std::time::Duration::from(delay));
-                            for _ in 0..copies {
-                                let _ = tx.send(msg.clone());
-                            }
-                        });
+                        // the shard worker: hand it to the shared sleeper.
+                        self.delay.schedule(delay, link, msg, copies);
                         return;
                     }
                 }
             }
         }
-        let _ = link.tx.send(msg);
+        link.send(msg);
     }
 
     fn deliver_batch(&self, msgs: &mut Vec<(ClientId, ToClient<Res, Bytes>)>) {
@@ -316,24 +540,44 @@ impl ClientSink<Res, Bytes> for RtSink {
         }
         // Shard replies arrive heavily run-clustered (one client's batch
         // drains in order), so group consecutive same-client messages and
-        // push each run through one locked enqueue.
+        // push each run through one locked enqueue. A cut client's
+        // messages are discarded *before* they are accumulated.
         let mut it = msgs.drain(..).peekable();
         let mut run: Vec<ToClient<Res, Bytes>> = Vec::new();
         while let Some((to, msg)) = it.next() {
-            run.push(msg);
+            let link = &self.links[to.0 as usize];
+            let cut = link.cut.load(Ordering::Relaxed);
+            if !cut {
+                run.push(msg);
+            }
             while let Some((next, _)) = it.peek() {
                 if *next != to {
                     break;
                 }
-                run.push(it.next().unwrap().1);
+                let (_, m) = it.next().expect("peeked");
+                if !cut {
+                    run.push(m);
+                }
             }
-            let link = &self.links[to.0 as usize];
-            if link.cut.load(Ordering::Relaxed) {
-                run.clear();
-                continue;
+            if !cut {
+                let _ = link.tx.send_many(run.drain(..));
+                link.inbox.bell().ring();
             }
-            let _ = link.tx.send_many(run.drain(..));
         }
+    }
+
+    fn attach_worker(&self) -> Option<Box<dyn WorkerSink<Res, Bytes>>> {
+        if self.chaos.is_some() || self.fence.is_some() {
+            // Per-message dice and per-message gate rechecks cannot ride
+            // a run-grouped lane publish: stay on the shared path.
+            return None;
+        }
+        let egress = self.egress.as_ref()?;
+        Some(Box::new(RtWorkerSink {
+            worker: egress.worker(),
+            cuts: self.links.iter().map(|l| Arc::clone(&l.cut)).collect(),
+            run: Vec::new(),
+        }))
     }
 }
 

@@ -14,8 +14,8 @@ use lease_core::{
 };
 use lease_store::{DirId, FileKind, Perms, Store};
 use lease_svc::{
-    chaos::silence_injected_kills, shard_of, AdmissionControl, FaultPlan, LeaseService, SvcConfig,
-    SvcHandle, SvcHooks,
+    chaos::silence_injected_kills, shard_of, AdmissionControl, Egress, FaultPlan, LeaseService,
+    SvcConfig, SvcHandle, SvcHooks,
 };
 use lease_vsys::{History, HistoryEvent};
 
@@ -23,8 +23,8 @@ use crate::breaker::CircuitBreaker;
 use crate::client::{spawn_client, ClientCmd, RtClientHandle};
 use crate::record::Recorder;
 use crate::server::{
-    lock_backend, ChaosNet, ClientLink, Res, RtSink, ServerPort, ServerStats, SharedBackend,
-    StoreBackend,
+    lock_backend, ChaosNet, ClientLink, DelayPool, Res, RtSink, ServerPort, ServerStats,
+    SharedBackend, StoreBackend,
 };
 
 /// Builder for an [`RtSystem`].
@@ -209,14 +209,20 @@ impl RtSystemBuilder {
         }
 
         // Per-client links first: the service's sink needs every one.
+        // Ring-lane egress rides next to the channels — each client gets
+        // an inbox whose doorbell is the one thing its thread parks on.
+        let base_cfg = SvcConfig::default();
+        let mailbox = self.mailbox.unwrap_or(base_cfg.mailbox);
+        let egress: Egress<Res, Bytes> = Egress::new(self.clients as usize, mailbox);
         let mut links = Vec::new();
         let mut cuts = Vec::new();
         let mut net_rxs = Vec::new();
-        for _ in 0..self.clients {
+        for i in 0..self.clients as usize {
             let (net_tx, net_rx) = unbounded();
             let cut = Arc::new(AtomicBool::new(false));
             links.push(ClientLink {
                 tx: net_tx,
+                inbox: egress.inbox(i),
                 cut: cut.clone(),
             });
             cuts.push(cut);
@@ -287,11 +293,10 @@ impl RtSystemBuilder {
         let installed_group: Vec<ClientId> = (0..self.clients).map(ClientId).collect();
         let factory_backend = backend.clone();
         let overload = self.overload;
-        let base_cfg = SvcConfig::default();
         let service = LeaseService::spawn(
             SvcConfig {
                 shards,
-                mailbox: self.mailbox.unwrap_or(base_cfg.mailbox),
+                mailbox,
                 admission: self.admission,
                 slow_shard: self.chaos.as_ref().and_then(|p| p.slow_shard),
                 ..base_cfg
@@ -300,6 +305,8 @@ impl RtSystemBuilder {
                 links,
                 chaos: chaos_net.clone(),
                 fence: None,
+                egress: Some(egress.clone()),
+                delay: DelayPool::new(),
             }),
             hooks,
             move |i| {
@@ -403,6 +410,7 @@ impl RtSystemBuilder {
                 cache,
                 cmd_rx,
                 net_rx,
+                egress.rx(i),
                 Box::new(port.clone()),
                 client_clock,
                 Some(recorder.clone()),
@@ -411,7 +419,10 @@ impl RtSystemBuilder {
                 self.breaker
                     .map_or_else(CircuitBreaker::disabled, |(t, c)| CircuitBreaker::new(t, c)),
             ));
-            client_handles.push(RtClientHandle { tx: cmd_tx.clone() });
+            client_handles.push(RtClientHandle {
+                tx: cmd_tx.clone(),
+                inbox: egress.inbox(i),
+            });
             client_cmd_txs.push(cmd_tx);
         }
 
@@ -549,8 +560,9 @@ impl RtSystem {
     /// Stops every thread and waits for them.
     pub fn shutdown(mut self) {
         self.chaos_stop.take(); // Dropping it stops the chaos driver.
-        for tx in &self.client_cmd_txs {
+        for (tx, h) in self.client_cmd_txs.iter().zip(&self.client_handles) {
             let _ = tx.send(ClientCmd::Shutdown);
+            h.inbox.bell().ring();
         }
         for t in self.threads.drain(..) {
             let _ = t.join();

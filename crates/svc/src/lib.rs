@@ -96,6 +96,7 @@
 //! ```
 
 pub mod chaos;
+pub mod egress;
 pub mod service;
 mod shard;
 
@@ -110,9 +111,10 @@ pub use lease_core::wheel;
 pub use chaos::{
     Arrivals, Delivery, FaultPlan, LinkChaos, OverloadPlan, OVERLOAD_STREAM, REPLICA_STREAM,
 };
+pub use egress::{Egress, EgressRx, EgressSink, EgressWorker};
 pub use service::{
     shard_of, AdmissionControl, BatchBuf, ClientSink, LeaseService, SvcConfig, SvcError, SvcHandle,
-    SvcHooks, SvcStats,
+    SvcHooks, SvcStats, WorkerSink,
 };
 pub use shard::INJECTED_KILL;
 pub use wheel::TimerWheel;

@@ -40,6 +40,34 @@ pub trait ClientSink<R, D>: Send + Sync {
             self.deliver(to, msg);
         }
     }
+
+    /// The egress-lane handshake. A shard worker calls this once, at
+    /// thread start, asking the sink for a *private* sending half it can
+    /// flush through without synchronization; `Some` routes every flush
+    /// of that worker through the returned [`WorkerSink`] instead of the
+    /// shared `deliver`/`deliver_batch` methods.
+    ///
+    /// This exists because a ring [`lease_core::ring::Producer`] is
+    /// deliberately `!Sync` — per-(shard→client) SPSC egress lanes
+    /// cannot live behind the shared `&self` methods of a sink one `Arc`
+    /// of which every worker holds. The default returns `None`: plain
+    /// sinks keep the shared path, and chaos/fenced transports (which
+    /// must roll per-message dice or re-check a gate) decline the
+    /// handshake to stay on it.
+    fn attach_worker(&self) -> Option<Box<dyn WorkerSink<R, D>>> {
+        None
+    }
+}
+
+/// One shard worker's private egress half, produced by
+/// [`ClientSink::attach_worker`]: `Send` but not `Sync`, owned by the
+/// worker thread, so it can hold per-client ring producers and reusable
+/// scratch buffers without a lock.
+pub trait WorkerSink<R, D>: Send {
+    /// Delivers one whole egress flush, draining `msgs` in order
+    /// (per-client order must be preserved). Must not block
+    /// indefinitely.
+    fn deliver_batch(&mut self, msgs: &mut Vec<(ClientId, ToClient<R, D>)>);
 }
 
 /// Watermark-driven admission control for shard workers.
@@ -273,7 +301,7 @@ impl<R: Resource, D> SvcHandle<R, D> {
     /// Rings shard `s`'s doorbell (call after publishing to its lane or
     /// control channel).
     fn wake(&self, s: usize) {
-        self.shared.ingress[s].bell.ring();
+        self.shared.ingress[s].bell().ring();
     }
 
     /// Non-blocking push of one message into this handle's lane for
@@ -953,7 +981,7 @@ impl<R: Resource, D: Clone + Send + 'static> LeaseService<R, D> {
                 barriered: false,
             })
             .map_err(|_| SvcError::ShardDown(i))?;
-            shared.ingress[i].bell.ring();
+            shared.ingress[i].bell().ring();
             replies.push(srx);
         }
         let deadline = Instant::now() + std::time::Duration::from_secs(5);
@@ -985,7 +1013,7 @@ impl<R: Resource, D: Clone + Send + 'static> LeaseService<R, D> {
         let shared = &self.handle.shared;
         for (i, tx) in shared.txs.iter().enumerate() {
             let _ = tx.send(ShardMsg::Shutdown);
-            shared.ingress[i].bell.ring();
+            shared.ingress[i].bell().ring();
         }
         for t in self.threads.drain(..) {
             let _ = t.join();

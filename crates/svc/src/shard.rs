@@ -3,17 +3,19 @@
 //! Each worker runs an unmodified `lease-core` [`LeaseServer`] over the
 //! resources that hash to its shard. Input arrives on two paths: the hot
 //! path is a set of per-producer SPSC ring *lanes* (one per live
-//! [`crate::SvcHandle`], adopted through [`ShardIngress`] and drained
-//! round-robin with pure atomic loads), the cold path is the original
-//! shim-crossbeam control channel (stats, shutdown, `send_cold`). The
-//! worker gathers both into one batch per wakeup (control first, so it
-//! cannot starve behind saturated lanes), accumulates every reply those
-//! inputs and the timer advance produce into an outbox that leaves
-//! through a single [`ClientSink::deliver_batch`] call per wakeup,
-//! drives the core's timers and the table's expiry pruning from a
-//! hierarchical [`TimerWheel`], and rewrites write ids on outbound
-//! approval requests so that approvals can be routed back to the owning
-//! shard from anywhere.
+//! [`crate::SvcHandle`], adopted through the shard's
+//! [`lease_core::ring::Inbox`] and drained round-robin with pure atomic
+//! loads), the cold path is the original shim-crossbeam control channel
+//! (stats, shutdown, `send_cold`). The worker gathers both into one
+//! batch per wakeup (control first, so it cannot starve behind
+//! saturated lanes), accumulates every reply those inputs and the timer
+//! advance produce into an outbox that leaves through a single flush
+//! per wakeup — via the worker's private [`WorkerSink`] egress lanes
+//! when the sink granted one at [`ClientSink::attach_worker`], else the
+//! shared [`ClientSink::deliver_batch`] — drives the core's timers and
+//! the table's expiry pruning from a hierarchical [`TimerWheel`], and
+//! rewrites write ids on outbound approval requests so that approvals
+//! can be routed back to the owning shard from anywhere.
 //!
 //! Between batches the worker parks *adaptively*: after a non-empty drain
 //! it polls its lanes up to `SvcConfig::spin` times (lock-free `Acquire`
@@ -46,19 +48,19 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use lease_clock::{Clock, Dur, Time};
-use lease_core::ring::{Consumer, Doorbell};
+use lease_core::ring::{Inbox, Lanes};
 use lease_core::{
     ClientId, ErrorReason, LeaseServer, Resource, ServerCounters, ServerInput, ServerOutput,
     ServerTimer, Storage, ToClient, ToServer, WriteId,
 };
 
-use crate::service::{AdmissionControl, ClientSink, SvcHooks};
+use crate::service::{AdmissionControl, ClientSink, SvcHooks, WorkerSink};
 use crate::wheel::TimerWheel;
 
 /// Bits of a global write id reserved for the shard's restart epoch.
@@ -103,61 +105,11 @@ pub(crate) enum ShardMsg<R, D> {
 /// The ingress side of one shard, shared between the worker and every
 /// [`crate::SvcHandle`]: the doorbell the worker parks on, plus the
 /// hand-off point where freshly cloned handles deposit the consumer end
-/// of their per-producer SPSC lane for the worker to adopt.
-pub(crate) struct ShardIngress<R, D> {
-    /// The eventcount every producer rings after publishing (to a lane
-    /// or to the control channel) and the worker parks on.
-    pub bell: Doorbell,
-    /// Consumer ends registered by handle clones, awaiting adoption.
-    pending: Mutex<Vec<Consumer<ShardMsg<R, D>>>>,
-    /// Lock-free "pending is non-empty" flag, so the worker's hot loop
-    /// never touches the mutex when nothing registered.
-    has_pending: AtomicBool,
-    /// Set when the worker exits for good: late registrations are
-    /// dropped on the spot so their producers observe `Closed` instead
-    /// of blocking forever on a lane nobody will ever drain.
-    closed: AtomicBool,
-}
-
-impl<R, D> ShardIngress<R, D> {
-    pub(crate) fn new() -> ShardIngress<R, D> {
-        ShardIngress {
-            bell: Doorbell::new(),
-            pending: Mutex::new(Vec::new()),
-            has_pending: AtomicBool::new(false),
-            closed: AtomicBool::new(false),
-        }
-    }
-
-    /// Deposits a fresh lane's consumer end for the worker to adopt.
-    pub(crate) fn register(&self, rx: Consumer<ShardMsg<R, D>>) {
-        {
-            let mut p = self.pending.lock().expect("ingress mutex poisoned");
-            if self.closed.load(Ordering::Relaxed) {
-                return; // rx drops here; the producer sees Closed.
-            }
-            p.push(rx);
-            self.has_pending.store(true, Ordering::Release);
-        }
-        self.bell.ring();
-    }
-
-    /// Moves every pending consumer into the worker's adopted set.
-    fn adopt_into(&self, lanes: &mut Vec<Consumer<ShardMsg<R, D>>>) {
-        if self.has_pending.swap(false, Ordering::Acquire) {
-            let mut p = self.pending.lock().expect("ingress mutex poisoned");
-            lanes.append(&mut p);
-        }
-    }
-
-    /// Marks the shard gone and drops any not-yet-adopted consumers, so
-    /// their producers observe `Closed`.
-    fn close(&self) {
-        let mut p = self.pending.lock().expect("ingress mutex poisoned");
-        self.closed.store(true, Ordering::Relaxed);
-        p.clear();
-    }
-}
+/// of their per-producer SPSC lane for the worker to adopt. Since the
+/// registration/adoption machinery moved down into `lease_core::ring`
+/// (the egress direction reuses it per client), this is just that
+/// [`Inbox`] over the shard's message type.
+pub(crate) type ShardIngress<R, D> = Inbox<ShardMsg<R, D>>;
 
 /// The timer-wheel key space of one shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -324,42 +276,37 @@ fn drain_control<R, D>(
     Ok(())
 }
 
-/// One round-robin sweep over the adopted lanes, draining each into
-/// `batch` up to the cap. The starting lane rotates sweep to sweep so a
-/// chatty producer cannot starve the others. Returns how many messages
-/// were taken; every poll is a couple of `Acquire` loads — no lock, no
-/// syscall — which is what makes the hot spin affordable.
-fn drain_lanes<R, D>(
-    lanes: &[Consumer<ShardMsg<R, D>>],
-    rr: &mut usize,
-    batch: &mut Vec<ShardMsg<R, D>>,
-    max: usize,
-) -> usize {
-    let k = lanes.len();
-    if k == 0 {
-        return 0;
+/// One egress flush: everything the wakeup accumulated leaves through
+/// the worker's private ring-lane sink when the shared sink granted one
+/// at attach time, else through the shared [`ClientSink::deliver_batch`].
+fn flush_outbox<R, D>(
+    ctx: &ShardCtx<R, D>,
+    wsink: &mut Option<Box<dyn WorkerSink<R, D>>>,
+    outbox: &mut Vec<(ClientId, ToClient<R, D>)>,
+) where
+    R: Resource,
+    D: Clone + Send + 'static,
+{
+    if outbox.is_empty() {
+        return;
     }
-    let start = *rr % k;
-    *rr = (start + 1) % k;
-    let mut got = 0;
-    for j in 0..k {
-        if batch.len() >= max {
-            break;
-        }
-        got += lanes[(start + j) % k].drain_into(batch, max - batch.len());
+    match wsink {
+        Some(w) => w.deliver_batch(outbox),
+        None => ctx.sink.deliver_batch(outbox),
     }
-    got
+    outbox.clear(); // In case a custom sink did not drain fully.
 }
 
 /// One incarnation of the worker: runs until shutdown, disconnect, or
-/// panic. `lanes` (the adopted per-producer ring consumers) and `rr`
-/// (the round-robin cursor) live in the supervisor so queued ring
-/// traffic survives a crash exactly like the control mailbox does.
+/// panic. `lanes` (the adopted per-producer ring consumers with their
+/// round-robin cursor) and `wsink` (the per-worker egress sink) live in
+/// the supervisor so queued ring traffic — and established egress lanes
+/// — survive a crash exactly like the control mailbox does.
 fn run<R, D>(
     rx: &Receiver<ShardMsg<R, D>>,
     ctx: &ShardCtx<R, D>,
-    lanes: &mut Vec<Consumer<ShardMsg<R, D>>>,
-    rr: &mut usize,
+    lanes: &mut Lanes<ShardMsg<R, D>>,
+    wsink: &mut Option<Box<dyn WorkerSink<R, D>>>,
     epoch: u64,
 ) -> Exit
 where
@@ -417,10 +364,7 @@ where
 
         // One egress flush per wakeup: everything the drained batch and
         // the wheel advance produced leaves in a single sink call.
-        if !outbox.is_empty() {
-            ctx.sink.deliver_batch(&mut outbox);
-            outbox.clear(); // In case a custom sink did not drain fully.
-        }
+        flush_outbox(ctx, wsink, &mut outbox);
 
         // Gather input (unless a replayed stash is already pending).
         // Ticket first, then poll: any publish after a poll bumps the
@@ -429,20 +373,20 @@ where
         // worker's last look and its sleep (the lost-wakeup hole a bare
         // spin-then-park has).
         if batch.is_empty() {
-            let ticket = ctx.ingress.bell.ticket();
-            ctx.ingress.adopt_into(lanes);
-            lanes.retain(|c| !c.is_disconnected());
+            let ticket = ctx.ingress.bell().ticket();
+            lanes.prune_disconnected();
             // Control first: it is rare, low-volume, and must not starve
             // behind a saturated data path. The per-producer lanes are
             // drained round-robin behind it.
             let disconnected = drain_control(rx, &mut batch, ctx.batch).is_err();
-            drain_lanes(lanes, rr, &mut batch, ctx.batch);
+            let room = ctx.batch.saturating_sub(batch.len());
+            lanes.drain_into(&mut batch, room);
             if batch.is_empty() && hot && ctx.spin > 0 {
                 // Adaptive spin: a loaded shard polls its lanes (pure
                 // Acquire loads — the control mutex is not touched) up
                 // to `spin` times before conceding the park.
                 for _ in 0..ctx.spin {
-                    if drain_lanes(lanes, rr, &mut batch, ctx.batch) > 0 {
+                    if lanes.drain_into(&mut batch, ctx.batch) > 0 {
                         break;
                     }
                     std::hint::spin_loop();
@@ -459,7 +403,7 @@ where
                         .map(|at| at.saturating_since(ctx.clock.now()))
                         .map_or(ctx.idle_wait, |d| d.min(ctx.idle_wait)),
                 );
-                ctx.ingress.bell.wait(ticket, wait);
+                ctx.ingress.bell().wait(ticket, wait);
                 // Woken or timed out either way: loop back through the
                 // wheel advance and re-gather.
             }
@@ -471,7 +415,7 @@ where
         // server's term controller every wakeup, so sustained overload
         // degrades granted terms and idle wakeups decay the degradation
         // back out.
-        let queued = rx.len() + lanes.iter().map(|c| c.len()).sum::<usize>();
+        let queued = rx.len() + lanes.queued();
         let occ = queued as f64 / ctx.mailbox as f64;
         server.set_pressure(occ);
         let shed = ctx.admission.filter(|a| occ >= a.shed_watermark);
@@ -577,20 +521,15 @@ where
                         // lowest-priority work and must not stall an
                         // overloaded drain; the counters stay exact.
                         if !stats_skip_flush && !barriered {
-                            ctx.ingress.adopt_into(lanes);
-                            for c in lanes.iter() {
-                                let visible = c.len();
-                                c.drain_into(&mut batch, visible);
-                            }
+                            lanes.snapshot_into(&mut batch);
                             batch.push(ShardMsg::Stats {
                                 reply,
                                 barriered: true,
                             });
                             continue;
                         }
-                        if !stats_skip_flush && !outbox.is_empty() {
-                            ctx.sink.deliver_batch(&mut outbox);
-                            outbox.clear();
+                        if !stats_skip_flush {
+                            flush_outbox(ctx, wsink, &mut outbox);
                         }
                         let _ = reply.send(server.counters);
                     }
@@ -604,9 +543,7 @@ where
                         // rely on a kill's observable effect not
                         // depending on how the mailbox happened to be
                         // chunked into batches.
-                        if !outbox.is_empty() {
-                            ctx.sink.deliver_batch(&mut outbox);
-                        }
+                        flush_outbox(ctx, wsink, &mut outbox);
                         *ctx.stash.lock().unwrap() = batch.drain(i..).collect();
                         panic!("{INJECTED_KILL}")
                     }
@@ -614,9 +551,7 @@ where
                         // Deliver what this batch already produced; the
                         // rest of the mailbox is abandoned with the
                         // service.
-                        if !outbox.is_empty() {
-                            ctx.sink.deliver_batch(&mut outbox);
-                        }
+                        flush_outbox(ctx, wsink, &mut outbox);
                         return Exit::Shutdown;
                     }
                 }
@@ -639,16 +574,17 @@ where
                 lease_core::affinity::pin_to_core(base + ctx.index as usize);
             }
             let mut epoch: u64 = 0;
-            // Adopted lanes and the round-robin cursor live here, outside
-            // the incarnation, so ring traffic queued at crash time is
-            // replayed by the next incarnation exactly like the control
-            // mailbox (dropping the consumers would instead sever every
-            // live handle).
-            let mut lanes: Vec<Consumer<ShardMsg<R, D>>> = Vec::new();
-            let mut rr: usize = 0;
+            // Adopted lanes (with their round-robin cursor) and the
+            // per-worker egress sink live here, outside the incarnation,
+            // so ring traffic queued at crash time is replayed by the
+            // next incarnation exactly like the control mailbox
+            // (dropping the consumers would instead sever every live
+            // handle), and established egress lanes survive the restart.
+            let mut lanes: Lanes<ShardMsg<R, D>> = Lanes::new(Arc::clone(&ctx.ingress));
+            let mut wsink: Option<Box<dyn WorkerSink<R, D>>> = ctx.sink.attach_worker();
             loop {
                 match catch_unwind(AssertUnwindSafe(|| {
-                    run(&rx, &ctx, &mut lanes, &mut rr, epoch)
+                    run(&rx, &ctx, &mut lanes, &mut wsink, epoch)
                 })) {
                     Ok(Exit::Shutdown) | Ok(Exit::Disconnected) => break,
                     Err(_) => {
@@ -664,10 +600,11 @@ where
                     }
                 }
             }
-            // Sever the producers: adopted lanes drop here, and pending
-            // (never-adopted) ones are dropped under the closed flag so a
-            // handle cloned after shutdown cannot block forever.
-            ctx.ingress.close();
+            // Sever the producers: dropping `lanes` closes the inbox —
+            // adopted lanes drop with it, and pending (never-adopted)
+            // ones are dropped under the closed flag so a handle cloned
+            // after shutdown cannot block forever.
+            drop(lanes);
         })
         .expect("spawn shard worker")
 }

@@ -6,9 +6,10 @@
 //! non-generic `struct`s (named, tuple, unit) and non-generic `enum`s
 //! (unit, tuple, and struct variants). On named struct fields the shim
 //! honours `#[serde(skip)]`, `#[serde(default)]` (absent field → `Default`
-//! on deserialize), and `#[serde(skip_serializing_if = "Option::is_none")]`
-//! (the only supported predicate). Anything else panics with a clear
-//! message rather than silently generating wrong code.
+//! on deserialize), `#[serde(default = "path")]` (absent field → `path()`),
+//! and `#[serde(skip_serializing_if = "Option::is_none")]` (the only
+//! supported predicate). Anything else panics with a clear message rather
+//! than silently generating wrong code.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -32,12 +33,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 // ---------------------------------------------------------------- model --
 
-#[derive(Default, Clone, Copy)]
+#[derive(Default, Clone)]
 struct FieldAttrs {
     /// `#[serde(skip)]`: never serialized, rebuilt with `Default`.
     skip: bool,
     /// `#[serde(default)]`: absent in the input → `Default::default()`.
     default: bool,
+    /// `#[serde(default = "path")]`: absent in the input → `path()`.
+    default_fn: Option<String>,
     /// `#[serde(skip_serializing_if = "Option::is_none")]`: omitted from
     /// the output map when `None`.
     skip_if_none: bool,
@@ -153,7 +156,25 @@ fn parse_serde_attr(attr: TokenStream, attrs: &mut FieldAttrs) {
         match &inner[k] {
             TokenTree::Ident(id) => match id.to_string().as_str() {
                 "skip" => attrs.skip = true,
-                "default" => attrs.default = true,
+                "default" => match (inner.get(k + 1), inner.get(k + 2)) {
+                    // `default = "path"`: call `path()` when absent. The
+                    // literal is a quoted function path, quotes stripped.
+                    (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(l)))
+                        if p.as_char() == '=' =>
+                    {
+                        let lit = l.to_string();
+                        let path = lit
+                            .strip_prefix('"')
+                            .and_then(|s| s.strip_suffix('"'))
+                            .unwrap_or_else(|| {
+                                panic!("serde shim: default = needs a quoted path, got {lit}")
+                            })
+                            .to_string();
+                        attrs.default_fn = Some(path);
+                        k += 2;
+                    }
+                    _ => attrs.default = true,
+                },
                 "skip_serializing_if" => {
                     let lit = match (inner.get(k + 1), inner.get(k + 2)) {
                         (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(l)))
@@ -460,6 +481,14 @@ fn named_from_map(ctx: &str, fields: &[Field], src: &str) -> String {
     for f in fields {
         if f.attrs.skip {
             out.push_str(&format!("{}: ::core::default::Default::default(),", f.name));
+        } else if let Some(path) = &f.attrs.default_fn {
+            out.push_str(&format!(
+                "{}: match {src}.get(\"{}\") {{\n\
+                     Some(__f) => serde::Deserialize::from_value(__f)?,\n\
+                     None => {path}(),\n\
+                 }},",
+                f.name, f.name
+            ));
         } else if f.attrs.default || f.attrs.skip_if_none {
             // A field its own serializer may omit must tolerate absence
             // too, or the shim could not round-trip its own output.
