@@ -37,6 +37,8 @@
 //! | `LEASE_LOAD_SHARDS`  | comma-separated shard counts         | 1,2,4,8   |
 //! | `LEASE_LOAD_BATCH`   | client batch size for batched rows   | 32        |
 
+mod net;
+
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -80,6 +82,19 @@ svc_load: closed-loop load generator for the sharded lease service
                   (SvcConfig::pin) and clients to the cores after them,
                   so on a multi-core host the curve measures true
                   per-core speedup rather than scheduler luck.
+  --net           multi-process loopback mode: spawn one server process
+                  (the sharded service behind lease-net's TCP transport)
+                  and --threads generator processes hammering it over
+                  127.0.0.1 with lease-wire frames, then measure the
+                  same-run in-process batched ring row and an inline
+                  codec microbench for comparison. Uses the *first*
+                  --shards value, writes BENCH_net.json (see --json),
+                  and gates with --check against a BENCH_net baseline
+                  (mode-matched quick/full; wire/in-process ratio >=
+                  max(0.5, 75% of baseline); decode >= 5M msgs/s).
+  --quick         with --net: a short (300ms) window, recorded with
+                  mode=quick so full baselines never gate quick runs
+                  (and vice versa).
   --json PATH     where to write the sweep results (default BENCH_svc.json)
   --check PATH    measure, then gate against the baseline at PATH instead
                   of writing. Fails unless batched ops/s at shards=4
@@ -848,6 +863,22 @@ fn egress_ratio(rows: &[SweepRow], shards: usize) -> Option<f64> {
     }
 }
 
+/// The `kind/egress` mode pairs a baseline's rows actually contain (with
+/// an s4/s1 ratio to compare against), for the skip notice: when a mode
+/// the fresh run measured is missing from the baseline, the notice names
+/// both sides instead of only one.
+fn recorded_modes(rows: &[SweepRow]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (kind, batched) in [("per-op", false), ("batched", true)] {
+        for egress in ["channel", "ring"] {
+            if mode_ratio(rows, batched, egress).is_some() {
+                out.push(format!("{kind}/{egress}"));
+            }
+        }
+    }
+    out
+}
+
 /// The scaling gate. Always: batched throughput at 4 shards must
 /// strictly beat 1 shard (ring rows preferred, channel rows otherwise),
 /// and the fresh s4/s1 ratio in *each* mode must sit within 25% of the
@@ -930,11 +961,20 @@ fn check(fresh: &SvcBench, baseline_path: &str) -> Result<(), String> {
                     continue;
                 };
                 let Some(b_ratio) = mode_ratio(base_rows, batched, egress) else {
-                    // A v3 baseline has no ring rows; say so rather than
-                    // silently passing a mode the baseline can't vouch for.
+                    // A v3 baseline has no ring rows; name both sides —
+                    // the mode this run measured AND the modes the
+                    // baseline can actually vouch for — rather than
+                    // silently passing.
+                    let recorded = recorded_modes(base_rows);
                     println!(
-                        "check {section}/{kind}/{egress}: s4/s1 = {ratio:.2}x, \
-                         no baseline for this mode (pre-v4 baseline?) — skipped"
+                        "check {section}/{kind}/{egress}: s4/s1 = {ratio:.2}x, but the baseline \
+                         recorded no {kind}/{egress} rows (it has: {}) — this run's {kind}/{egress} \
+                         mode is skipped, not gated",
+                        if recorded.is_empty() {
+                            "none".to_string()
+                        } else {
+                            recorded.join(", ")
+                        }
                     );
                     continue;
                 };
@@ -1018,7 +1058,16 @@ fn check(fresh: &SvcBench, baseline_path: &str) -> Result<(), String> {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // The hidden multi-process roles parse their own flags.
+    match args.first().map(String::as_str) {
+        Some("--net-server") => return net::run_server_cli(&args[1..]),
+        Some("--net-gen") => return net::run_gen_cli(&args[1..]),
+        _ => {}
+    }
+
     let mut window = Duration::from_millis(env_u64("LEASE_LOAD_MS", 1_000));
+    let mut ms_set = std::env::var("LEASE_LOAD_MS").is_ok();
     let mut clients = env_u64("LEASE_LOAD_CLIENTS", 4) as u32;
     let mut files = env_u64("LEASE_LOAD_FILES", 256);
     let mut batch = env_u64("LEASE_LOAD_BATCH", 32) as usize;
@@ -1027,10 +1076,11 @@ fn main() {
         .and_then(|v| v.parse().ok());
     let mut shard_list = std::env::var("LEASE_LOAD_SHARDS").unwrap_or_else(|_| "1,2,4,8".into());
     let mut scale_list = std::env::var("LEASE_LOAD_SCALE").unwrap_or_else(|_| "1,2,4,8".into());
-    let mut json_path = "BENCH_svc.json".to_string();
+    let mut json_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut net_mode = false;
+    let mut quick = false;
 
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         let value = args.get(i + 1);
@@ -1056,7 +1106,16 @@ fn main() {
             }
             ("--ms", Some(v)) => {
                 window = Duration::from_millis(v.parse().unwrap_or(1_000));
+                ms_set = true;
                 i += 2;
+            }
+            ("--net", _) => {
+                net_mode = true;
+                i += 1;
+            }
+            ("--quick", _) => {
+                quick = true;
+                i += 1;
             }
             ("--files", Some(v)) => {
                 files = v.parse().unwrap_or(256);
@@ -1077,7 +1136,7 @@ fn main() {
                 i += 2;
             }
             ("--json", Some(v)) => {
-                json_path = v.clone();
+                json_path = Some(v.clone());
                 i += 2;
             }
             ("--check", Some(v)) => {
@@ -1091,6 +1150,39 @@ fn main() {
         }
     }
 
+    if net_mode {
+        if open_loop.is_some() {
+            eprintln!("--net drives its own closed-loop generators; drop --open-loop");
+            std::process::exit(2);
+        }
+        let shards = shard_list
+            .split(',')
+            .filter_map(|s| s.trim().parse::<usize>().ok())
+            .map(|s| s.max(1))
+            .next()
+            .unwrap_or(1);
+        if !ms_set {
+            window = Duration::from_millis(if quick { 300 } else { 1_000 });
+        }
+        println!(
+            "svc_load --net: {clients} generator processes, {shards} shard(s), {files} files, \
+             batch {batch}, {}ms window, {} mode",
+            window.as_millis(),
+            if quick { "quick" } else { "full" },
+        );
+        net::run_net(&net::NetOpts {
+            shards,
+            gens: clients,
+            files,
+            window,
+            batch,
+            quick,
+            json_path: json_path.unwrap_or_else(|| "BENCH_net.json".to_string()),
+            check_path,
+        });
+        return;
+    }
+    let json_path = json_path.unwrap_or_else(|| "BENCH_svc.json".to_string());
     if open_loop.is_some() && check_path.is_some() {
         eprintln!("--check needs the closed-loop batched rows; drop --open-loop");
         std::process::exit(2);

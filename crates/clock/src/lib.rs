@@ -34,5 +34,5 @@ pub mod source;
 pub mod time;
 
 pub use model::{ClockFailure, ClockModel};
-pub use source::{Clock, ManualClock, ModelClock, WallClock};
+pub use source::{Clock, ManualClock, ModelClock, SysClock, WallClock};
 pub use time::{Dur, Time};

@@ -58,6 +58,51 @@ impl Clock for WallClock {
     }
 }
 
+/// A system clock anchored at a caller-chosen unix-nanosecond epoch —
+/// the one clock whose readings are comparable **across processes** on
+/// the same host.
+///
+/// [`WallClock`]'s epoch is process start, so two processes' readings
+/// share no origin. For the multi-process chaos harness the parent picks
+/// one epoch (its own `SystemTime::now()` as unix nanos), passes it to
+/// every child on the command line, and all processes then report
+/// events — commits, reads — on the same true-time axis for the oracle.
+///
+/// Backed by [`std::time::SystemTime`], so it is *not* guaranteed
+/// monotone under NTP steps; on the bench/CI hosts this drives (seconds
+/// of runtime, no clock daemon churn) that is acceptable for an oracle
+/// time axis, and protocol code keeps using monotone clocks.
+#[derive(Debug, Clone, Copy)]
+pub struct SysClock {
+    epoch_unix_ns: u64,
+}
+
+impl SysClock {
+    /// A clock reading nanoseconds since the unix-epoch instant
+    /// `epoch_unix_ns` (saturating at zero for readings before it).
+    pub fn new(epoch_unix_ns: u64) -> SysClock {
+        SysClock { epoch_unix_ns }
+    }
+
+    /// The current unix time in nanoseconds — what a parent process
+    /// passes to [`SysClock::new`] in each child to share an epoch.
+    pub fn unix_now_ns() -> u64 {
+        u64::try_from(
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("system clock before unix epoch")
+                .as_nanos(),
+        )
+        .unwrap_or(u64::MAX)
+    }
+}
+
+impl Clock for SysClock {
+    fn now(&self) -> Time {
+        Time(Self::unix_now_ns().saturating_sub(self.epoch_unix_ns))
+    }
+}
+
 /// A hand-advanced clock for unit tests.
 ///
 /// Cloning shares the underlying time cell, so a test can hold one handle

@@ -52,6 +52,20 @@ impl LeaseHandle {
     pub fn is_null(self) -> bool {
         self.idx == u32::MAX
     }
+
+    /// Splits the handle into its `(idx, gen)` raw parts for wire
+    /// transport. Safe to expose: handles are hints, and the table
+    /// validates generation/resource/holder before honoring one, so a
+    /// forged or corrupted pair degrades to the keyed lookup path.
+    pub fn to_raw(self) -> (u32, u32) {
+        (self.idx, self.gen)
+    }
+
+    /// Rebuilds a handle from [`LeaseHandle::to_raw`] parts (the wire
+    /// decode path).
+    pub fn from_raw(idx: u32, gen: u32) -> LeaseHandle {
+        LeaseHandle { idx, gen }
+    }
 }
 
 impl Default for LeaseHandle {

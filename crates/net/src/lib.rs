@@ -34,7 +34,9 @@
 pub mod fault;
 pub mod params;
 pub mod simnet;
+pub mod tcp;
 
 pub use fault::{FaultPlanNet, Partition};
 pub use params::NetParams;
 pub use simnet::SimNet;
+pub use tcp::{connect_as, FrameAccum, NetCounters, NetCountersSnapshot, NetServer};

@@ -38,6 +38,7 @@
 pub mod breaker;
 pub mod client;
 pub mod naming;
+pub mod net;
 pub mod record;
 pub mod replicated;
 pub mod server;
@@ -48,7 +49,8 @@ pub use client::{RtClientHandle, RtError};
 pub use lease_quorum::QuorumConfig;
 pub use lease_svc::chaos::FaultPlan;
 pub use naming::{Binding, NameOp};
+pub use net::{NetClient, NetClientConfig, TcpPort};
 pub use record::Recorder;
 pub use replicated::{ReplicatedSystem, ReplicatedSystemBuilder};
-pub use server::ServerStats;
+pub use server::{Port, PortVerdict, ServerStats, RETRY_AFTER};
 pub use system::{RtSystem, RtSystemBuilder};

@@ -1,0 +1,328 @@
+//! Real caching clients over real sockets.
+//!
+//! [`NetClient`] runs N of this crate's client workers — the same
+//! `spawn_client` event loop the in-process [`RtSystem`] uses, with its
+//! retransmission backoff, retry budgets, per-op deadlines, circuit
+//! breakers, and Shed handling **unchanged** — against a remote
+//! `lease_net::NetServer` instead of an in-process service handle. The
+//! only moving parts added here are the transport edges:
+//!
+//! * [`TcpPort`] implements the client transport seam ([`Port`]): a
+//!   submission encodes one `lease-wire` frame and writes it to the
+//!   socket. Deadlines cross as *remaining* time-to-live, computed
+//!   against this client's clock at send time — the T-Lease rule: no
+//!   absolute clock reading of ours means anything to the server.
+//!   An unwritable socket is [`PortVerdict::Dropped`] — exactly the
+//!   lost-datagram case §2's retransmission machinery already recovers,
+//!   so a server crash needs no client-side handling at all.
+//! * A reader thread per client decodes reply frames and feeds the
+//!   worker's doorbell, reconnecting (with the hello handshake) whenever
+//!   the connection dies. Reconnection is invisible to the worker: its
+//!   pending ops simply retransmit into the new connection.
+//!
+//! [`RtSystem`]: crate::system::RtSystem
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Sender};
+use lease_clock::{Clock, Dur, Time, WallClock};
+use lease_core::ring::Inbox;
+use lease_core::{Backoff, ClientConfig, ClientId, LeaseClient, RetryBudget, ToClient, ToServer};
+use lease_net::connect_as;
+use lease_net::tcp::FrameAccum;
+use lease_svc::Egress;
+use lease_wire::{frame_len, frame_messages, Dir, FrameBuilder};
+
+use crate::breaker::CircuitBreaker;
+use crate::client::{spawn_client, ClientCmd, RtClientHandle};
+use crate::record::Recorder;
+use crate::server::{Port, PortVerdict, Res};
+
+/// How often parked socket reads re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Pause before a reconnection attempt after a refused/dead connection.
+const RECONNECT_PAUSE: Duration = Duration::from_millis(50);
+
+/// Configuration for a [`NetClient`] fleet.
+pub struct NetClientConfig {
+    /// The server's address.
+    pub addr: SocketAddr,
+    /// How many client workers to run ([`ClientId`]s `0..clients`).
+    pub clients: u32,
+    /// The client's clock allowance ε.
+    pub epsilon: Dur,
+    /// Retransmission interval (backoff base).
+    pub retry_interval: Dur,
+    /// Retransmission budget per op.
+    pub max_retries: u32,
+    /// Backoff policy on top of the interval.
+    pub backoff: Backoff,
+    /// Per-op deadline, propagated to the server with every submission.
+    pub op_deadline: Option<Dur>,
+    /// Token-bucket retry budget.
+    pub retry_budget: Option<RetryBudget>,
+    /// Circuit breaker `(threshold, cooldown)`.
+    pub breaker: Option<(u32, Dur)>,
+    /// The true-time clock operations are recorded against (and that
+    /// deadlines are computed with). `None` uses a fresh process-local
+    /// [`WallClock`]; the multi-process harness passes a
+    /// [`SysClock`](lease_clock::SysClock) sharing the parent's epoch.
+    pub clock: Option<Arc<dyn Clock>>,
+}
+
+impl NetClientConfig {
+    /// Defaults matching `RtSystemBuilder`'s: 5s epsilon-free clients,
+    /// 100ms retransmission, 10 retries.
+    pub fn new(addr: SocketAddr, clients: u32) -> NetClientConfig {
+        NetClientConfig {
+            addr,
+            clients,
+            epsilon: Dur::from_millis(50),
+            retry_interval: Dur::from_millis(100),
+            max_retries: 10,
+            backoff: Backoff::default(),
+            op_deadline: None,
+            retry_budget: None,
+            breaker: None,
+            clock: None,
+        }
+    }
+}
+
+/// N real client workers talking to a remote lease server over TCP.
+pub struct NetClient {
+    handles: Vec<RtClientHandle>,
+    cmd_txs: Vec<Sender<ClientCmd>>,
+    recorder: Arc<Recorder>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NetClient {
+    /// Spawns the workers and their reader threads. Connections are
+    /// established (and re-established) in the background; nothing here
+    /// blocks on the server being up — a client whose socket is down
+    /// simply retransmits until it isn't.
+    pub fn connect(cfg: NetClientConfig) -> NetClient {
+        let clock: Arc<dyn Clock> = cfg.clock.unwrap_or_else(|| Arc::new(WallClock::new()));
+        let recorder = Arc::new(Recorder::with_clock(Arc::clone(&clock)));
+        let stop = Arc::new(AtomicBool::new(false));
+        // A local egress registry supplies each worker's lanes+doorbell;
+        // the reader threads publish over the channel half and ring the
+        // bell, so the worker's one-bell park loop works unchanged.
+        let egress: Egress<Res, Bytes> = Egress::new(cfg.clients as usize, 1024);
+        let mut handles = Vec::new();
+        let mut cmd_txs = Vec::new();
+        let mut threads = Vec::new();
+
+        for i in 0..cfg.clients {
+            let (cmd_tx, cmd_rx) = unbounded();
+            let (net_tx, net_rx) = unbounded();
+            let slot: Arc<Mutex<Option<TcpStream>>> = Arc::new(Mutex::new(None));
+
+            threads.push(spawn_reader(
+                cfg.addr,
+                ClientId(i),
+                Arc::clone(&slot),
+                net_tx,
+                egress.inbox(i as usize),
+                Arc::clone(&stop),
+            ));
+
+            let cache = LeaseClient::new(
+                ClientId(i),
+                ClientConfig {
+                    epsilon: cfg.epsilon,
+                    retry_interval: cfg.retry_interval,
+                    max_retries: cfg.max_retries,
+                    backoff: cfg.backoff,
+                    op_deadline: cfg.op_deadline,
+                    batch_extensions: true,
+                    anticipatory: None,
+                    capacity: 0,
+                    retry_budget: cfg.retry_budget,
+                },
+            );
+            let port = TcpPort {
+                slot,
+                clock: Arc::clone(&clock),
+                buf: Mutex::new(Vec::new()),
+                who: ClientId(i),
+            };
+            threads.push(spawn_client(
+                cache,
+                cmd_rx,
+                net_rx,
+                egress.rx(i as usize),
+                Box::new(port),
+                Arc::clone(&clock),
+                Some(Arc::clone(&recorder)),
+                cfg.backoff,
+                cfg.op_deadline,
+                cfg.breaker
+                    .map_or_else(CircuitBreaker::disabled, |(t, c)| CircuitBreaker::new(t, c)),
+            ));
+            handles.push(RtClientHandle {
+                tx: cmd_tx.clone(),
+                inbox: egress.inbox(i as usize),
+            });
+            cmd_txs.push(cmd_tx);
+        }
+
+        NetClient {
+            handles,
+            cmd_txs,
+            recorder,
+            stop,
+            threads,
+        }
+    }
+
+    /// Client `i`'s handle (blocking read/write/open operations).
+    pub fn client(&self, i: usize) -> &RtClientHandle {
+        &self.handles[i]
+    }
+
+    /// The shared operation recorder (true-time history for the oracle).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// Stops every worker and reader and joins them.
+    pub fn shutdown(mut self) {
+        for tx in &self.cmd_txs {
+            let _ = tx.send(ClientCmd::Shutdown);
+        }
+        for h in &self.handles {
+            h.inbox.bell().ring();
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The TCP-backed client transport: one frame per submission, written
+/// synchronously on the worker thread.
+pub struct TcpPort {
+    slot: Arc<Mutex<Option<TcpStream>>>,
+    clock: Arc<dyn Clock>,
+    /// Reusable encode buffer (a port is owned by one worker thread; the
+    /// mutex is uncontended and only satisfies `&self`).
+    buf: Mutex<Vec<u8>>,
+    who: ClientId,
+}
+
+impl Port for TcpPort {
+    fn send(
+        &self,
+        from: ClientId,
+        msg: ToServer<Res, Bytes>,
+        deadline: Option<Time>,
+    ) -> PortVerdict {
+        debug_assert_eq!(from, self.who);
+        // Absolute deadline → remaining time-to-live at this send. An
+        // already-dead op still crosses (remaining 0): the server drops
+        // and counts it, keeping the two sides' books consistent.
+        let remaining = deadline.map(|d| d.saturating_since(self.clock.now()));
+        let mut buf = self.buf.lock().unwrap_or_else(PoisonError::into_inner);
+        buf.clear();
+        let mut fb = FrameBuilder::begin(&mut buf, Dir::C2s, from);
+        fb.push_c2s(&mut buf, &msg, remaining);
+        fb.finish(&mut buf);
+
+        let mut guard = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(stream) = guard.as_mut() else {
+            return PortVerdict::Dropped; // disconnected: retransmission recovers
+        };
+        match std::io::Write::write_all(stream, &buf) {
+            Ok(()) => PortVerdict::Sent,
+            Err(_) => {
+                *guard = None; // dead socket; the reader reconnects
+                PortVerdict::Dropped
+            }
+        }
+    }
+}
+
+/// The per-client reader: owns the connect/reconnect loop, decodes reply
+/// frames, and feeds the worker through its channel + doorbell.
+fn spawn_reader(
+    addr: SocketAddr,
+    who: ClientId,
+    slot: Arc<Mutex<Option<TcpStream>>>,
+    net_tx: crossbeam::channel::Sender<ToClient<Res, Bytes>>,
+    inbox: Arc<Inbox<ToClient<Res, Bytes>>>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("lease-net-reader-{}", who.0))
+        .spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                // (Re)connect, with the hello handshake that names us.
+                let mut stream = match connect_as(&addr, who) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        std::thread::sleep(RECONNECT_PAUSE);
+                        continue;
+                    }
+                };
+                if stream.set_read_timeout(Some(POLL)).is_err() {
+                    continue;
+                }
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = stream.try_clone().ok();
+                // A fresh byte stream gets a fresh accumulator: no stale
+                // prefix from the previous connection.
+                let mut accum = FrameAccum::new();
+
+                'read: while !stop.load(Ordering::SeqCst) {
+                    // Decode every buffered complete frame.
+                    loop {
+                        let len = match frame_len(accum.bytes()) {
+                            Ok(Some(len)) if accum.bytes().len() >= len => len,
+                            Ok(_) => break,
+                            Err(_) => break 'read, // corrupt stream: reconnect
+                        };
+                        let mut delivered = false;
+                        {
+                            let frame = &accum.bytes()[..len];
+                            let Ok((h, mut it)) = frame_messages(frame) else {
+                                break 'read;
+                            };
+                            if h.dir == Dir::S2c {
+                                while let Ok(Some(m)) = it.next_s2c::<Res, Bytes>() {
+                                    let _ = net_tx.send(m);
+                                    delivered = true;
+                                }
+                            }
+                        }
+                        accum.consume(len);
+                        if delivered {
+                            inbox.bell().ring();
+                        }
+                    }
+                    match accum.fill(&mut stream) {
+                        Ok(0) => break, // server closed: reconnect
+                        Ok(_) => {}
+                        Err(e)
+                            if e.kind() == ErrorKind::WouldBlock
+                                || e.kind() == ErrorKind::TimedOut => {}
+                        Err(_) => break,
+                    }
+                }
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = None;
+                if !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(RECONNECT_PAUSE);
+                }
+            }
+        })
+        .expect("spawn net reader")
+}

@@ -11,7 +11,7 @@
 //! what lets the oracle catch a fast server clock breaking §5's
 //! assumptions while the protocol itself never notices.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use lease_clock::{Clock, Time, WallClock};
 use lease_vsys::{History, HistoryEvent};
@@ -22,13 +22,24 @@ use lease_vsys::{History, HistoryEvent};
 /// timestamp comes from the one true [`WallClock`] the recorder owns, so
 /// events from differently-skewed hosts still land on a single timeline.
 pub struct Recorder {
-    truth: WallClock,
+    truth: Arc<dyn Clock>,
     events: Mutex<History>,
 }
 
 impl Recorder {
     /// Creates a recorder observing through `truth`.
     pub(crate) fn new(truth: WallClock) -> Recorder {
+        Recorder::with_clock(Arc::new(truth))
+    }
+
+    /// A recorder observing through an arbitrary clock.
+    ///
+    /// The multi-process harness uses this with a
+    /// [`SysClock`](lease_clock::SysClock) sharing one parent-chosen unix
+    /// epoch across processes, so the client processes' operation events
+    /// and the server process's commit events land on a single true-time
+    /// axis the oracle can check.
+    pub fn with_clock(truth: Arc<dyn Clock>) -> Recorder {
         Recorder {
             truth,
             events: Mutex::new(History::new()),

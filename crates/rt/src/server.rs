@@ -33,7 +33,7 @@ pub type Res = u64;
 
 /// How long a client thread waits before resubmitting a message the
 /// service refused under backpressure.
-pub(crate) const RETRY_AFTER: Dur = Dur::from_millis(2);
+pub const RETRY_AFTER: Dur = Dur::from_millis(2);
 
 /// Observable server statistics.
 #[derive(Debug, Clone)]
@@ -582,7 +582,7 @@ impl ClientSink<Res, Bytes> for RtSink {
 }
 
 /// What became of a client's submission attempt.
-pub(crate) enum PortVerdict {
+pub enum PortVerdict {
     /// Handed to the service (or scheduled for chaotic delivery).
     Sent,
     /// Dropped: the link is cut, chaos ate it, or the service is gone.
@@ -605,7 +605,7 @@ pub(crate) enum PortVerdict {
 /// [`SvcHandle`] is a per-producer object (one SPSC lane per shard), so
 /// ports are cloned per client rather than shared behind an `Arc` —
 /// which is exactly the thread-per-producer shape the ingress wants.
-pub(crate) trait Port: Send {
+pub trait Port: Send {
     /// Submits one client message, unless faults interfere. `deadline` is
     /// the originating op's drop-dead time, propagated so the service can
     /// discard the work if it drains it too late.

@@ -28,6 +28,12 @@ impl Bytes {
         Bytes(Arc::from(bytes))
     }
 
+    /// Creates `Bytes` by copying a slice (one allocation, as in the
+    /// real crate).
+    pub fn copy_from_slice(bytes: &[u8]) -> Bytes {
+        Bytes(Arc::from(bytes))
+    }
+
     /// Length in bytes.
     pub fn len(&self) -> usize {
         self.0.len()

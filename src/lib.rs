@@ -72,4 +72,5 @@ pub use lease_store as store;
 pub use lease_svc as svc;
 pub use lease_vsys as vsys;
 pub use lease_wb as wb;
+pub use lease_wire as wire;
 pub use lease_workload as workload;
